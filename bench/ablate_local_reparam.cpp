@@ -1,0 +1,93 @@
+// Ablation: gradient variance of the ELBO with naive weight sampling vs
+// local reparameterization vs flipout, across batch sizes — the quantitative
+// backing of the paper's claim that these effect handlers are "essential
+// techniques for well-performing BNNs" (Sec. 2.4). Expected shape: naive
+// variance grows ~linearly with batch size (shared weight noise correlates
+// all examples); local reparameterization and flipout stay flat/lower.
+#include <cstdio>
+
+#include "core/tyxe.h"
+#include "util/table.h"
+
+using tx::Tensor;
+
+namespace {
+
+enum class Mode { kNaive, kLocalReparam, kFlipout };
+
+/// Variance of d(mean squared output)/d(loc[0]) over repeated single-sample
+/// estimates for a linear layer with a factorized Gaussian posterior.
+double gradient_variance(Mode mode, std::int64_t batch, int reps,
+                         const Tensor& loc0, const Tensor& scale,
+                         const Tensor& x_row) {
+  Tensor x = tx::broadcast_to(x_row, {batch, x_row.dim(1)}).detach();
+
+  std::vector<double> grads;
+  grads.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Tensor loc = loc0.detach().set_requires_grad(true);
+    auto wd = std::make_shared<tx::dist::Normal>(loc, scale);
+    Tensor loss;
+    auto run = [&] {
+      Tensor w = tx::ppl::sample("w", wd);
+      loss = tx::mean(tx::square(tx::nn::functional::linear(x, w, Tensor())));
+    };
+    switch (mode) {
+      case Mode::kNaive:
+        run();
+        break;
+      case Mode::kLocalReparam: {
+        tyxe::poutine::LocalReparameterization scope;
+        run();
+        break;
+      }
+      case Mode::kFlipout: {
+        tyxe::poutine::Flipout scope;
+        run();
+        break;
+      }
+    }
+    loss.backward();
+    grads.push_back(loc.grad().at(0));
+  }
+  double mean = 0;
+  for (double g : grads) mean += g;
+  mean /= static_cast<double>(grads.size());
+  double var = 0;
+  for (double g : grads) var += (g - mean) * (g - mean);
+  return var / static_cast<double>(grads.size());
+}
+
+}  // namespace
+
+int main() {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  const int kReps = 1500;
+  std::printf("Ablation: variance of a single-sample ELBO-style gradient "
+              "(d loss / d loc[0]),\n%d replicates, linear layer 32->16, "
+              "posterior std 0.2.\n\n",
+              kReps);
+  // One fixed problem (posterior means, input) shared by every cell so the
+  // comparison isolates the estimator.
+  const std::int64_t in = 32, out = 16;
+  Tensor loc0 = tx::randn({out, in}, &gen);
+  Tensor scale = tx::full({out, in}, 0.2f);
+  Tensor x_row = tx::randn({1, in}, &gen);
+  tx::Table table({"batch", "naive", "local reparam", "flipout"});
+  for (std::int64_t batch : {4, 16, 64, 256}) {
+    const double naive =
+        gradient_variance(Mode::kNaive, batch, kReps, loc0, scale, x_row);
+    const double lr = gradient_variance(Mode::kLocalReparam, batch, kReps,
+                                        loc0, scale, x_row);
+    const double flip =
+        gradient_variance(Mode::kFlipout, batch, kReps, loc0, scale, x_row);
+    table.add_row({std::to_string(batch), tx::Table::fmt(naive * 1e4, 2),
+                   tx::Table::fmt(lr * 1e4, 2), tx::Table::fmt(flip * 1e4, 2)});
+  }
+  table.print("gradient variance (x 1e-4):");
+  std::printf("\nshape: with identical inputs repeated across the batch, the "
+              "naive estimator's variance\ndoes not shrink with batch size, "
+              "while the reparameterized estimators' do.\n");
+  return 0;
+}

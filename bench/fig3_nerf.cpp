@@ -1,0 +1,151 @@
+// Reproduces Figure 3 of the paper: deterministic vs (pseudo-)Bayesian NeRF.
+// Train on a 270° arc of views of the analytic scene, hold out 90°; compare
+// held-out reconstruction error and report the predictive uncertainty map
+// statistics. Paper numbers: heldout error 9.4e-3 (deterministic) vs 8.1e-3
+// (Bayesian) — the shape to reproduce is "Bayesian < deterministic, and the
+// uncertainty concentrates on the object" (DESIGN.md, FIG3).
+#include <cstdio>
+
+#include "core/tyxe.h"
+#include "render/volume.h"
+
+using namespace tx::render;
+using tx::Tensor;
+
+namespace {
+
+struct Setup {
+  std::vector<Camera> train_cams, held_cams;
+  std::vector<RenderResult> train_targets, held_targets;
+  RenderConfig cfg;
+};
+
+Setup make_setup() {
+  Setup s;
+  const float kThreeQuarters = 4.712389f;
+  s.train_cams = circle_cameras(10, 2.5f, 0.4f, 8.0f, 12, 0.0f, kThreeQuarters);
+  s.held_cams =
+      circle_cameras(4, 2.5f, 0.4f, 8.0f, 12, kThreeQuarters + 0.2f, 6.1f);
+  s.cfg.num_samples = 16;
+  s.cfg.t_near = 1.0f;
+  s.cfg.t_far = 4.5f;
+  s.train_targets = ground_truth_views(s.train_cams, s.cfg);
+  s.held_targets = ground_truth_views(s.held_cams, s.cfg);
+  return s;
+}
+
+/// Train a deterministic NeRF; returns the net and its held-out error.
+std::shared_ptr<NeRFField> train_deterministic(const Setup& s, int iters,
+                                               tx::Generator& gen) {
+  auto net = std::make_shared<NeRFField>(4, 48, 2, &gen);
+  tx::infer::Adam optim(1e-3);
+  for (auto& slot : net->named_parameter_slots()) optim.add_param(*slot.slot);
+  for (int it = 0; it < iters; ++it) {
+    const auto v = static_cast<std::size_t>(it) % s.train_cams.size();
+    optim.zero_grad();
+    auto rendered = render_rays([&](const Tensor& p) { return net->forward(p); },
+                                camera_rays(s.train_cams[v]), s.cfg);
+    render_loss(rendered, s.train_targets[v]).backward();
+    optim.step();
+  }
+  return net;
+}
+
+double held_out_error(const std::function<Tensor(const RayBatch&)>& render_mean,
+                      const Setup& s) {
+  tx::NoGradGuard ng;
+  double total = 0.0;
+  for (std::size_t v = 0; v < s.held_cams.size(); ++v) {
+    Tensor mean_rgb = render_mean(camera_rays(s.held_cams[v]));
+    total += tx::mean(tx::square(tx::sub(mean_rgb, s.held_targets[v].rgb))).item();
+  }
+  return total / static_cast<double>(s.held_cams.size());
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = 0;
+  tx::manual_seed(seed);
+  tx::Generator gen(seed);
+  std::printf("Figure 3 reproduction (seed %llu)\n",
+              static_cast<unsigned long long>(seed));
+  Setup s = make_setup();
+
+  const int kDetIters = 900;
+  auto det_net = train_deterministic(s, kDetIters, gen);
+  const double det_err = held_out_error(
+      [&](const RayBatch& rays) {
+        return render_rays([&](const Tensor& p) { return det_net->forward(p); },
+                           rays, s.cfg)
+            .rgb.detach();
+      },
+      s);
+  std::printf("deterministic NeRF trained (%d iters), held-out mse %.2e\n",
+              kDetIters, det_err);
+
+  // Bayesian NeRF: PytorchBNN with means initialized to the deterministic
+  // net, stds to 1e-2; KL weight annealed linearly (paper appendix A.3).
+  auto bayes_net = std::make_shared<NeRFField>(4, 48, 2, &gen);
+  bayes_net->load_state_dict(det_net->state_dict());
+  tyxe::guides::AutoNormalConfig g;
+  g.init_loc = tyxe::guides::init_to_value(
+      tyxe::guides::pretrained_dict(*bayes_net));
+  g.init_scale = 1e-2f;
+  tyxe::PytorchBNN bnn(bayes_net,
+                       std::make_shared<tyxe::IIDPrior>(
+                           std::make_shared<tx::dist::Normal>(0.0f, 1.0f)),
+                       tyxe::guides::auto_normal_factory(g));
+  tx::infer::Adam optim(5e-4);
+  optim.add_params(bnn.pytorch_parameters({tx::randn({4, 3}, &gen)}));
+
+  const int kBayesIters = 600;
+  const auto pixels_per_view =
+      static_cast<float>(s.train_targets[0].rgb.numel() +
+                         s.train_targets[0].alpha.numel());
+  const float kl_target = 1.0f / (pixels_per_view *
+                                  static_cast<float>(s.train_cams.size()));
+  auto bnn_field = [&bnn](const Tensor& p) { return bnn.forward(p); };
+  for (int it = 0; it < kBayesIters; ++it) {
+    const auto v = static_cast<std::size_t>(it) % s.train_cams.size();
+    // Linear KL annealing over the first half of training.
+    const float anneal =
+        std::min(1.0f, static_cast<float>(it) /
+                           (0.5f * static_cast<float>(kBayesIters)));
+    optim.zero_grad();
+    auto rendered = render_rays(bnn_field, camera_rays(s.train_cams[v]), s.cfg);
+    Tensor loss = tx::add(
+        render_loss(rendered, s.train_targets[v]),
+        tx::mul(bnn.cached_kl_loss(), tx::Tensor::scalar(anneal * kl_target)));
+    loss.backward();
+    optim.step();
+  }
+
+  const int kPredSamples = 8;
+  double mean_var = 0.0;
+  const double bayes_err = held_out_error(
+      [&](const RayBatch& rays) {
+        std::vector<Tensor> draws;
+        for (int i = 0; i < kPredSamples; ++i) {
+          draws.push_back(render_rays(bnn_field, rays, s.cfg).rgb.detach());
+        }
+        Tensor stacked = tx::stack(draws, 0);
+        Tensor mean = tx::mean(stacked, {0});
+        mean_var +=
+            tx::mean(tx::mean(tx::square(tx::sub(stacked, mean)), {0})).item();
+        return mean;
+      },
+      s);
+  mean_var /= static_cast<double>(s.held_cams.size());
+
+  std::printf("Bayesian NeRF trained (%d iters), held-out mse %.2e, mean "
+              "predictive variance %.2e\n",
+              kBayesIters, bayes_err, mean_var);
+  std::printf("\nresult: deterministic %.2e vs Bayesian %.2e -> %s\n", det_err,
+              bayes_err,
+              bayes_err < det_err ? "Bayesian better (matches paper shape)"
+                                  : "Bayesian worse (paper shape NOT matched)");
+  std::printf("paper: deterministic 9.4e-3 vs Bayesian 8.1e-3 on 10 held-out "
+              "angles of the cow scene.\n");
+  return 0;
+}

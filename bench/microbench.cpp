@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: tensor ops,
+// autograd round trips, the ELBO step, and the local-reparameterization
+// overhead the paper discusses ("they double the computational cost").
+#include <benchmark/benchmark.h>
+
+#include "core/tyxe.h"
+#include "data/datasets.h"
+
+using tx::Tensor;
+namespace nd = tx::dist;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  tx::Generator gen(0);
+  Tensor a = tx::randn({n, n}, &gen);
+  Tensor b = tx::randn({n, n}, &gen);
+  tx::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2d(benchmark::State& state) {
+  const auto c = state.range(0);
+  tx::Generator gen(0);
+  Tensor x = tx::randn({8, c, 16, 16}, &gen);
+  Tensor w = tx::randn({c, c, 3, 3}, &gen);
+  tx::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx::conv2d(x, w, Tensor(), 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  tx::Generator gen(0);
+  auto net = tx::nn::make_mlp({64, 128, 128, 10}, "relu", &gen);
+  Tensor x = tx::randn({64, 64}, &gen);
+  for (auto _ : state) {
+    for (auto& s : net->named_parameter_slots()) s.slot->zero_grad();
+    tx::sum(tx::square(net->forward(x))).backward();
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_SviStepRegressionBnn(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto data = tx::data::make_foong_regression(64, gen);
+  auto net = tx::nn::make_mlp({1, 50, 1}, "tanh", &gen);
+  auto bnn = std::make_shared<tyxe::VariationalBNN>(
+      net,
+      std::make_shared<tyxe::IIDPrior>(std::make_shared<nd::Normal>(0.0f, 1.0f)),
+      std::make_shared<tyxe::HomoskedasticGaussian>(64, 0.1f),
+      tyxe::guides::auto_normal_factory());
+  auto optim = std::make_shared<tx::infer::Adam>(1e-3);
+  std::vector<tyxe::Batch> batch{{{data.x}, data.y}};
+  for (auto _ : state) {
+    bnn->fit(batch, optim, 1);
+  }
+}
+BENCHMARK(BM_SviStepRegressionBnn);
+
+void BM_SviStepLocalReparam(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto data = tx::data::make_foong_regression(64, gen);
+  auto net = tx::nn::make_mlp({1, 50, 1}, "tanh", &gen);
+  auto bnn = std::make_shared<tyxe::VariationalBNN>(
+      net,
+      std::make_shared<tyxe::IIDPrior>(std::make_shared<nd::Normal>(0.0f, 1.0f)),
+      std::make_shared<tyxe::HomoskedasticGaussian>(64, 0.1f),
+      tyxe::guides::auto_normal_factory());
+  auto optim = std::make_shared<tx::infer::Adam>(1e-3);
+  std::vector<tyxe::Batch> batch{{{data.x}, data.y}};
+  tyxe::poutine::LocalReparameterization lr;
+  for (auto _ : state) {
+    bnn->fit(batch, optim, 1);
+  }
+}
+BENCHMARK(BM_SviStepLocalReparam);
+
+void BM_HmcLeapfrogStep(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto data = tx::data::make_foong_regression(32, gen);
+  auto net = tx::nn::make_mlp({1, 16, 1}, "tanh", &gen);
+  tyxe::BNNBase bnn(net, std::make_shared<tyxe::IIDPrior>(
+                             std::make_shared<nd::Normal>(0.0f, 1.0f)));
+  auto lik = std::make_shared<tyxe::HomoskedasticGaussian>(32, 0.1f);
+  tx::infer::Potential potential([&] {
+    Tensor out = bnn.sampled_forward(data.x);
+    lik->data_program(out, data.y);
+  });
+  std::vector<double> q = potential.initial_position(&gen);
+  std::vector<double> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(potential.value_and_grad(q, grad));
+  }
+}
+BENCHMARK(BM_HmcLeapfrogStep);
+
+void BM_PredictPosteriorSample(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto net = tx::nn::make_resnet8(10, 8, 3, &gen);
+  tyxe::HideExpose hide_bn;
+  hide_bn.hide_module_types = {"BatchNorm2d"};
+  tyxe::VariationalBNN bnn(
+      net,
+      std::make_shared<tyxe::IIDPrior>(std::make_shared<nd::Normal>(0.0f, 1.0f),
+                                       hide_bn),
+      std::make_shared<tyxe::Categorical>(100),
+      tyxe::guides::auto_normal_factory());
+  Tensor x = tx::randn({8, 3, 16, 16}, &gen);
+  net->eval();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bnn.predict(x, 1));
+  }
+}
+BENCHMARK(BM_PredictPosteriorSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Appendix B of the paper: the same variational network expressed directly
+// against the PPL core, with none of the tyxe abstractions. Compare with
+// examples/resnet.cpp — here the user must (a) replace parameters with
+// sample sites by hand, (b) write the model function and the likelihood
+// scaling themselves, (c) hand-roll the guide, the SVI loop, and the
+// prediction averaging. This file exists to make the boilerplate gap
+// measurable (see EXPERIMENTS.md, LST7).
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "dist/distributions.h"
+#include "infer/infer.h"
+#include "metrics/metrics.h"
+#include "nn/nn.h"
+
+namespace nd = tx::dist;
+using tx::Tensor;
+
+int main() {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+
+  tx::data::SyntheticImageConfig img_cfg;
+  img_cfg.num_classes = 10;
+  img_cfg.per_class = 20;
+  img_cfg.size = 16;
+  auto train = tx::data::make_pattern_images(img_cfg, gen);
+  const std::int64_t n_train = train.labels.numel();
+
+  auto net = tx::nn::make_resnet8(10, 8, 3, &gen);
+
+  // --- manual prior definition: walk the modules, replace Linear/Conv2d
+  // parameters with sample sites, keep everything else deterministic.
+  struct Site {
+    std::string name;
+    tx::Tensor* slot;
+    std::shared_ptr<nd::Normal> prior;
+  };
+  std::vector<Site> sites;
+  tx::ppl::ParamStore store;
+  for (auto& slot : net->named_parameter_slots()) {
+    const std::string type = slot.owner->type_name();
+    if (type == "Linear" || type == "Conv2d") {
+      auto prior = std::make_shared<nd::Normal>(tx::zeros(slot.slot->shape()),
+                                                tx::ones(slot.slot->shape()));
+      sites.push_back({"net." + slot.name, slot.slot, prior});
+    } else {
+      store.set("net." + slot.name, *slot.slot);  // ML for BatchNorm etc.
+    }
+  }
+
+  // --- manual model: sample every site, run the net, scale the likelihood.
+  auto model = [&](const Tensor& x, const Tensor& y) {
+    for (auto& s : sites) {
+      *s.slot = tx::ppl::sample(s.name, s.prior);
+    }
+    Tensor logits = net->forward(x);
+    const double scale =
+        static_cast<double>(n_train) / static_cast<double>(x.dim(0));
+    tx::ppl::ScaleMessenger sm(scale);
+    tx::ppl::HandlerScope scope(sm);
+    tx::ppl::sample("data", std::make_shared<nd::Categorical>(logits), y);
+  };
+
+  // --- manual guide: per-site loc/scale parameters and Normal samples.
+  auto guide = [&] {
+    for (auto& s : sites) {
+      Tensor loc = store.get_or_create("loc." + s.name,
+                                       [&] { return s.slot->detach(); });
+      Tensor scale_u = store.get_or_create("scale_u." + s.name, [&] {
+        return tx::full(s.prior->shape(),
+                        tx::infer::softplus_inverse(1e-2f));
+      });
+      tx::ppl::sample(s.name, std::make_shared<nd::Normal>(
+                                  loc, tx::softplus(scale_u)));
+    }
+  };
+
+  // --- manual SVI loop over mini-batches.
+  tx::infer::TraceELBO elbo;
+  tx::infer::Adam optim(1e-3);
+  tx::data::DataLoader loader(train.images, train.labels, 64);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    double total = 0.0;
+    int batches = 0;
+    for (auto& [inputs, targets] : loader.batches(&gen)) {
+      for (auto& [name, p] : store.items()) p.zero_grad();
+      Tensor x = inputs[0];
+      Tensor y = targets;
+      Tensor loss = elbo.differentiable_loss([&] { model(x, y); }, guide);
+      loss.backward();
+      for (auto& [name, p] : store.items()) optim.add_param(p);
+      optim.step();
+      total += loss.item();
+      ++batches;
+    }
+    std::printf("epoch %d  -elbo %.1f\n", epoch, total / batches);
+  }
+
+  // --- manual prediction: trace the guide, replay the net, average probs.
+  tx::NoGradGuard ng;
+  std::vector<Tensor> prob_draws;
+  for (int s = 0; s < 8; ++s) {
+    tx::ppl::Trace tr = tx::ppl::trace_fn(guide);
+    tx::ppl::ReplayMessenger replay(tr);
+    tx::ppl::HandlerScope scope(replay);
+    for (auto& site : sites) {
+      *site.slot = tx::ppl::sample(site.name, site.prior);
+    }
+    prob_draws.push_back(tx::softmax(net->forward(train.images), -1).detach());
+  }
+  Tensor probs = tx::mean(tx::stack(prob_draws, 0), {0});
+  std::printf("train accuracy (raw PPL variational ResNet): %.3f\n",
+              tx::metrics::accuracy(probs, train.labels));
+  return 0;
+}

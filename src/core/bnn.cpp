@@ -1,0 +1,300 @@
+#include "core/bnn.h"
+
+#include <algorithm>
+
+#include "dist/kl.h"
+
+namespace tyxe {
+
+namespace {
+
+/// Owner module path of a parameter slot ("" for root-owned parameters).
+std::string module_path_of(const tx::nn::ParamSlot& slot) {
+  const std::string& full = slot.name;
+  if (full.size() > slot.local_name.size()) {
+    return full.substr(0, full.size() - slot.local_name.size() - 1);
+  }
+  return "";
+}
+
+}  // namespace
+
+BNNBase::BNNBase(tx::nn::ModulePtr net, PriorPtr prior, std::string name)
+    : net_(std::move(net)), prior_(std::move(prior)), name_(std::move(name)) {
+  TX_CHECK(net_ != nullptr && prior_ != nullptr, "BNNBase: null net or prior");
+  for (const auto& slot : net_->named_parameter_slots()) {
+    const std::string site_name = name_ + "." + slot.name;
+    const std::string mod_path = module_path_of(slot);
+    const std::string mod_type = slot.owner->type_name();
+    if (prior_->filter().hidden(site_name, mod_path, mod_type,
+                                slot.local_name)) {
+      // Deterministic parameter: keep the leaf and let the optimizer see it.
+      store_.set(site_name, *slot.slot);
+      continue;
+    }
+    BayesSite site;
+    site.name = site_name;
+    site.slot = slot;
+    site.initial_value = slot.slot->detach();
+    site.prior = prior_->prior_dist(site_name, slot.slot->shape(),
+                                    site.initial_value);
+    TX_CHECK(site.prior->shape() == slot.slot->shape(),
+             "prior shape mismatch at site ", site_name);
+    sites_.push_back(std::move(site));
+  }
+}
+
+std::vector<std::string> BNNBase::site_names() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) out.push_back(s.name);
+  return out;
+}
+
+void BNNBase::sample_sites_program() {
+  for (auto& site : sites_) {
+    *site.slot.slot = tx::ppl::sample(site.name, site.prior);
+  }
+}
+
+Tensor BNNBase::sampled_forward(const std::vector<Tensor>& inputs) {
+  sample_sites_program();
+  return net_->forward(inputs);
+}
+
+void BNNBase::update_prior(const PriorPtr& new_prior) {
+  TX_CHECK(new_prior != nullptr, "update_prior: null prior");
+  for (auto& site : sites_) {
+    site.prior = new_prior->prior_dist(site.name, site.slot.slot->shape(),
+                                       site.initial_value);
+    TX_CHECK(site.prior->shape() == site.slot.slot->shape(),
+             "update_prior: shape mismatch at site ", site.name);
+  }
+  prior_ = new_prior;
+}
+
+GuidedBNN::GuidedBNN(tx::nn::ModulePtr net, PriorPtr prior,
+                     guides::GuideFactory guide_factory, std::string name)
+    : BNNBase(std::move(net), std::move(prior), std::move(name)) {
+  TX_CHECK(guide_factory != nullptr, "GuidedBNN: null guide factory");
+  guide_ = guide_factory([this] { sample_sites_program(); }, &store_);
+  TX_CHECK(guide_ != nullptr, "GuidedBNN: guide factory returned null");
+}
+
+Tensor GuidedBNN::guided_forward(const std::vector<Tensor>& inputs) {
+  tx::ppl::Trace guide_trace = tx::ppl::trace_fn([this] { (*guide_)(); });
+  tx::ppl::ReplayMessenger replay(guide_trace);
+  tx::ppl::HandlerScope scope(replay);
+  return sampled_forward(inputs);
+}
+
+PytorchBNN::PytorchBNN(tx::nn::ModulePtr net, PriorPtr prior,
+                       guides::GuideFactory guide_factory, std::string name)
+    : GuidedBNN(std::move(net), std::move(prior), std::move(guide_factory),
+                std::move(name)) {}
+
+Tensor PytorchBNN::forward(const std::vector<Tensor>& inputs) {
+  tx::ppl::Trace guide_trace = tx::ppl::trace_fn([this] { (*guide_)(); });
+  // KL(q || p): analytic per site where possible, else the single-sample
+  // difference of log-densities at the guide draw.
+  Tensor kl = Tensor::scalar(0.0f);
+  for (const auto& qsite : guide_trace.sites()) {
+    const BayesSite* model_site = nullptr;
+    for (const auto& s : sites_) {
+      if (s.name == qsite.name) {
+        model_site = &s;
+        break;
+      }
+    }
+    if (model_site == nullptr) {
+      // Guide-only auxiliary site (low-rank joint): -log q contribution.
+      kl = tx::add(kl, qsite.log_prob_sum());
+      continue;
+    }
+    if (tx::dist::has_analytic_kl(*qsite.distribution, *model_site->prior)) {
+      kl = tx::add(kl, tx::dist::kl_divergence(*qsite.distribution,
+                                               *model_site->prior));
+    } else {
+      kl = tx::add(kl, tx::sub(qsite.log_prob_sum(),
+                               model_site->prior->log_prob_sum(qsite.value)));
+    }
+  }
+  cached_kl_ = kl;
+  tx::ppl::ReplayMessenger replay(guide_trace);
+  tx::ppl::HandlerScope scope(replay);
+  return sampled_forward(inputs);
+}
+
+Tensor PytorchBNN::cached_kl_loss() const {
+  TX_CHECK(cached_kl_.defined(),
+           "cached_kl_loss: call forward() at least once first");
+  return cached_kl_;
+}
+
+std::vector<Tensor> PytorchBNN::pytorch_parameters(
+    const std::vector<Tensor>& dummy_inputs) {
+  forward(dummy_inputs);  // trigger lazy parameter creation
+  std::vector<Tensor> params;
+  for (auto& [name, p] : store_.items()) params.push_back(p);
+  return params;
+}
+
+SupervisedBNN::SupervisedBNN(tx::nn::ModulePtr net, PriorPtr prior,
+                             LikelihoodPtr likelihood,
+                             guides::GuideFactory guide_factory,
+                             std::string name)
+    : GuidedBNN(std::move(net), std::move(prior), std::move(guide_factory),
+                std::move(name)),
+      likelihood_(std::move(likelihood)) {
+  TX_CHECK(likelihood_ != nullptr, "SupervisedBNN: null likelihood");
+}
+
+void SupervisedBNN::model(const std::vector<Tensor>& inputs,
+                          const Tensor& targets) {
+  Tensor predictions = sampled_forward(inputs);
+  likelihood_->data_program(predictions, targets);
+}
+
+std::pair<double, double> SupervisedBNN::evaluate(
+    const std::vector<Tensor>& inputs, const Tensor& targets,
+    int num_predictions) {
+  tx::NoGradGuard ng;
+  Tensor stacked = predict(inputs, num_predictions, /*aggregate=*/false);
+  const double ll = likelihood_->log_predictive(stacked, targets).item();
+  Tensor aggregated = likelihood_->aggregate_predictions(stacked);
+  const double err = likelihood_->error(aggregated, targets).item();
+  return {ll, err};
+}
+
+VariationalBNN::VariationalBNN(tx::nn::ModulePtr net, PriorPtr prior,
+                               LikelihoodPtr likelihood,
+                               guides::GuideFactory guide_factory,
+                               guides::GuideFactory likelihood_guide_factory,
+                               std::string name)
+    : SupervisedBNN(std::move(net), std::move(prior), std::move(likelihood),
+                    std::move(guide_factory), std::move(name)),
+      elbo_(std::make_shared<tx::infer::TraceELBO>(1)) {
+  if (likelihood_guide_factory) {
+    // The likelihood-only model: run the latent sites of the likelihood by
+    // conditioning the data program on a dummy 1-element batch.
+    auto* lik = likelihood_.get();
+    likelihood_guide_ = likelihood_guide_factory(
+        [lik] {
+          Tensor dummy = tx::zeros({1});
+          tx::ppl::BlockMessenger hide_data =
+              tx::ppl::BlockMessenger::hiding({lik->site_name()});
+          tx::ppl::HandlerScope scope(hide_data);
+          lik->data_program(dummy, dummy);
+        },
+        &store_);
+  }
+}
+
+void VariationalBNN::guide_program() {
+  (*guide_)();
+  if (likelihood_guide_) (*likelihood_guide_)();
+}
+
+double VariationalBNN::fit(const std::function<std::vector<Batch>()>& data,
+                           std::shared_ptr<tx::infer::Optimizer> optimizer,
+                           int epochs, const FitCallback& callback) {
+  TX_CHECK(optimizer != nullptr, "fit: null optimizer");
+  double mean_elbo = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (const auto& [inputs, targets] : data()) {
+      for (auto& [pname, p] : store_.items()) p.zero_grad();
+      Tensor loss = elbo_->differentiable_loss(
+          [&] { model(inputs, targets); }, [this] { guide_program(); });
+      loss.backward();
+      for (auto& [pname, p] : store_.items()) optimizer->add_param(p);
+      optimizer->step();
+      epoch_loss += static_cast<double>(loss.item());
+      ++batches;
+    }
+    mean_elbo = -epoch_loss / static_cast<double>(std::max<std::int64_t>(batches, 1));
+    if (callback && callback(epoch, mean_elbo)) break;
+  }
+  return mean_elbo;
+}
+
+double VariationalBNN::fit(const std::vector<Batch>& data,
+                           std::shared_ptr<tx::infer::Optimizer> optimizer,
+                           int epochs, const FitCallback& callback) {
+  return fit([&data] { return data; }, std::move(optimizer), epochs, callback);
+}
+
+Tensor VariationalBNN::predict(const std::vector<Tensor>& inputs,
+                               int num_predictions, bool aggregate) {
+  TX_CHECK(num_predictions >= 1, "predict: num_predictions must be >= 1");
+  tx::NoGradGuard ng;
+  std::vector<Tensor> draws;
+  draws.reserve(static_cast<std::size_t>(num_predictions));
+  for (int i = 0; i < num_predictions; ++i) {
+    // The likelihood guide (if any) plays no role in the network forward.
+    draws.push_back(guided_forward(inputs).detach());
+  }
+  Tensor stacked = tx::stack(draws, 0);
+  return aggregate ? likelihood_->aggregate_predictions(stacked) : stacked;
+}
+
+MCMC_BNN::MCMC_BNN(tx::nn::ModulePtr net, PriorPtr prior,
+                   LikelihoodPtr likelihood, KernelFactory kernel_factory,
+                   std::string name)
+    : BNNBase(std::move(net), std::move(prior), std::move(name)),
+      likelihood_(std::move(likelihood)),
+      kernel_factory_(std::move(kernel_factory)) {
+  TX_CHECK(likelihood_ != nullptr && kernel_factory_ != nullptr,
+           "MCMC_BNN: null likelihood or kernel factory");
+}
+
+void MCMC_BNN::fit(const std::vector<Tensor>& inputs, const Tensor& targets,
+                   int num_samples, int warmup_steps, tx::Generator* gen) {
+  mcmc_ = std::make_unique<tx::infer::MCMC>(kernel_factory_(), num_samples,
+                                            warmup_steps);
+  mcmc_->run(
+      [this, inputs, targets] {
+        Tensor predictions = sampled_forward(inputs);
+        likelihood_->data_program(predictions, targets);
+      },
+      gen);
+}
+
+Tensor MCMC_BNN::predict(const std::vector<Tensor>& inputs,
+                         int num_predictions, bool aggregate) {
+  TX_CHECK(mcmc_ != nullptr, "MCMC_BNN::predict: call fit() first");
+  tx::NoGradGuard ng;
+  std::vector<Tensor> draws;
+  const std::size_t stored = mcmc_->num_samples();
+  // Spread the requested predictions across the stored chain.
+  for (int i = 0; i < num_predictions; ++i) {
+    const std::size_t idx =
+        (static_cast<std::size_t>(i) * stored) /
+        static_cast<std::size_t>(num_predictions);
+    auto values = mcmc_->sample_at(idx);
+    tx::ppl::ConditionMessenger cond(values);
+    tx::ppl::HandlerScope scope(cond);
+    draws.push_back(sampled_forward(inputs).detach());
+  }
+  Tensor stacked = tx::stack(draws, 0);
+  return aggregate ? likelihood_->aggregate_predictions(stacked) : stacked;
+}
+
+std::pair<double, double> MCMC_BNN::evaluate(const std::vector<Tensor>& inputs,
+                                             const Tensor& targets,
+                                             int num_predictions) {
+  tx::NoGradGuard ng;
+  Tensor stacked = predict(inputs, num_predictions, /*aggregate=*/false);
+  const double ll = likelihood_->log_predictive(stacked, targets).item();
+  Tensor aggregated = likelihood_->aggregate_predictions(stacked);
+  const double err = likelihood_->error(aggregated, targets).item();
+  return {ll, err};
+}
+
+const tx::infer::MCMC& MCMC_BNN::mcmc() const {
+  TX_CHECK(mcmc_ != nullptr, "MCMC_BNN::mcmc: call fit() first");
+  return *mcmc_;
+}
+
+}  // namespace tyxe

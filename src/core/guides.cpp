@@ -1,0 +1,115 @@
+#include "core/guides.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace tyxe::guides {
+
+using tx::Tensor;
+
+InitLocFn init_to_normal_fan(const std::string& method, tx::Generator* gen) {
+  return [method, gen](const tx::ppl::SiteRecord& site) {
+    const tx::Shape& shape = site.distribution->shape();
+    if (shape.size() <= 1) return tx::zeros(shape);  // bias-like sites
+    Tensor t = tx::zeros(shape);
+    tx::nn::init::normal_(t, 0.0f, tx::nn::init::init_std(method, shape), gen);
+    return t;
+  };
+}
+
+std::map<std::string, Tensor> pretrained_dict(tx::nn::Module& net,
+                                              const std::string& prefix) {
+  std::map<std::string, Tensor> out;
+  for (const auto& slot : net.named_parameter_slots()) {
+    out.emplace(prefix + "." + slot.name, slot.slot->detach());
+  }
+  return out;
+}
+
+GuideFactory auto_normal_factory(AutoNormalConfig config, std::string prefix) {
+  return [config, prefix](const tx::infer::Program& model,
+                          tx::ppl::ParamStore* store) -> GuidePtr {
+    return std::make_shared<AutoNormal>(model, config, prefix, store);
+  };
+}
+
+GuideFactory auto_delta_factory(InitLocFn init_loc, std::string prefix) {
+  return [init_loc, prefix](const tx::infer::Program& model,
+                            tx::ppl::ParamStore* store) -> GuidePtr {
+    return std::make_shared<AutoDelta>(model, init_loc, prefix, store);
+  };
+}
+
+GuideFactory auto_lowrank_factory(std::int64_t rank, float init_scale,
+                                  InitLocFn init_loc, std::string prefix) {
+  return [rank, init_scale, init_loc, prefix](
+             const tx::infer::Program& model,
+             tx::ppl::ParamStore* store) -> GuidePtr {
+    return std::make_shared<AutoLowRankMultivariateNormal>(
+        model, rank, init_scale, init_loc, prefix, store);
+  };
+}
+
+GuideFactory lognormal_scale_factory(float init_scale, std::string prefix) {
+  return [init_scale, prefix](const tx::infer::Program& model,
+                              tx::ppl::ParamStore* store) -> GuidePtr {
+    return std::make_shared<LogNormalScaleGuide>(model, init_scale, prefix,
+                                                 store);
+  };
+}
+
+LogNormalScaleGuide::LogNormalScaleGuide(tx::infer::Program model,
+                                         float init_scale, std::string prefix,
+                                         tx::ppl::ParamStore* store)
+    : model_(std::move(model)),
+      prefix_(std::move(prefix)),
+      store_(store ? store : &tx::ppl::param_store()),
+      init_scale_(init_scale) {}
+
+void LogNormalScaleGuide::operator()() {
+  if (!discovered_) {
+    tx::NoGradGuard ng;
+    tx::ppl::BlockMessenger block_all([](const tx::ppl::SampleMsg&) { return true; });
+    tx::ppl::HandlerScope scope(block_all);
+    tx::ppl::Trace tr = tx::ppl::trace_fn(model_);
+    for (const auto& site : tr.sites()) {
+      if (!site.is_observed) sites_.push_back(site);
+    }
+    discovered_ = true;
+  }
+  for (const auto& site : sites_) {
+    Tensor loc = store_->get_or_create(prefix_ + ".loc." + site.name, [&] {
+      // Initialize around log of the prior mean.
+      Tensor m = site.distribution->mean().detach();
+      Tensor out = tx::zeros(m.shape());
+      for (std::int64_t i = 0; i < m.numel(); ++i) {
+        out.at(i) = std::log(std::max(m.at(i), 1e-6f));
+      }
+      return out;
+    });
+    Tensor scale_u = store_->get_or_create(
+        prefix_ + ".scale_unconstrained." + site.name, [&] {
+          return tx::full(site.distribution->shape(),
+                          tx::infer::softplus_inverse(init_scale_));
+        });
+    tx::ppl::sample(site.name, std::make_shared<tx::dist::LogNormal>(
+                                   loc, tx::softplus(scale_u)));
+  }
+}
+
+std::map<std::string, tx::dist::DistPtr>
+LogNormalScaleGuide::get_detached_distributions(
+    const std::vector<std::string>& sites) {
+  std::map<std::string, tx::dist::DistPtr> out;
+  for (const auto& name : sites) {
+    Tensor loc = store_->get(prefix_ + ".loc." + name).detach();
+    Tensor scale =
+        tx::softplus(store_->get(prefix_ + ".scale_unconstrained." + name))
+            .detach();
+    out.emplace(name, std::make_shared<tx::dist::LogNormal>(loc, scale));
+  }
+  return out;
+}
+
+}  // namespace tyxe::guides

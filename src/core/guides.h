@@ -1,0 +1,68 @@
+// tyxe/guides.py: re-exports the AutoNormal guide family with BNN-flavoured
+// initializers (fan-based mean init like deterministic layers, pretrained
+// means) and a positive-support guide for latent likelihood scales.
+#pragma once
+
+#include "infer/autoguide.h"
+#include "nn/module.h"
+
+namespace tyxe::guides {
+
+using tx::infer::AutoDelta;
+using tx::infer::AutoLowRankMultivariateNormal;
+using tx::infer::AutoNormal;
+using tx::infer::AutoNormalConfig;
+using tx::infer::Guide;
+using tx::infer::GuideFactory;
+using tx::infer::GuidePtr;
+using tx::infer::InitLocFn;
+using tx::infer::init_to_median;
+using tx::infer::init_to_sample;
+using tx::infer::init_to_value;
+
+/// Initialize variational means like deterministic layers: zero-mean normals
+/// whose std follows the given fan scheme (radford | xavier | kaiming) of the
+/// parameter's shape. Biases (rank-1 sites) are initialized to zero.
+InitLocFn init_to_normal_fan(const std::string& method = "radford",
+                             tx::Generator* gen = nullptr);
+
+/// Map a module's current parameter values to BNN site names
+/// ("<prefix>.<param path>") for init_to_value — this is how "initialize the
+/// means to the pre-trained network" is expressed.
+std::map<std::string, tx::Tensor> pretrained_dict(
+    tx::nn::Module& net, const std::string& prefix = "net");
+
+/// Factory builders for the common guides, mirroring the paper's
+/// `guide_factory = tyxe.guides.AutoNormal` / `partial(...)` usage.
+GuideFactory auto_normal_factory(AutoNormalConfig config = {},
+                                 std::string prefix = "guide");
+GuideFactory auto_delta_factory(InitLocFn init_loc = nullptr,
+                                std::string prefix = "guide");
+GuideFactory auto_lowrank_factory(std::int64_t rank, float init_scale = 0.1f,
+                                  InitLocFn init_loc = nullptr,
+                                  std::string prefix = "guide");
+GuideFactory lognormal_scale_factory(float init_scale = 0.1f,
+                                     std::string prefix = "likelihood_guide");
+
+/// Guide over a positive scalar (a latent Gaussian likelihood scale):
+/// q(s) = LogNormal(loc, softplus(u)).
+class LogNormalScaleGuide : public Guide {
+ public:
+  LogNormalScaleGuide(tx::infer::Program model, float init_scale = 0.1f,
+                      std::string prefix = "likelihood_guide",
+                      tx::ppl::ParamStore* store = nullptr);
+
+  void operator()() override;
+  std::map<std::string, tx::dist::DistPtr> get_detached_distributions(
+      const std::vector<std::string>& sites) override;
+
+ private:
+  tx::infer::Program model_;
+  std::string prefix_;
+  tx::ppl::ParamStore* store_;
+  float init_scale_;
+  bool discovered_ = false;
+  std::vector<tx::ppl::SiteRecord> sites_;
+};
+
+}  // namespace tyxe::guides

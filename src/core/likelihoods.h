@@ -1,0 +1,152 @@
+// Observation models (tyxe/likelihoods.py). A Likelihood wraps a predictive
+// distribution family and knows three things:
+//  1. the probabilistic program for the data — data_program() emits the
+//     observation sample site under a ScaleMessenger of dataset_size /
+//     batch_size, which is what keeps the KL vs. log-likelihood balance
+//     correct under mini-batching;
+//  2. how to aggregate multiple posterior-sample predictions (mean class
+//     probabilities, mean/std for Gaussians);
+//  3. how to evaluate: mixture predictive log-likelihood and an error
+//     measure (classification error or squared error).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distributions.h"
+#include "ppl/ppl.h"
+
+namespace tyxe {
+
+using tx::Shape;
+using tx::Tensor;
+
+class Likelihood {
+ public:
+  /// `dataset_size` scales mini-batch log-likelihoods up to the full dataset;
+  /// `name` is the observation site ("likelihood.data" to match the paper's
+  /// selective_mask example).
+  explicit Likelihood(std::int64_t dataset_size,
+                      std::string name = "likelihood.data");
+  virtual ~Likelihood() = default;
+
+  std::int64_t dataset_size() const { return dataset_size_; }
+  /// VCL switches tasks by updating the dataset size.
+  void set_dataset_size(std::int64_t n);
+  const std::string& site_name() const { return name_; }
+
+  /// Distribution over observations given network predictions.
+  virtual tx::dist::DistPtr predictive_distribution(
+      const Tensor& predictions) const = 0;
+
+  /// Emits the observation site (scaled); returns the observed value. Called
+  /// inside the model program. Likelihoods with latent variables (e.g. an
+  /// unknown Gaussian scale) emit those sites too, outside the scale context.
+  virtual Tensor data_program(const Tensor& predictions, const Tensor& obs);
+
+  /// Number of observations in a batch (leading dim by default).
+  virtual std::int64_t batch_size(const Tensor& obs) const;
+
+  /// Combine S stacked sampled predictions (S x batch x ...) into a single
+  /// prediction tensor.
+  virtual Tensor aggregate_predictions(const Tensor& stacked) const = 0;
+
+  /// Mixture predictive log-likelihood: log (1/S) sum_s p(y | pred_s),
+  /// summed over the batch.
+  virtual Tensor log_predictive(const Tensor& stacked,
+                                const Tensor& targets) const;
+
+  /// Task-appropriate error, averaged over the batch (classification error
+  /// rate or mean squared error), computed from aggregated predictions.
+  virtual Tensor error(const Tensor& aggregated, const Tensor& targets) const = 0;
+
+ protected:
+  std::int64_t dataset_size_;
+  std::string name_;
+};
+
+using LikelihoodPtr = std::shared_ptr<Likelihood>;
+
+/// Binary observations from logits.
+class Bernoulli : public Likelihood {
+ public:
+  using Likelihood::Likelihood;
+  tx::dist::DistPtr predictive_distribution(const Tensor& logits) const override;
+  Tensor aggregate_predictions(const Tensor& stacked) const override;
+  Tensor log_predictive(const Tensor& stacked, const Tensor& targets) const override;
+  Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+};
+
+/// Multiclass observations from logits over the last axis.
+class Categorical : public Likelihood {
+ public:
+  using Likelihood::Likelihood;
+  tx::dist::DistPtr predictive_distribution(const Tensor& logits) const override;
+  /// Mean predicted probabilities across samples.
+  Tensor aggregate_predictions(const Tensor& stacked) const override;
+  Tensor log_predictive(const Tensor& stacked, const Tensor& targets) const override;
+  /// Classification error rate.
+  Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+};
+
+/// Gaussian with one shared observation scale. The scale is either fixed, or
+/// latent with a LogNormal prior (inferred alongside the weights when the
+/// BNN is given a likelihood guide).
+class HomoskedasticGaussian : public Likelihood {
+ public:
+  HomoskedasticGaussian(std::int64_t dataset_size, float scale,
+                        std::string name = "likelihood.data");
+  /// Latent-scale variant: scale ~ LogNormal(loc, scale_of_log).
+  HomoskedasticGaussian(std::int64_t dataset_size,
+                        tx::dist::DistPtr scale_prior,
+                        std::string name = "likelihood.data");
+
+  bool has_latent_scale() const { return scale_prior_ != nullptr; }
+  tx::dist::DistPtr scale_prior() const { return scale_prior_; }
+  const std::string& scale_site() const { return scale_site_; }
+
+  tx::dist::DistPtr predictive_distribution(const Tensor& mean) const override;
+  Tensor data_program(const Tensor& predictions, const Tensor& obs) override;
+  /// Mean prediction across samples.
+  Tensor aggregate_predictions(const Tensor& stacked) const override;
+  Tensor log_predictive(const Tensor& stacked, const Tensor& targets) const override;
+  /// Mean squared error.
+  Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+
+  /// Predictive std across samples plus observation noise (for plotting the
+  /// regression bands of Fig. 1).
+  Tensor predictive_std(const Tensor& stacked) const;
+
+ private:
+  float fixed_scale_ = 0.0f;
+  tx::dist::DistPtr scale_prior_;
+  std::string scale_site_;
+  Tensor last_scale_sample_;  // set by data_program when latent
+};
+
+/// Gaussian with predicted mean and scale: predictions hold [mean, raw_scale]
+/// along the last axis; scale = softplus(raw_scale).
+class HeteroskedasticGaussian : public Likelihood {
+ public:
+  using Likelihood::Likelihood;
+  tx::dist::DistPtr predictive_distribution(const Tensor& predictions) const override;
+  /// Precision-weighted mean across samples (the paper's aggregation).
+  Tensor aggregate_predictions(const Tensor& stacked) const override;
+  Tensor log_predictive(const Tensor& stacked, const Tensor& targets) const override;
+  Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+
+  /// Split predictions into (mean, scale).
+  static std::pair<Tensor, Tensor> split(const Tensor& predictions);
+};
+
+/// Counts with rate = softplus(prediction) — the "easy to add" example.
+class Poisson : public Likelihood {
+ public:
+  using Likelihood::Likelihood;
+  tx::dist::DistPtr predictive_distribution(const Tensor& predictions) const override;
+  Tensor aggregate_predictions(const Tensor& stacked) const override;
+  Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+};
+
+}  // namespace tyxe

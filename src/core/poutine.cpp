@@ -1,0 +1,142 @@
+#include "core/poutine.h"
+
+namespace tyxe::poutine {
+
+namespace nd = tx::dist;
+
+void ReparameterizationMessenger::postprocess_message(tx::ppl::SampleMsg& msg) {
+  if (msg.is_observed || !msg.value.defined()) return;
+  auto normal = std::dynamic_pointer_cast<nd::Normal>(msg.distribution);
+  if (!normal) return;
+  if (normal->loc().shape() != msg.value.shape() ||
+      normal->scale().shape() != msg.value.shape()) {
+    return;  // broadcasted parameters would complicate the output algebra
+  }
+  const tx::TensorImpl* key = msg.value.impl().get();
+  // First registration wins: under SVI the guide samples first (posterior),
+  // then the model replays the same tensor with the prior attached.
+  if (sites_.count(key)) return;
+  if (sites_.size() > 4096) prune_expired();
+  sites_.emplace(key, GaussianRef{msg.value.impl(), std::move(normal)});
+}
+
+std::shared_ptr<nd::Normal> ReparameterizationMessenger::lookup(
+    const Tensor& t) const {
+  if (!t.defined()) return nullptr;
+  auto it = sites_.find(t.impl().get());
+  if (it == sites_.end()) return nullptr;
+  // Guard against allocator address reuse after the original tensor died.
+  auto alive = it->second.value.lock();
+  if (!alive || alive.get() != t.impl().get()) return nullptr;
+  return it->second.distribution;
+}
+
+void ReparameterizationMessenger::prune_expired() {
+  for (auto it = sites_.begin(); it != sites_.end();) {
+    if (it->second.value.expired()) {
+      it = sites_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Tensor ReparameterizationMessenger::linear(const Tensor& x,
+                                           const Tensor& weight,
+                                           const Tensor& bias) {
+  auto w = lookup(weight);
+  if (!w) return Tensor();
+  auto b = lookup(bias);
+  return reparameterize_linear(x, *w, bias, b.get());
+}
+
+Tensor ReparameterizationMessenger::conv2d(const Tensor& x,
+                                           const Tensor& weight,
+                                           const Tensor& bias,
+                                           std::int64_t stride,
+                                           std::int64_t padding) {
+  auto w = lookup(weight);
+  if (!w) return Tensor();
+  auto b = lookup(bias);
+  return reparameterize_conv2d(x, *w, bias, b.get(), stride, padding);
+}
+
+// ---- local reparameterization -----------------------------------------------
+
+Tensor LocalReparameterizationMessenger::reparameterize_linear(
+    const Tensor& x, const nd::Normal& w, const Tensor& bias,
+    const nd::Normal* b) {
+  // Mean path: deterministic bias (if any) enters the mean only.
+  Tensor mean_bias = b ? b->loc() : bias;
+  Tensor out_loc = tx::linear(x, w.loc(), mean_bias);
+  Tensor out_var = tx::linear(tx::square(x), tx::square(w.scale()),
+                              b ? tx::square(b->scale()) : Tensor());
+  Tensor out_std = tx::sqrt(tx::add(out_var, Tensor::scalar(1e-10f)));
+  Tensor eps = tx::randn(out_loc.shape());
+  return tx::add(out_loc, tx::mul(out_std, eps));
+}
+
+Tensor LocalReparameterizationMessenger::reparameterize_conv2d(
+    const Tensor& x, const nd::Normal& w, const Tensor& bias,
+    const nd::Normal* b, std::int64_t stride, std::int64_t padding) {
+  Tensor mean_bias = b ? b->loc() : bias;
+  Tensor out_loc = tx::conv2d(x, w.loc(), mean_bias, stride, padding);
+  Tensor out_var = tx::conv2d(tx::square(x), tx::square(w.scale()),
+                              b ? tx::square(b->scale()) : Tensor(), stride,
+                              padding);
+  Tensor out_std = tx::sqrt(tx::add(out_var, Tensor::scalar(1e-10f)));
+  Tensor eps = tx::randn(out_loc.shape());
+  return tx::add(out_loc, tx::mul(out_std, eps));
+}
+
+// ---- flipout -----------------------------------------------------------------
+
+Tensor FlipoutMessenger::reparameterize_linear(const Tensor& x,
+                                               const nd::Normal& w,
+                                               const Tensor& bias,
+                                               const nd::Normal* b) {
+  Tensor mean_bias = b ? b->loc() : bias;
+  Tensor x2 = x.rank() == 2 ? x : tx::reshape(x, {-1, x.dim(-1)});
+  const std::int64_t rows = x2.dim(0);
+  Tensor out_mean = tx::linear(x2, w.loc(), mean_bias);
+  // Shared perturbation, per-example sign decorrelation.
+  Tensor delta = tx::mul(w.scale(), tx::randn(w.scale().shape()));
+  Tensor r_in = tx::rand_sign({rows, x2.dim(1)});
+  Tensor r_out = tx::rand_sign({rows, w.loc().dim(0)});
+  Tensor perturb = tx::mul(tx::linear(tx::mul(x2, r_in), delta, Tensor()), r_out);
+  Tensor out = tx::add(out_mean, perturb);
+  if (b) {
+    Tensor b_delta = tx::mul(b->scale(), tx::randn(b->scale().shape()));
+    out = tx::add(out, tx::mul(b_delta, r_out));
+  }
+  if (x.rank() != 2) {
+    tx::Shape shape(x.shape().begin(), x.shape().end() - 1);
+    shape.push_back(w.loc().dim(0));
+    out = tx::reshape(out, shape);
+  }
+  return out;
+}
+
+Tensor FlipoutMessenger::reparameterize_conv2d(const Tensor& x,
+                                               const nd::Normal& w,
+                                               const Tensor& bias,
+                                               const nd::Normal* b,
+                                               std::int64_t stride,
+                                               std::int64_t padding) {
+  Tensor mean_bias = b ? b->loc() : bias;
+  Tensor out_mean = tx::conv2d(x, w.loc(), mean_bias, stride, padding);
+  Tensor delta = tx::mul(w.scale(), tx::randn(w.scale().shape()));
+  const std::int64_t n = x.dim(0);
+  Tensor r_in = tx::rand_sign({n, x.dim(1), 1, 1});
+  Tensor r_out = tx::rand_sign({n, w.loc().dim(0), 1, 1});
+  Tensor perturb = tx::mul(
+      tx::conv2d(tx::mul(x, r_in), delta, Tensor(), stride, padding), r_out);
+  Tensor out = tx::add(out_mean, perturb);
+  if (b) {
+    Tensor b_delta = tx::mul(b->scale(), tx::randn(b->scale().shape()));
+    out = tx::add(out, tx::mul(tx::reshape(b_delta, {1, -1, 1, 1}), r_out));
+  }
+  return out;
+}
+
+}  // namespace tyxe::poutine

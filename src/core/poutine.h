@@ -1,0 +1,136 @@
+// BNN-specific effect handlers (tyxe/poutine): local reparameterization
+// (Kingma et al., 2015) and flipout (Wen et al., 2018) as program
+// transformations, plus the selective_mask handler from the GNN example.
+//
+// A ReparameterizationMessenger participates in BOTH effect systems:
+//  * as a ppl::Messenger it watches sample statements and records which
+//    tensors were drawn from factorized Gaussians (sample -> distribution
+//    map, keyed by tensor identity);
+//  * as an nn::functional::LinearOpInterceptor it rewrites linear/conv ops
+//    whose weights it recognizes, replacing weight-sample arithmetic with a
+//    draw from the induced output distribution.
+// Model code is untouched — switching the trick on is one RAII scope around
+// fit/predict, exactly the `with tyxe.poutine.local_reparameterization()`
+// usage in the paper's Listing 2.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "dist/normal.h"
+#include "nn/functional.h"
+#include "ppl/ppl.h"
+
+namespace tyxe::poutine {
+
+using tx::Tensor;
+
+class ReparameterizationMessenger : public tx::ppl::Messenger,
+                                    public tx::nn::functional::LinearOpInterceptor {
+ public:
+  /// ppl::Messenger hook: remember sample -> distribution for factorized
+  /// Gaussians. The first registration for a value wins, so guide posteriors
+  /// (sampled first under SVI) take precedence over the prior seen when the
+  /// model replays the same tensor.
+  void postprocess_message(tx::ppl::SampleMsg& msg) override;
+
+  /// LinearOpInterceptor hooks: defined result = reparameterized output,
+  /// undefined = decline (weight not recognized as factorized Gaussian).
+  Tensor linear(const Tensor& x, const Tensor& weight,
+                const Tensor& bias) override;
+  Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                std::int64_t stride, std::int64_t padding) override;
+
+  std::size_t tracked_sites() const { return sites_.size(); }
+
+ protected:
+  struct GaussianRef {
+    std::weak_ptr<tx::TensorImpl> value;  // expiry guard for pointer reuse
+    std::shared_ptr<tx::dist::Normal> distribution;
+  };
+
+  /// Distribution a tensor was sampled from, or null.
+  std::shared_ptr<tx::dist::Normal> lookup(const Tensor& t) const;
+
+  virtual Tensor reparameterize_linear(const Tensor& x,
+                                       const tx::dist::Normal& w,
+                                       const Tensor& bias,
+                                       const tx::dist::Normal* b) = 0;
+  virtual Tensor reparameterize_conv2d(const Tensor& x,
+                                       const tx::dist::Normal& w,
+                                       const Tensor& bias,
+                                       const tx::dist::Normal* b,
+                                       std::int64_t stride,
+                                       std::int64_t padding) = 0;
+
+ private:
+  void prune_expired();
+
+  std::unordered_map<const tx::TensorImpl*, GaussianRef> sites_;
+};
+
+/// Samples layer outputs from the Gaussian induced by a factorized-Gaussian
+/// weight posterior: out ~ N(x W_mu^T + b_mu, x^2 W_sigma^2^T + b_sigma^2).
+class LocalReparameterizationMessenger : public ReparameterizationMessenger {
+ protected:
+  Tensor reparameterize_linear(const Tensor& x, const tx::dist::Normal& w,
+                               const Tensor& bias,
+                               const tx::dist::Normal* b) override;
+  Tensor reparameterize_conv2d(const Tensor& x, const tx::dist::Normal& w,
+                               const Tensor& bias, const tx::dist::Normal* b,
+                               std::int64_t stride,
+                               std::int64_t padding) override;
+};
+
+/// Decorrelates per-example weight perturbations with rank-one sign flips:
+/// out = x W_mu^T + ((x ∘ r_in) ΔW^T) ∘ r_out with ΔW = sigma ∘ eps shared
+/// across the mini-batch. Valid for symmetric zero-centred perturbations.
+class FlipoutMessenger : public ReparameterizationMessenger {
+ protected:
+  Tensor reparameterize_linear(const Tensor& x, const tx::dist::Normal& w,
+                               const Tensor& bias,
+                               const tx::dist::Normal* b) override;
+  Tensor reparameterize_conv2d(const Tensor& x, const tx::dist::Normal& w,
+                               const Tensor& bias, const tx::dist::Normal* b,
+                               std::int64_t stride,
+                               std::int64_t padding) override;
+};
+
+/// RAII scope enabling a reparameterization messenger on both effect stacks.
+/// Usage:  { tyxe::poutine::LocalReparameterization lr;  bnn.fit(...); }
+template <typename MessengerT>
+class ReparameterizationScope {
+ public:
+  ReparameterizationScope() : ppl_scope_(messenger_) {
+    tx::nn::functional::push_interceptor(&messenger_);
+  }
+  ~ReparameterizationScope() {
+    tx::nn::functional::pop_interceptor(&messenger_);
+  }
+  ReparameterizationScope(const ReparameterizationScope&) = delete;
+  ReparameterizationScope& operator=(const ReparameterizationScope&) = delete;
+
+  MessengerT& messenger() { return messenger_; }
+
+ private:
+  MessengerT messenger_;
+  tx::ppl::HandlerScope ppl_scope_;
+};
+
+using LocalReparameterization =
+    ReparameterizationScope<LocalReparameterizationMessenger>;
+using Flipout = ReparameterizationScope<FlipoutMessenger>;
+
+/// selective_mask (paper Listing 4): applies an elementwise likelihood mask
+/// to the exposed sites only — semi-supervised losses in one line.
+class SelectiveMask {
+ public:
+  SelectiveMask(Tensor mask, std::vector<std::string> expose)
+      : messenger_(std::move(mask), std::move(expose)), scope_(messenger_) {}
+
+ private:
+  tx::ppl::MaskMessenger messenger_;
+  tx::ppl::HandlerScope scope_;
+};
+
+}  // namespace tyxe::poutine

@@ -1,0 +1,62 @@
+#include "core/priors.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+
+namespace tyxe {
+
+namespace {
+
+bool contains(const std::vector<std::string>& xs, const std::string& v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+}  // namespace
+
+bool HideExpose::hidden(const std::string& site_name,
+                        const std::string& module_path,
+                        const std::string& module_type,
+                        const std::string& param_name) const {
+  if (contains(hide, site_name) || contains(hide_modules, module_path) ||
+      contains(hide_module_types, module_type) ||
+      contains(hide_parameters, param_name)) {
+    return true;
+  }
+  const bool whitelist = !expose.empty() || !expose_modules.empty() ||
+                         !expose_module_types.empty() ||
+                         !expose_parameters.empty();
+  if (whitelist) {
+    return !(contains(expose, site_name) ||
+             contains(expose_modules, module_path) ||
+             contains(expose_module_types, module_type) ||
+             contains(expose_parameters, param_name));
+  }
+  return hide_all;
+}
+
+tx::dist::DistPtr IIDPrior::prior_dist(const std::string&, const Shape& shape,
+                                       const Tensor&) const {
+  return base_->expand(shape);
+}
+
+tx::dist::DistPtr LayerwiseNormalPrior::prior_dist(const std::string&,
+                                                   const Shape& shape,
+                                                   const Tensor&) const {
+  const float std = tx::nn::init::init_std(method_, shape);
+  return std::make_shared<tx::dist::Normal>(tx::zeros(shape),
+                                            tx::full(shape, std));
+}
+
+tx::dist::DistPtr DictPrior::prior_dist(const std::string& site_name,
+                                        const Shape& shape,
+                                        const Tensor&) const {
+  auto it = dists_.find(site_name);
+  TX_CHECK(it != dists_.end(), "DictPrior: no distribution for site '",
+           site_name, "'");
+  TX_CHECK(it->second->shape() == shape, "DictPrior: shape mismatch for '",
+           site_name, "'");
+  return it->second;
+}
+
+}  // namespace tyxe

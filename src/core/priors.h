@@ -1,0 +1,123 @@
+// Weight-space priors (tyxe/priors.py). A Prior decides, for each named
+// parameter of an arbitrary nn::Module, (a) whether it receives a Bayesian
+// treatment at all (hide/expose filtering by module type, module path,
+// parameter name, or full site name) and (b) which distribution replaces it.
+// Hidden parameters stay deterministic and are fit by maximum likelihood —
+// the mechanism behind `hide_module_types={BatchNorm2d}` in the paper's
+// ResNet example.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distributions.h"
+#include "nn/module.h"
+
+namespace tyxe {
+
+using tx::Shape;
+using tx::Tensor;
+
+/// Filtering spec. Semantics (mirroring TyXe's block-poutine logic):
+///  1. a parameter matched by any hide_* list is hidden;
+///  2. otherwise, if any expose_* list is non-empty, the parameter is hidden
+///     unless it matches one of them (whitelist mode);
+///  3. otherwise hide_all decides (default false: everything is Bayesian).
+struct HideExpose {
+  std::vector<std::string> hide_module_types;    // e.g. "BatchNorm2d"
+  std::vector<std::string> expose_module_types;
+  std::vector<std::string> hide_modules;         // module paths, e.g. "fc"
+  std::vector<std::string> expose_modules;
+  std::vector<std::string> hide_parameters;      // local names, e.g. "bias"
+  std::vector<std::string> expose_parameters;
+  std::vector<std::string> hide;                 // full site names
+  std::vector<std::string> expose;
+  bool hide_all = false;
+
+  /// module_path: dotted path of the owning module ("" for the root).
+  bool hidden(const std::string& site_name, const std::string& module_path,
+              const std::string& module_type,
+              const std::string& param_name) const;
+};
+
+class Prior {
+ public:
+  explicit Prior(HideExpose filter = {}) : filter_(std::move(filter)) {}
+  virtual ~Prior() = default;
+
+  const HideExpose& filter() const { return filter_; }
+
+  /// Distribution replacing the given parameter. `site_name` is the full
+  /// site path (e.g. "net.fc.weight"); `shape` the parameter's shape.
+  virtual tx::dist::DistPtr prior_dist(const std::string& site_name,
+                                       const Shape& shape,
+                                       const Tensor& current_value) const = 0;
+
+ private:
+  HideExpose filter_;
+};
+
+using PriorPtr = std::shared_ptr<Prior>;
+
+/// The same distribution, expanded i.i.d. over every parameter.
+class IIDPrior : public Prior {
+ public:
+  explicit IIDPrior(tx::dist::DistPtr base, HideExpose filter = {})
+      : Prior(std::move(filter)), base_(std::move(base)) {}
+
+  tx::dist::DistPtr prior_dist(const std::string& site_name, const Shape& shape,
+                               const Tensor& current_value) const override;
+
+ private:
+  tx::dist::DistPtr base_;
+};
+
+/// Per-layer zero-mean Gaussian whose std follows a fan-based scheme
+/// ("radford" | "xavier" | "kaiming"), Sec. 2.1.2 of the paper.
+class LayerwiseNormalPrior : public Prior {
+ public:
+  explicit LayerwiseNormalPrior(std::string method = "radford",
+                                HideExpose filter = {})
+      : Prior(std::move(filter)), method_(std::move(method)) {}
+
+  tx::dist::DistPtr prior_dist(const std::string& site_name, const Shape& shape,
+                               const Tensor& current_value) const override;
+
+ private:
+  std::string method_;
+};
+
+/// Site-name-keyed distributions — the prior VCL builds from a fitted guide.
+class DictPrior : public Prior {
+ public:
+  explicit DictPrior(std::map<std::string, tx::dist::DistPtr> dists,
+                     HideExpose filter = {})
+      : Prior(std::move(filter)), dists_(std::move(dists)) {}
+
+  tx::dist::DistPtr prior_dist(const std::string& site_name, const Shape& shape,
+                               const Tensor& current_value) const override;
+
+ private:
+  std::map<std::string, tx::dist::DistPtr> dists_;
+};
+
+/// Arbitrary function from (site, shape, value) to a distribution.
+class LambdaPrior : public Prior {
+ public:
+  using Fn = std::function<tx::dist::DistPtr(const std::string&, const Shape&,
+                                             const Tensor&)>;
+  explicit LambdaPrior(Fn fn, HideExpose filter = {})
+      : Prior(std::move(filter)), fn_(std::move(fn)) {}
+
+  tx::dist::DistPtr prior_dist(const std::string& site_name, const Shape& shape,
+                               const Tensor& current_value) const override {
+    return fn_(site_name, shape, current_value);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace tyxe

@@ -1,0 +1,11 @@
+// Umbrella header for the TyXe core library — the public API of this
+// reproduction. Include this to get BNN classes, priors, likelihoods, guides,
+// effect handlers and the VCL utilities.
+#pragma once
+
+#include "core/bnn.h"
+#include "core/guides.h"
+#include "core/likelihoods.h"
+#include "core/poutine.h"
+#include "core/priors.h"
+#include "core/vcl.h"

@@ -1,0 +1,15 @@
+#include "core/vcl.h"
+
+namespace tyxe::util {
+
+std::vector<std::string> pyro_sample_sites(const BNNBase& bnn) {
+  return bnn.site_names();
+}
+
+void update_prior_to_posterior(GuidedBNN& bnn) {
+  const std::vector<std::string> sites = pyro_sample_sites(bnn);
+  auto posteriors = bnn.net_guide().get_detached_distributions(sites);
+  bnn.update_prior(std::make_shared<DictPrior>(std::move(posteriors)));
+}
+
+}  // namespace tyxe::util

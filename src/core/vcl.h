@@ -1,0 +1,19 @@
+// Variational continual learning utilities (paper Sec. 5, Listing 6):
+// collect the BNN's sample sites, extract the guide's detached posteriors,
+// and install them as the new prior before fitting the next task.
+#pragma once
+
+#include "core/bnn.h"
+
+namespace tyxe::util {
+
+/// tyxe.util.pyro_sample_sites: names of all weight sample sites.
+std::vector<std::string> pyro_sample_sites(const BNNBase& bnn);
+
+/// The three-line VCL prior update from Listing 6 in one call:
+///   sites      = pyro_sample_sites(bnn)
+///   posteriors = bnn.net_guide.get_detached_distributions(sites)
+///   bnn.update_prior(DictPrior(posteriors))
+void update_prior_to_posterior(GuidedBNN& bnn);
+
+}  // namespace tyxe::util

@@ -1,0 +1,86 @@
+// Synthetic dataset generators replacing the paper's external data (CIFAR10,
+// SVHN, Cora, MNIST) per DESIGN.md's substitution table, plus a mini-batching
+// DataLoader.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx::data {
+
+/// The paper's 1-d regression setup (Foong et al., 2019): two input clusters
+/// x ~ U[-1,-0.7] and U[0.5,1], y ~ N(cos(4x + 0.8), 0.1²).
+struct RegressionData {
+  Tensor x;  // (N, 1)
+  Tensor y;  // (N, 1)
+};
+RegressionData make_foong_regression(std::int64_t n, Generator& gen,
+                                     float noise = 0.1f);
+
+/// Labelled image set in NCHW layout.
+struct ImageDataset {
+  Tensor images;  // (N, C, H, W)
+  Tensor labels;  // (N,) float-encoded classes
+  std::int64_t num_classes = 0;
+};
+
+struct SyntheticImageConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t per_class = 64;
+  std::int64_t channels = 3;
+  std::int64_t size = 16;      // H == W
+  float noise = 0.35f;         // i.i.d. pixel noise on top of the pattern
+  std::uint64_t pattern_seed = 1234;  // fixes class patterns across splits
+};
+
+/// CIFAR-analogue: each class has a fixed smooth pattern (sum of a few
+/// low-frequency sinusoidal gratings per channel); samples add noise and a
+/// small random brightness shift. Train/test splits share patterns by
+/// construction (same pattern_seed).
+ImageDataset make_pattern_images(const SyntheticImageConfig& config,
+                                 Generator& gen);
+
+/// SVHN-analogue OOD set: a *different* generative family (high-frequency
+/// checker/stripe textures with per-image random phases) over the same pixel
+/// space, so in-distribution classifiers should be uncertain on it.
+ImageDataset make_ood_images(std::int64_t count, std::int64_t channels,
+                             std::int64_t size, Generator& gen);
+
+/// Split-task stream for continual learning: task t sees only the classes
+/// {2t, 2t+1} of the base generator, relabelled to {0, 1}.
+struct SplitTask {
+  ImageDataset train;
+  ImageDataset test;
+  std::int64_t class_a = 0, class_b = 0;  // original class ids
+};
+/// With relabel=true task labels are {0, 1}; with relabel=false the original
+/// class ids {2t, 2t+1} are kept (the class-incremental protocol where a
+/// single shared softmax over all classes is trained).
+std::vector<SplitTask> make_split_tasks(const SyntheticImageConfig& config,
+                                        std::int64_t num_tasks,
+                                        std::int64_t train_per_class,
+                                        std::int64_t test_per_class,
+                                        Generator& gen, bool relabel = true);
+
+/// Mini-batch view over (inputs, targets): shuffles per epoch and yields
+/// batches shaped like tyxe::Batch.
+class DataLoader {
+ public:
+  DataLoader(Tensor inputs, Tensor targets, std::int64_t batch_size,
+             bool shuffle = true);
+
+  std::int64_t size() const { return n_; }
+  std::int64_t num_batches() const;
+
+  /// Fresh (shuffled) batch list for one epoch.
+  std::vector<std::pair<std::vector<Tensor>, Tensor>> batches(
+      Generator* gen = nullptr) const;
+
+ private:
+  Tensor inputs_, targets_;
+  std::int64_t n_, batch_size_;
+  bool shuffle_;
+};
+
+}  // namespace tx::data

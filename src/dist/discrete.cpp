@@ -1,0 +1,94 @@
+#include "dist/discrete.h"
+
+#include <cmath>
+
+namespace tx::dist {
+
+Bernoulli::Bernoulli(Tensor logits) : logits_(std::move(logits)) {
+  TX_CHECK(logits_.defined(), "Bernoulli: undefined logits");
+}
+
+Bernoulli Bernoulli::from_probs(const Tensor& probs) {
+  NoGradGuard ng;
+  Tensor clamped = clamp(probs, 1e-6f, 1.0f - 1e-6f);
+  return Bernoulli(log(div(clamped, sub(Tensor::scalar(1.0f), clamped))));
+}
+
+Tensor Bernoulli::sample(Generator* gen) const {
+  Generator& g = gen ? *gen : global_generator();
+  Tensor p;
+  {
+    NoGradGuard ng;
+    p = sigmoid(logits_);
+  }
+  Tensor out = zeros(p.shape());
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    out.at(i) = g.bernoulli(p.at(i)) ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor Bernoulli::log_prob(const Tensor& value) const {
+  // log p = y*l - softplus(l) for y in {0,1} with logit l.
+  TX_CHECK(broadcastable(value.shape(), logits_.shape()),
+           "Bernoulli: value shape mismatch");
+  return sub(mul(value, logits_), softplus(logits_));
+}
+
+DistPtr Bernoulli::detach_params() const {
+  return std::make_shared<Bernoulli>(logits_.detach());
+}
+
+DistPtr Bernoulli::expand(const Shape& target) const {
+  return std::make_shared<Bernoulli>(broadcast_to(logits_, target));
+}
+
+Categorical::Categorical(Tensor logits) : logits_(std::move(logits)) {
+  TX_CHECK(logits_.defined() && logits_.rank() >= 1,
+           "Categorical: logits must have rank >= 1");
+  batch_shape_.assign(logits_.shape().begin(), logits_.shape().end() - 1);
+}
+
+Tensor Categorical::sample(Generator* gen) const {
+  Generator& g = gen ? *gen : global_generator();
+  Tensor p;
+  {
+    NoGradGuard ng;
+    p = softmax(logits_, -1);
+  }
+  const std::int64_t classes = num_classes();
+  const std::int64_t rows = numel_of(batch_shape_);
+  Tensor out = zeros(batch_shape_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const double u = g.uniform();
+    double acc = 0.0;
+    std::int64_t pick = classes - 1;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      acc += p.at(r * classes + c);
+      if (u < acc) {
+        pick = c;
+        break;
+      }
+    }
+    out.at(r) = static_cast<float>(pick);
+  }
+  return out;
+}
+
+Tensor Categorical::log_prob(const Tensor& value) const {
+  TX_CHECK(value.shape() == batch_shape_, "Categorical: value shape [",
+           join(value.shape()), "] != batch shape [", join(batch_shape_), "]");
+  return gather_last(log_softmax(logits_, -1), value);
+}
+
+DistPtr Categorical::detach_params() const {
+  return std::make_shared<Categorical>(logits_.detach());
+}
+
+DistPtr Categorical::expand(const Shape& target) const {
+  Shape full = target;
+  full.push_back(num_classes());
+  return std::make_shared<Categorical>(broadcast_to(logits_, full));
+}
+
+}  // namespace tx::dist

@@ -1,0 +1,53 @@
+// Discrete observation distributions: Bernoulli and Categorical, both
+// logit-parameterized (the stable form likelihoods use).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+/// Elementwise Bernoulli with logits. Samples are 0/1 floats of the logits'
+/// shape; log_prob uses the numerically stable BCE-with-logits form.
+class Bernoulli : public Distribution {
+ public:
+  explicit Bernoulli(Tensor logits);
+  static Bernoulli from_probs(const Tensor& probs);
+
+  const Shape& shape() const override { return logits_.shape(); }
+  std::string name() const override { return "Bernoulli"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor mean() const override { return sigmoid(logits_); }
+  Tensor probs() const { return sigmoid(logits_); }
+  const Tensor& logits() const { return logits_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+ private:
+  Tensor logits_;
+};
+
+/// Categorical over the last axis of `logits`; a draw has the leading
+/// (batch) shape and holds float-encoded class indices.
+class Categorical : public Distribution {
+ public:
+  explicit Categorical(Tensor logits);
+
+  const Shape& shape() const override { return batch_shape_; }
+  std::string name() const override { return "Categorical"; }
+  std::int64_t num_classes() const { return logits_.dim(-1); }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor log_prob(const Tensor& value) const override;
+  /// Full probability table (batch x classes).
+  Tensor probs() const { return softmax(logits_, -1); }
+  Tensor log_probs() const { return log_softmax(logits_, -1); }
+  const Tensor& logits() const { return logits_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+ private:
+  Tensor logits_;
+  Shape batch_shape_;
+};
+
+}  // namespace tx::dist

@@ -1,0 +1,23 @@
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+Tensor Distribution::rsample(Generator*) const {
+  TX_THROW(name(), " has no reparameterized sampler");
+}
+
+Tensor Distribution::log_prob_sum(const Tensor& value) const {
+  Tensor lp = log_prob(value);
+  if (lp.numel() == 1 && lp.rank() == 0) return lp;
+  return sum(lp);
+}
+
+Tensor Distribution::entropy() const {
+  TX_THROW(name(), " does not implement entropy()");
+}
+
+Tensor Distribution::mean() const {
+  TX_THROW(name(), " does not implement mean()");
+}
+
+}  // namespace tx::dist

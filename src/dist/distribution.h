@@ -1,0 +1,57 @@
+// Distribution interface, the analogue of pyro.distributions. A Distribution
+// describes a random tensor of a fixed shape; log_prob is elementwise over
+// that shape unless the distribution is inherently joint (LowRankNormal), in
+// which case log_prob returns a scalar. log_prob_sum is always a scalar and
+// is what inference code uses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace tx::dist {
+
+class Distribution;
+using DistPtr = std::shared_ptr<Distribution>;
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Shape of a single draw.
+  virtual const Shape& shape() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Non-reparameterized draw (no gradient graph).
+  virtual Tensor sample(Generator* gen = nullptr) const = 0;
+
+  /// Reparameterized draw carrying gradients to the parameters. Throws for
+  /// distributions without a pathwise derivative.
+  virtual Tensor rsample(Generator* gen = nullptr) const;
+
+  virtual bool has_rsample() const { return false; }
+
+  /// Log-density, elementwise over shape() (scalar for joint distributions).
+  virtual Tensor log_prob(const Tensor& value) const = 0;
+
+  /// Scalar sum of log_prob — the quantity inference accumulates.
+  Tensor log_prob_sum(const Tensor& value) const;
+
+  /// Differential entropy; throws if not implemented.
+  virtual Tensor entropy() const;
+
+  /// Distribution mean; throws if undefined/not implemented.
+  virtual Tensor mean() const;
+
+  /// Copy of this distribution whose parameters are detached from any
+  /// autograd graph. Used to turn posteriors into priors (continual learning).
+  virtual DistPtr detach_params() const = 0;
+
+  /// Same family with parameters broadcast to `target` (used by IIDPrior to
+  /// expand a scalar prototype over a parameter tensor).
+  virtual DistPtr expand(const Shape& target) const = 0;
+};
+
+}  // namespace tx::dist

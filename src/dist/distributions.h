@@ -1,0 +1,11 @@
+// Umbrella header for the distribution library.
+#pragma once
+
+#include "dist/discrete.h"
+#include "dist/distribution.h"
+#include "dist/kl.h"
+#include "dist/lowrank_normal.h"
+#include "dist/mixture.h"
+#include "dist/normal.h"
+#include "dist/poisson.h"
+#include "dist/uniform.h"

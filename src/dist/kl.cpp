@@ -1,0 +1,38 @@
+#include "dist/kl.h"
+
+#include "dist/normal.h"
+
+namespace tx::dist {
+
+namespace {
+
+/// KL(N(m1,s1) || N(m2,s2)) elementwise, then summed.
+Tensor kl_normal_normal(const Normal& p, const Normal& q) {
+  Tensor var_ratio = square(div(p.scale(), q.scale()));
+  Tensor t1 = square(div(sub(p.loc(), q.loc()), q.scale()));
+  Tensor kl = mul(Tensor::scalar(0.5f),
+                  sub(add(var_ratio, t1),
+                      add(log(var_ratio), Tensor::scalar(1.0f))));
+  return sum(kl);
+}
+
+}  // namespace
+
+bool has_analytic_kl(const Distribution& p, const Distribution& q) {
+  return dynamic_cast<const Normal*>(&p) != nullptr &&
+         dynamic_cast<const Normal*>(&q) != nullptr;
+}
+
+Tensor kl_divergence(const Distribution& p, const Distribution& q) {
+  const auto* pn = dynamic_cast<const Normal*>(&p);
+  const auto* qn = dynamic_cast<const Normal*>(&q);
+  if (pn && qn) return kl_normal_normal(*pn, *qn);
+  TX_THROW("no analytic KL registered for ", p.name(), " || ", q.name());
+}
+
+Tensor mc_kl(const Distribution& p, const Distribution& q, Generator* gen) {
+  Tensor x = p.has_rsample() ? p.rsample(gen) : p.sample(gen);
+  return sub(p.log_prob_sum(x), q.log_prob_sum(x));
+}
+
+}  // namespace tx::dist

@@ -1,0 +1,23 @@
+// Closed-form KL divergences. TraceMeanFieldELBO uses these to replace
+// sampled log-density differences with analytic KL terms (the computation
+// the paper's AutoNormal guide exists to enable).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+/// True if kl_divergence(p, q) has a registered closed form.
+bool has_analytic_kl(const Distribution& p, const Distribution& q);
+
+/// Scalar KL(p || q), summed over the distribution's shape. Throws if no
+/// closed form is registered for the pair; callers should fall back to a
+/// Monte Carlo estimate (see mc_kl).
+Tensor kl_divergence(const Distribution& p, const Distribution& q);
+
+/// Single-sample Monte Carlo KL estimate log p(x) - log q(x), x ~ p. Requires
+/// p to be reparameterizable if gradients are needed through it.
+Tensor mc_kl(const Distribution& p, const Distribution& q,
+             Generator* gen = nullptr);
+
+}  // namespace tx::dist

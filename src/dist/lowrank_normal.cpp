@@ -1,0 +1,78 @@
+#include "dist/lowrank_normal.h"
+
+#include <cmath>
+
+namespace tx::dist {
+
+namespace {
+constexpr float kLog2Pi = 1.8378770664093453f;
+}  // namespace
+
+LowRankNormal::LowRankNormal(Tensor loc, Tensor cov_factor, Tensor cov_diag)
+    : loc_(std::move(loc)),
+      cov_factor_(std::move(cov_factor)),
+      cov_diag_(std::move(cov_diag)) {
+  TX_CHECK(loc_.defined() && cov_factor_.defined() && cov_diag_.defined(),
+           "LowRankNormal: undefined params");
+  n_ = loc_.numel();
+  TX_CHECK(cov_factor_.rank() == 2 && cov_factor_.dim(0) == n_,
+           "LowRankNormal: cov_factor must be (numel(loc), rank), got [",
+           join(cov_factor_.shape()), "] for n=", n_);
+  TX_CHECK(cov_diag_.numel() == n_, "LowRankNormal: cov_diag numel mismatch");
+}
+
+Tensor LowRankNormal::sample(Generator* gen) const {
+  NoGradGuard ng;
+  return rsample(gen).detach();
+}
+
+Tensor LowRankNormal::rsample(Generator* gen) const {
+  const std::int64_t r = rank_of_factor();
+  Tensor z = randn({r, 1}, gen);
+  Tensor eps = randn(loc_.shape(), gen);
+  Tensor low_rank_part = reshape(matmul(cov_factor_, z), loc_.shape());
+  return add(add(loc_, low_rank_part), mul(abs(cov_diag_), eps));
+}
+
+Tensor LowRankNormal::capacitance() const {
+  const std::int64_t r = rank_of_factor();
+  Tensor d2 = reshape(square(cov_diag_), {n_, 1});
+  Tensor w_over_d = div(cov_factor_, d2);  // D^{-1} W, n x r
+  return add(eye(r), matmul(transpose(cov_factor_, 0, 1), w_over_d));
+}
+
+Tensor LowRankNormal::log_prob(const Tensor& value) const {
+  TX_CHECK(value.numel() == n_, "LowRankNormal: value numel mismatch");
+  Tensor diff = reshape(sub(value, loc_), {n_, 1});
+  Tensor d2 = reshape(square(cov_diag_), {n_, 1});
+  Tensor diff_over_d = div(diff, d2);  // D^{-1} (x - mu)
+  Tensor cap = capacitance();
+  // Mahalanobis term via Woodbury:
+  //   diffᵀ D⁻¹ diff − (Wᵀ D⁻¹ diff)ᵀ C⁻¹ (Wᵀ D⁻¹ diff)
+  Tensor u = matmul(transpose(cov_factor_, 0, 1), diff_over_d);  // r x 1
+  Tensor quad_direct = sum(mul(diff, diff_over_d));
+  Tensor quad_corr = sum(mul(u, matmul(inverse_spd(cap), u)));
+  Tensor quad = sub(quad_direct, quad_corr);
+  // log|Σ| = log|C| + Σ log d_i² (matrix determinant lemma).
+  Tensor logdet = add(logdet_spd(cap), sum(log(square(cov_diag_))));
+  Tensor n_term = Tensor::scalar(static_cast<float>(n_) * kLog2Pi);
+  return mul(Tensor::scalar(-0.5f), add(add(quad, logdet), n_term));
+}
+
+Tensor LowRankNormal::entropy() const {
+  Tensor cap = capacitance();
+  Tensor logdet = add(logdet_spd(cap), sum(log(square(cov_diag_))));
+  const float c = 0.5f * static_cast<float>(n_) * (kLog2Pi + 1.0f);
+  return add(mul(Tensor::scalar(0.5f), logdet), Tensor::scalar(c));
+}
+
+DistPtr LowRankNormal::detach_params() const {
+  return std::make_shared<LowRankNormal>(loc_.detach(), cov_factor_.detach(),
+                                         cov_diag_.detach());
+}
+
+DistPtr LowRankNormal::expand(const Shape&) const {
+  TX_THROW("LowRankNormal: expand() is not supported (joint distribution)");
+}
+
+}  // namespace tx::dist

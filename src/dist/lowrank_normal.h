@@ -1,0 +1,45 @@
+// Joint Gaussian with low-rank-plus-diagonal covariance, the posterior family
+// used for the "LL low rank" row of the paper's Table 1:
+//   x ~ N(loc, cov_factor cov_factorᵀ + diag(cov_diag²)).
+// Samples and log-densities treat the whole tensor as one event; log_prob is
+// a scalar computed via the Woodbury identity and matrix determinant lemma so
+// only a rank x rank system is ever factorized.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+class LowRankNormal : public Distribution {
+ public:
+  /// loc: any shape (flattened internally to n); cov_factor: (n, rank);
+  /// cov_diag: same shape as loc, strictly positive (interpreted as standard
+  /// deviations of the diagonal part).
+  LowRankNormal(Tensor loc, Tensor cov_factor, Tensor cov_diag);
+
+  const Shape& shape() const override { return loc_.shape(); }
+  std::string name() const override { return "LowRankNormal"; }
+  std::int64_t rank_of_factor() const { return cov_factor_.dim(1); }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor rsample(Generator* gen = nullptr) const override;
+  bool has_rsample() const override { return true; }
+  /// Scalar joint log-density.
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor entropy() const override;
+  Tensor mean() const override { return loc_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+  const Tensor& loc() const { return loc_; }
+  const Tensor& cov_factor() const { return cov_factor_; }
+  const Tensor& cov_diag() const { return cov_diag_; }
+
+ private:
+  /// I_r + Wᵀ D⁻¹ W where D = diag(cov_diag²).
+  Tensor capacitance() const;
+
+  Tensor loc_, cov_factor_, cov_diag_;
+  std::int64_t n_;
+};
+
+}  // namespace tx::dist

@@ -1,0 +1,48 @@
+#include "dist/mixture.h"
+
+#include <cmath>
+
+namespace tx::dist {
+
+ScaleMixtureNormal::ScaleMixtureNormal(Shape shape, float pi, float sigma1,
+                                       float sigma2)
+    : shape_(std::move(shape)), pi_(pi), sigma1_(sigma1), sigma2_(sigma2) {
+  TX_CHECK(pi_ > 0.0f && pi_ < 1.0f, "ScaleMixtureNormal: pi must be in (0,1)");
+  TX_CHECK(sigma1_ > 0.0f && sigma2_ > 0.0f,
+           "ScaleMixtureNormal: sigmas must be positive");
+}
+
+Tensor ScaleMixtureNormal::sample(Generator* gen) const {
+  Generator& g = gen ? *gen : global_generator();
+  Tensor out = zeros(shape_);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float sigma = g.bernoulli(pi_) ? sigma1_ : sigma2_;
+    out.at(i) = static_cast<float>(g.normal(0.0, sigma));
+  }
+  return out;
+}
+
+Tensor ScaleMixtureNormal::log_prob(const Tensor& value) const {
+  // log(pi N1 + (1-pi) N2) in a numerically safe composite form.
+  constexpr float kLogSqrt2Pi = 0.9189385332046727f;
+  auto component = [&](float sigma) {
+    Tensor z = div(value, Tensor::scalar(sigma));
+    return sub(mul(Tensor::scalar(-0.5f), square(z)),
+               Tensor::scalar(std::log(sigma) + kLogSqrt2Pi));
+  };
+  Tensor l1 = add(component(sigma1_), Tensor::scalar(std::log(pi_)));
+  Tensor l2 = add(component(sigma2_), Tensor::scalar(std::log(1.0f - pi_)));
+  // logsumexp over the two components, elementwise.
+  Tensor m = maximum(l1.detach(), l2.detach());
+  return add(log(add(exp(sub(l1, m)), exp(sub(l2, m)))), m);
+}
+
+DistPtr ScaleMixtureNormal::detach_params() const {
+  return std::make_shared<ScaleMixtureNormal>(shape_, pi_, sigma1_, sigma2_);
+}
+
+DistPtr ScaleMixtureNormal::expand(const Shape& target) const {
+  return std::make_shared<ScaleMixtureNormal>(target, pi_, sigma1_, sigma2_);
+}
+
+}  // namespace tx::dist

@@ -1,0 +1,32 @@
+// Two-component Gaussian scale mixture prior (the BLiTZ-style
+// "spike-and-slab" prior the paper's related-work section mentions):
+//   p(w) = pi * N(0, sigma1²) + (1 - pi) * N(0, sigma2²), elementwise.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+class ScaleMixtureNormal : public Distribution {
+ public:
+  /// `shape` is the event shape; the mixture is i.i.d. over it.
+  ScaleMixtureNormal(Shape shape, float pi, float sigma1, float sigma2);
+
+  const Shape& shape() const override { return shape_; }
+  std::string name() const override { return "ScaleMixtureNormal"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor mean() const override { return zeros(shape_); }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+  float mixing() const { return pi_; }
+  float sigma1() const { return sigma1_; }
+  float sigma2() const { return sigma2_; }
+
+ private:
+  Shape shape_;
+  float pi_, sigma1_, sigma2_;
+};
+
+}  // namespace tx::dist

@@ -1,0 +1,115 @@
+#include "dist/normal.h"
+
+#include <cmath>
+
+namespace tx::dist {
+
+namespace {
+constexpr float kLogSqrt2Pi = 0.9189385332046727f;  // log(sqrt(2*pi))
+}  // namespace
+
+Normal::Normal(Tensor loc, Tensor scale)
+    : loc_(std::move(loc)), scale_(std::move(scale)) {
+  TX_CHECK(loc_.defined() && scale_.defined(), "Normal: undefined params");
+  shape_ = broadcast_shapes(loc_.shape(), scale_.shape());
+}
+
+Normal::Normal(float loc, float scale)
+    : Normal(Tensor::scalar(loc), Tensor::scalar(scale)) {}
+
+Tensor Normal::sample(Generator* gen) const {
+  NoGradGuard ng;
+  return rsample(gen).detach();
+}
+
+Tensor Normal::rsample(Generator* gen) const {
+  Tensor eps = randn(shape_, gen);
+  return add(broadcast_to(loc_, shape_), mul(broadcast_to(scale_, shape_), eps));
+}
+
+Tensor Normal::log_prob(const Tensor& value) const {
+  Tensor z = div(sub(value, loc_), scale_);
+  return sub(sub(mul(Tensor::scalar(-0.5f), square(z)), log(scale_)),
+             Tensor::scalar(kLogSqrt2Pi));
+}
+
+Tensor Normal::entropy() const {
+  // 0.5 * log(2*pi*e) + log(scale)
+  constexpr float kHalfLog2PiE = 1.4189385332046727f;
+  return add(log(broadcast_to(scale_, shape_)), Tensor::scalar(kHalfLog2PiE));
+}
+
+DistPtr Normal::detach_params() const {
+  return std::make_shared<Normal>(loc_.detach(), scale_.detach());
+}
+
+DistPtr Normal::expand(const Shape& target) const {
+  return std::make_shared<Normal>(broadcast_to(loc_, target),
+                                  broadcast_to(scale_, target));
+}
+
+Delta::Delta(Tensor value) : value_(std::move(value)) {
+  TX_CHECK(value_.defined(), "Delta: undefined value");
+}
+
+Tensor Delta::sample(Generator*) const { return value_.detach(); }
+
+Tensor Delta::log_prob(const Tensor& value) const {
+  // 0 where equal, -inf elsewhere; non-differentiable by construction, which
+  // matches Pyro's Delta (used only where the value is the sample itself).
+  Tensor lp = zeros(value.shape());
+  for (std::int64_t i = 0; i < value.numel(); ++i) {
+    if (value.at(i) != value_.at(i)) {
+      lp.at(i) = -std::numeric_limits<float>::infinity();
+    }
+  }
+  return lp;
+}
+
+DistPtr Delta::detach_params() const {
+  return std::make_shared<Delta>(value_.detach());
+}
+
+DistPtr Delta::expand(const Shape& target) const {
+  return std::make_shared<Delta>(broadcast_to(value_, target));
+}
+
+LogNormal::LogNormal(Tensor loc, Tensor scale)
+    : loc_(std::move(loc)), scale_(std::move(scale)) {
+  TX_CHECK(loc_.defined() && scale_.defined(), "LogNormal: undefined params");
+  shape_ = broadcast_shapes(loc_.shape(), scale_.shape());
+}
+
+Tensor LogNormal::sample(Generator* gen) const {
+  NoGradGuard ng;
+  return rsample(gen).detach();
+}
+
+Tensor LogNormal::rsample(Generator* gen) const {
+  Tensor eps = randn(shape_, gen);
+  return exp(add(broadcast_to(loc_, shape_),
+                 mul(broadcast_to(scale_, shape_), eps)));
+}
+
+Tensor LogNormal::log_prob(const Tensor& value) const {
+  Tensor lv = log(value);
+  Tensor z = div(sub(lv, loc_), scale_);
+  return sub(sub(sub(mul(Tensor::scalar(-0.5f), square(z)), log(scale_)),
+                 Tensor::scalar(kLogSqrt2Pi)),
+             lv);
+}
+
+Tensor LogNormal::mean() const {
+  return exp(add(loc_, mul(Tensor::scalar(0.5f), square(scale_))));
+}
+
+DistPtr LogNormal::detach_params() const {
+  return std::make_shared<LogNormal>(loc_.detach(), scale_.detach());
+}
+
+DistPtr LogNormal::expand(const Shape& target) const {
+  return std::make_shared<LogNormal>(broadcast_to(loc_, target),
+                                     broadcast_to(scale_, target));
+}
+
+}  // namespace tx::dist

@@ -1,0 +1,84 @@
+// Gaussian distributions: factorized Normal, point-mass Delta, LogNormal.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+/// Fully factorized Normal over a tensor of shape broadcast(loc, scale).
+class Normal : public Distribution {
+ public:
+  Normal(Tensor loc, Tensor scale);
+  /// Scalar-parameter convenience.
+  Normal(float loc, float scale);
+
+  const Shape& shape() const override { return shape_; }
+  std::string name() const override { return "Normal"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor rsample(Generator* gen = nullptr) const override;
+  bool has_rsample() const override { return true; }
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor entropy() const override;
+  Tensor mean() const override { return loc_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+  const Tensor& loc() const { return loc_; }
+  const Tensor& scale() const { return scale_; }
+  Tensor stddev() const { return scale_; }
+  Tensor variance() const { return square(scale_); }
+
+ private:
+  Tensor loc_, scale_;
+  Shape shape_;
+};
+
+/// Point mass at `value`. log_prob is 0 at the point (Pyro convention), -inf
+/// elsewhere; rsample returns the value itself so gradients flow to it —
+/// exactly what AutoDelta/MAP need.
+class Delta : public Distribution {
+ public:
+  explicit Delta(Tensor value);
+
+  const Shape& shape() const override { return value_.shape(); }
+  std::string name() const override { return "Delta"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor rsample(Generator* gen = nullptr) const override { (void)gen; return value_; }
+  bool has_rsample() const override { return true; }
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor entropy() const override { return zeros(value_.shape()); }
+  Tensor mean() const override { return value_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+  const Tensor& value() const { return value_; }
+
+ private:
+  Tensor value_;
+};
+
+/// exp(Normal(loc, scale)); used as a positive-support guide, e.g. over an
+/// unknown likelihood variance.
+class LogNormal : public Distribution {
+ public:
+  LogNormal(Tensor loc, Tensor scale);
+
+  const Shape& shape() const override { return shape_; }
+  std::string name() const override { return "LogNormal"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor rsample(Generator* gen = nullptr) const override;
+  bool has_rsample() const override { return true; }
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor mean() const override;
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+  const Tensor& loc() const { return loc_; }
+  const Tensor& scale() const { return scale_; }
+
+ private:
+  Tensor loc_, scale_;
+  Shape shape_;
+};
+
+}  // namespace tx::dist

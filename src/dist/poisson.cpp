@@ -1,0 +1,41 @@
+#include "dist/poisson.h"
+
+#include <cmath>
+#include <random>
+
+namespace tx::dist {
+
+Poisson::Poisson(Tensor rate) : rate_(std::move(rate)) {
+  TX_CHECK(rate_.defined(), "Poisson: undefined rate");
+}
+
+Tensor Poisson::sample(Generator* gen) const {
+  Generator& g = gen ? *gen : global_generator();
+  Tensor out = zeros(rate_.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    std::poisson_distribution<long> d(static_cast<double>(rate_.at(i)));
+    out.at(i) = static_cast<float>(d(g.engine()));
+  }
+  return out;
+}
+
+Tensor Poisson::log_prob(const Tensor& value) const {
+  // k log(rate) - rate - lgamma(k + 1); the lgamma term is a constant in the
+  // rate, so it is computed outside the graph.
+  Tensor lgamma_term = zeros(value.shape());
+  for (std::int64_t i = 0; i < value.numel(); ++i) {
+    lgamma_term.at(i) =
+        static_cast<float>(std::lgamma(static_cast<double>(value.at(i)) + 1.0));
+  }
+  return sub(sub(mul(value, log(rate_)), rate_), lgamma_term);
+}
+
+DistPtr Poisson::detach_params() const {
+  return std::make_shared<Poisson>(rate_.detach());
+}
+
+DistPtr Poisson::expand(const Shape& target) const {
+  return std::make_shared<Poisson>(broadcast_to(rate_, target));
+}
+
+}  // namespace tx::dist

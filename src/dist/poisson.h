@@ -1,0 +1,27 @@
+// Poisson distribution with rate parameter (used by the Poisson likelihood,
+// the paper's example of how easily new likelihoods are added).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+class Poisson : public Distribution {
+ public:
+  explicit Poisson(Tensor rate);
+
+  const Shape& shape() const override { return rate_.shape(); }
+  std::string name() const override { return "Poisson"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  /// Differentiable w.r.t. rate; value is a constant count tensor.
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor mean() const override { return rate_; }
+  const Tensor& rate() const { return rate_; }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+ private:
+  Tensor rate_;
+};
+
+}  // namespace tx::dist

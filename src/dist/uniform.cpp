@@ -1,0 +1,61 @@
+#include "dist/uniform.h"
+
+#include <cmath>
+
+namespace tx::dist {
+
+Uniform::Uniform(Tensor lo, Tensor hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  TX_CHECK(lo_.defined() && hi_.defined(), "Uniform: undefined params");
+  shape_ = broadcast_shapes(lo_.shape(), hi_.shape());
+  for (std::int64_t i = 0; i < lo_.numel(); ++i) {
+    TX_CHECK(lo_.at(i) < hi_.at(std::min(i, hi_.numel() - 1)),
+             "Uniform: lo must be < hi");
+  }
+}
+
+Uniform::Uniform(float lo, float hi)
+    : Uniform(Tensor::scalar(lo), Tensor::scalar(hi)) {}
+
+Tensor Uniform::sample(Generator* gen) const {
+  NoGradGuard ng;
+  return rsample(gen).detach();
+}
+
+Tensor Uniform::rsample(Generator* gen) const {
+  Tensor u = rand_uniform(shape_, 0.0f, 1.0f, gen);
+  return add(broadcast_to(lo_, shape_),
+             mul(u, broadcast_to(sub(hi_, lo_), shape_)));
+}
+
+Tensor Uniform::log_prob(const Tensor& value) const {
+  Tensor base = neg(log(sub(hi_, lo_)));
+  Tensor lp = broadcast_to(base, broadcast_shapes(value.shape(), shape_));
+  // Outside the support the density is zero.
+  Tensor out = lp.detach();
+  Tensor lo_b = broadcast_to(lo_, out.shape()).detach();
+  Tensor hi_b = broadcast_to(hi_, out.shape()).detach();
+  bool any_outside = false;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float v = value.at(i % value.numel());
+    if (v < lo_b.at(i) || v >= hi_b.at(i)) any_outside = true;
+  }
+  if (!any_outside) return lp;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float v = value.at(i % value.numel());
+    if (v < lo_b.at(i) || v >= hi_b.at(i)) {
+      out.at(i) = -std::numeric_limits<float>::infinity();
+    }
+  }
+  return out;
+}
+
+DistPtr Uniform::detach_params() const {
+  return std::make_shared<Uniform>(lo_.detach(), hi_.detach());
+}
+
+DistPtr Uniform::expand(const Shape& target) const {
+  return std::make_shared<Uniform>(broadcast_to(lo_, target),
+                                   broadcast_to(hi_, target));
+}
+
+}  // namespace tx::dist

@@ -1,0 +1,32 @@
+// Continuous Uniform[lo, hi) distribution (used by dataset generators and as
+// a simple non-Gaussian prior option).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tx::dist {
+
+class Uniform : public Distribution {
+ public:
+  Uniform(Tensor lo, Tensor hi);
+  Uniform(float lo, float hi);
+
+  const Shape& shape() const override { return shape_; }
+  std::string name() const override { return "Uniform"; }
+  Tensor sample(Generator* gen = nullptr) const override;
+  Tensor rsample(Generator* gen = nullptr) const override;
+  bool has_rsample() const override { return true; }
+  Tensor log_prob(const Tensor& value) const override;
+  Tensor entropy() const override { return log(sub(hi_, lo_)); }
+  Tensor mean() const override {
+    return mul(Tensor::scalar(0.5f), add(lo_, hi_));
+  }
+  DistPtr detach_params() const override;
+  DistPtr expand(const Shape& target) const override;
+
+ private:
+  Tensor lo_, hi_;
+  Shape shape_;
+};
+
+}  // namespace tx::dist

@@ -1,0 +1,30 @@
+#include "graph/gcn.h"
+
+namespace tx::graph {
+
+GCNLayer::GCNLayer(const Graph* graph, std::int64_t in_features,
+                   std::int64_t out_features, Generator* gen)
+    : graph_(graph),
+      linear_(std::make_shared<nn::Linear>(in_features, out_features,
+                                           /*bias=*/true, gen)) {
+  TX_CHECK(graph_ != nullptr, "GCNLayer: null graph");
+  register_module("linear", linear_);
+}
+
+Tensor GCNLayer::forward_one(const Tensor& x) {
+  return spmm(*graph_, linear_->forward(x));
+}
+
+GCN::GCN(const Graph* graph, std::int64_t in_features, std::int64_t hidden,
+         std::int64_t num_classes, Generator* gen) {
+  layer1_ = std::make_shared<GCNLayer>(graph, in_features, hidden, gen);
+  layer2_ = std::make_shared<GCNLayer>(graph, hidden, num_classes, gen);
+  register_module("gcn_layer1", layer1_);
+  register_module("gcn_layer2", layer2_);
+}
+
+Tensor GCN::forward_one(const Tensor& x) {
+  return layer2_->forward(relu(layer1_->forward(x)));
+}
+
+}  // namespace tx::graph

@@ -1,0 +1,40 @@
+// Graph convolutional network modules (Kipf & Welling style, matching the
+// DGL tutorial architecture of the paper's Listing 4). GCNLayer uses a
+// Linear internally, so it is flipout-compatible and its parameters are
+// ordinary named slots — the whole point of the "no bespoke layers" design:
+// a GCN becomes Bayesian without any graph-specific support code.
+#pragma once
+
+#include "graph/graph.h"
+#include "nn/nn.h"
+
+namespace tx::graph {
+
+/// h = Â (X W^T + b): neighbourhood aggregation after a linear map.
+class GCNLayer : public nn::UnaryModule {
+ public:
+  GCNLayer(const Graph* graph, std::int64_t in_features,
+           std::int64_t out_features, Generator* gen = nullptr);
+
+  std::string type_name() const override { return "GCNLayer"; }
+  Tensor forward_one(const Tensor& x) override;
+
+ private:
+  const Graph* graph_;
+  std::shared_ptr<nn::Linear> linear_;
+};
+
+/// Two-layer GCN with ReLU, the standard semi-supervised node classifier.
+class GCN : public nn::UnaryModule {
+ public:
+  GCN(const Graph* graph, std::int64_t in_features, std::int64_t hidden,
+      std::int64_t num_classes, Generator* gen = nullptr);
+
+  std::string type_name() const override { return "GCN"; }
+  Tensor forward_one(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<GCNLayer> layer1_, layer2_;
+};
+
+}  // namespace tx::graph

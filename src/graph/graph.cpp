@@ -1,0 +1,196 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace tx::graph {
+
+Graph::Graph(std::int64_t num_nodes,
+             const std::vector<std::pair<std::int64_t, std::int64_t>>& edges)
+    : n_(num_nodes) {
+  TX_CHECK(num_nodes >= 1, "Graph: need at least one node");
+  // Deduplicated symmetric adjacency with self-loops.
+  std::vector<std::set<std::int64_t>> adj(static_cast<std::size_t>(n_));
+  for (const auto& [u, v] : edges) {
+    TX_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_, "Graph: edge out of range");
+    if (u == v) continue;
+    adj[static_cast<std::size_t>(u)].insert(v);
+    adj[static_cast<std::size_t>(v)].insert(u);
+    ++num_edges_;
+  }
+  for (std::int64_t i = 0; i < n_; ++i) {
+    adj[static_cast<std::size_t>(i)].insert(i);  // self-loop
+  }
+  std::vector<double> degree(static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < n_; ++i) {
+    degree[static_cast<std::size_t>(i)] =
+        static_cast<double>(adj[static_cast<std::size_t>(i)].size());
+  }
+  row_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    row_offsets_[static_cast<std::size_t>(i) + 1] =
+        row_offsets_[static_cast<std::size_t>(i)] +
+        static_cast<std::int64_t>(adj[static_cast<std::size_t>(i)].size());
+  }
+  col_indices_.reserve(static_cast<std::size_t>(row_offsets_.back()));
+  values_.reserve(static_cast<std::size_t>(row_offsets_.back()));
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t j : adj[static_cast<std::size_t>(i)]) {
+      col_indices_.push_back(j);
+      values_.push_back(static_cast<float>(
+          1.0 / std::sqrt(degree[static_cast<std::size_t>(i)] *
+                          degree[static_cast<std::size_t>(j)])));
+    }
+  }
+}
+
+double Graph::homophily(const Tensor& labels) const {
+  TX_CHECK(labels.numel() == n_, "homophily: label count mismatch");
+  std::int64_t same = 0, total = 0;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t k = row_offsets_[static_cast<std::size_t>(i)];
+         k < row_offsets_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int64_t j = col_indices_[static_cast<std::size_t>(k)];
+      if (j == i) continue;
+      ++total;
+      if (labels.at(i) == labels.at(j)) ++same;
+    }
+  }
+  return total > 0 ? static_cast<double>(same) / static_cast<double>(total)
+                   : 1.0;
+}
+
+Tensor spmm(const Graph& graph, const Tensor& x) {
+  TX_CHECK(x.rank() == 2 && x.dim(0) == graph.num_nodes(),
+           "spmm: x must be (num_nodes, F)");
+  const std::int64_t n = graph.num_nodes();
+  const std::int64_t f = x.dim(1);
+  const auto& rows = graph.row_offsets();
+  const auto& cols = graph.col_indices();
+  const auto& vals = graph.values();
+  std::vector<float> out(static_cast<std::size_t>(n * f), 0.0f);
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* dst = out.data() + i * f;
+    for (std::int64_t k = rows[static_cast<std::size_t>(i)];
+         k < rows[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int64_t j = cols[static_cast<std::size_t>(k)];
+      const float w = vals[static_cast<std::size_t>(k)];
+      const float* src = px + j * f;
+      for (std::int64_t c = 0; c < f; ++c) dst[c] += w * src[c];
+    }
+  }
+  const Graph* g = &graph;  // graphs outlive their uses in this library
+  return make_tensor_from_op(
+      "spmm", Shape{n, f}, std::move(out), {x},
+      [g, n, f](const Tensor& grad) {
+        // Â is symmetric, so dX = Â^T G = Â G.
+        return std::vector<Tensor>{spmm(*g, grad)};
+      });
+}
+
+Tensor CitationDataset::train_mask() const {
+  Tensor mask = zeros({graph.num_nodes()});
+  for (auto i : train_idx) mask.at(i) = 1.0f;
+  return mask;
+}
+
+Tensor CitationDataset::labels_at(const std::vector<std::int64_t>& idx) const {
+  Tensor out = zeros({static_cast<std::int64_t>(idx.size())});
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    out.at(static_cast<std::int64_t>(k)) = labels.at(idx[k]);
+  }
+  return out;
+}
+
+CitationDataset make_sbm_citation(const SbmConfig& cfg, Generator& gen) {
+  TX_CHECK(cfg.num_nodes >= cfg.num_classes, "SBM: too few nodes");
+  const std::int64_t n = cfg.num_nodes;
+  // Round-robin class assignment, then shuffled.
+  std::vector<std::int64_t> classes(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    classes[static_cast<std::size_t>(i)] = i % cfg.num_classes;
+  }
+  std::shuffle(classes.begin(), classes.end(), gen.engine());
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double p = classes[static_cast<std::size_t>(i)] ==
+                               classes[static_cast<std::size_t>(j)]
+                           ? cfg.p_intra
+                           : cfg.p_inter;
+      if (gen.bernoulli(p)) edges.emplace_back(i, j);
+    }
+  }
+
+  Tensor features;
+  if (cfg.sparse_features) {
+    // Bag-of-words features: overlapping per-class keyword sets.
+    std::vector<std::vector<std::int64_t>> keywords(
+        static_cast<std::size_t>(cfg.num_classes));
+    for (auto& kw : keywords) {
+      for (std::int64_t k = 0; k < cfg.keywords_per_class; ++k) {
+        kw.push_back(gen.randint(0, cfg.num_features - 1));
+      }
+    }
+    features = zeros({n, cfg.num_features});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(classes[static_cast<std::size_t>(i)]);
+      for (std::int64_t d = 0; d < cfg.num_features; ++d) {
+        if (gen.bernoulli(cfg.p_background)) {
+          features.at(i * cfg.num_features + d) = 1.0f;
+        }
+      }
+      for (std::int64_t kw : keywords[c]) {
+        if (gen.bernoulli(cfg.p_keyword)) {
+          features.at(i * cfg.num_features + kw) = 1.0f;
+        }
+      }
+    }
+  } else {
+    // Class-dependent feature means on random unit directions plus noise.
+    Tensor class_means = randn({cfg.num_classes, cfg.num_features}, &gen);
+    features = randn({n, cfg.num_features}, &gen);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t c = classes[static_cast<std::size_t>(i)];
+      for (std::int64_t d = 0; d < cfg.num_features; ++d) {
+        features.at(i * cfg.num_features + d) +=
+            cfg.feature_signal * class_means.at(c * cfg.num_features + d);
+      }
+    }
+  }
+
+  Tensor labels = zeros({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels.at(i) = static_cast<float>(classes[static_cast<std::size_t>(i)]);
+  }
+
+  // Semi-supervised split: train_per_class per class, then val, then test.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), gen.engine());
+  std::vector<std::int64_t> per_class(static_cast<std::size_t>(cfg.num_classes), 0);
+  std::vector<std::int64_t> train, rest;
+  for (auto i : order) {
+    const auto c = static_cast<std::size_t>(classes[static_cast<std::size_t>(i)]);
+    if (per_class[c] < cfg.train_per_class) {
+      train.push_back(i);
+      ++per_class[c];
+    } else {
+      rest.push_back(i);
+    }
+  }
+  TX_CHECK(static_cast<std::int64_t>(rest.size()) >= cfg.num_val + cfg.num_test,
+           "SBM: not enough nodes for the requested val/test split");
+  std::vector<std::int64_t> val(rest.begin(), rest.begin() + cfg.num_val);
+  std::vector<std::int64_t> test(rest.begin() + cfg.num_val,
+                                 rest.begin() + cfg.num_val + cfg.num_test);
+
+  return CitationDataset{Graph(n, edges), features, labels, std::move(train),
+                         std::move(val), std::move(test)};
+}
+
+}  // namespace tx::graph

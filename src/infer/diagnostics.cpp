@@ -1,0 +1,71 @@
+#include "infer/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace tx::infer {
+
+namespace {
+
+double mean_of(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double var_of(const std::vector<double>& x) {
+  const double m = mean_of(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+}  // namespace
+
+double effective_sample_size(const std::vector<double>& chain) {
+  const std::size_t n = chain.size();
+  TX_CHECK(n >= 4, "effective_sample_size: chain too short");
+  const double m = mean_of(chain);
+  const double var0 = var_of(chain);
+  if (var0 <= 0.0) return static_cast<double>(n);
+  // Autocovariances.
+  auto rho = [&](std::size_t lag) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      s += (chain[i] - m) * (chain[i + lag] - m);
+    }
+    return s / (static_cast<double>(n) * var0);
+  };
+  // Geyer initial positive sequence: tau = 1 + 2 * sum of consecutive
+  // autocorrelation pairs (rho_{2t-1} + rho_{2t}) while they stay positive.
+  double tau = 1.0;
+  for (std::size_t t = 1; 2 * t < n; ++t) {
+    const double pair = rho(2 * t - 1) + rho(2 * t);
+    if (pair <= 0.0) break;
+    tau += 2.0 * pair;
+  }
+  return static_cast<double>(n) / std::max(tau, 1e-12);
+}
+
+double split_r_hat(const std::vector<double>& chain) {
+  const std::size_t n = chain.size();
+  TX_CHECK(n >= 8, "split_r_hat: chain too short");
+  const std::size_t half = n / 2;
+  std::vector<double> a(chain.begin(), chain.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<double> b(chain.begin() + static_cast<std::ptrdiff_t>(half),
+                        chain.begin() + static_cast<std::ptrdiff_t>(2 * half));
+  const double ma = mean_of(a), mb = mean_of(b);
+  const double grand = 0.5 * (ma + mb);
+  const double between = static_cast<double>(half) *
+                         ((ma - grand) * (ma - grand) + (mb - grand) * (mb - grand));
+  const double within = 0.5 * (var_of(a) + var_of(b));
+  if (within <= 0.0) return 1.0;
+  const double var_plus =
+      (static_cast<double>(half - 1) / static_cast<double>(half)) * within +
+      between / static_cast<double>(half);
+  return std::sqrt(var_plus / within);
+}
+
+}  // namespace tx::infer

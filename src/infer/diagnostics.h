@@ -1,0 +1,16 @@
+// Chain diagnostics: effective sample size and split R-hat.
+#pragma once
+
+#include <vector>
+
+namespace tx::infer {
+
+/// Effective sample size of a scalar chain via the initial-positive-sequence
+/// autocorrelation estimator (Geyer, 1992).
+double effective_sample_size(const std::vector<double>& chain);
+
+/// Split-R̂ of a scalar chain (Gelman et al.): the chain is split in half and
+/// treated as two chains. Values near 1 indicate convergence.
+double split_r_hat(const std::vector<double>& chain);
+
+}  // namespace tx::infer

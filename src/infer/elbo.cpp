@@ -1,0 +1,65 @@
+#include "infer/elbo.h"
+
+#include "dist/kl.h"
+
+namespace tx::infer {
+
+std::pair<ppl::Trace, ppl::Trace> trace_model_guide(const Program& model,
+                                                    const Program& guide) {
+  ppl::Trace guide_trace = ppl::trace_fn(guide);
+  ppl::ReplayMessenger replay(guide_trace);
+  ppl::TraceMessenger model_tracer;
+  {
+    ppl::HandlerScope r(replay);
+    ppl::HandlerScope t(model_tracer);
+    model();
+  }
+  return {std::move(model_tracer.trace()), std::move(guide_trace)};
+}
+
+Tensor TraceELBO::differentiable_loss(const Program& model,
+                                      const Program& guide) {
+  Tensor elbo = Tensor::scalar(0.0f);
+  for (int p = 0; p < num_particles_; ++p) {
+    auto [model_trace, guide_trace] = trace_model_guide(model, guide);
+    elbo = add(elbo, sub(model_trace.log_prob_sum(),
+                         guide_trace.log_prob_sum()));
+  }
+  return neg(div(elbo, Tensor::scalar(static_cast<float>(num_particles_))));
+}
+
+Tensor TraceMeanFieldELBO::differentiable_loss(const Program& model,
+                                               const Program& guide) {
+  Tensor elbo = Tensor::scalar(0.0f);
+  for (int p = 0; p < num_particles_; ++p) {
+    auto [model_trace, guide_trace] = trace_model_guide(model, guide);
+    // Observed sites contribute their (scaled) log-likelihood.
+    elbo = add(elbo, model_trace.log_prob_sum(/*observed_only=*/true));
+    // Latent sites contribute -KL(q || p), analytic where possible.
+    for (const auto& qsite : guide_trace.sites()) {
+      if (qsite.is_observed) continue;
+      Tensor site_term;
+      if (model_trace.contains(qsite.name)) {
+        const auto& psite = model_trace.at(qsite.name);
+        if (dist::has_analytic_kl(*qsite.distribution, *psite.distribution)) {
+          site_term = neg(dist::kl_divergence(*qsite.distribution,
+                                              *psite.distribution));
+        } else {
+          site_term = sub(psite.distribution->log_prob_sum(psite.value),
+                          qsite.log_prob_sum());
+        }
+        if (psite.scale != 1.0) {
+          site_term =
+              mul(site_term, Tensor::scalar(static_cast<float>(psite.scale)));
+        }
+      } else {
+        // Guide-only auxiliary site: only its entropy-like -log q term.
+        site_term = neg(qsite.log_prob_sum());
+      }
+      elbo = add(elbo, site_term);
+    }
+  }
+  return neg(div(elbo, Tensor::scalar(static_cast<float>(num_particles_))));
+}
+
+}  // namespace tx::infer

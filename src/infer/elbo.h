@@ -1,0 +1,55 @@
+// Evidence lower bound estimators. TraceELBO is the generic single/multi
+// particle estimator (log p − log q on sampled traces); TraceMeanFieldELBO
+// replaces per-site KL terms with their closed forms when registered — the
+// variance reduction the paper's AutoNormal guide is designed to enable.
+#pragma once
+
+#include <functional>
+
+#include "ppl/ppl.h"
+
+namespace tx::infer {
+
+using Program = std::function<void()>;
+
+class ELBO {
+ public:
+  virtual ~ELBO() = default;
+  /// Differentiable loss = -ELBO estimate (gradients flow to guide params and
+  /// any deterministic params touched by the model).
+  virtual Tensor differentiable_loss(const Program& model,
+                                     const Program& guide) = 0;
+};
+
+class TraceELBO : public ELBO {
+ public:
+  explicit TraceELBO(int num_particles = 1) : num_particles_(num_particles) {
+    TX_CHECK(num_particles >= 1, "TraceELBO: num_particles must be >= 1");
+  }
+  Tensor differentiable_loss(const Program& model, const Program& guide) override;
+
+ private:
+  int num_particles_;
+};
+
+/// Requires guide latent sites to pair one-to-one with model latent sites by
+/// name. Sites with an analytic KL use it; others fall back to the sampled
+/// difference.
+class TraceMeanFieldELBO : public ELBO {
+ public:
+  explicit TraceMeanFieldELBO(int num_particles = 1)
+      : num_particles_(num_particles) {
+    TX_CHECK(num_particles >= 1, "TraceMeanFieldELBO: num_particles must be >= 1");
+  }
+  Tensor differentiable_loss(const Program& model, const Program& guide) override;
+
+ private:
+  int num_particles_;
+};
+
+/// Shared plumbing: run guide under a trace, then replay the model against it
+/// and trace that too.
+std::pair<ppl::Trace, ppl::Trace> trace_model_guide(const Program& model,
+                                                    const Program& guide);
+
+}  // namespace tx::infer

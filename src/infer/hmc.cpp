@@ -1,0 +1,220 @@
+#include "infer/hmc.h"
+
+#include <cmath>
+
+namespace tx::infer {
+
+Potential::Potential(Program model) : model_(std::move(model)) {
+  NoGradGuard ng;
+  ppl::Trace tr = ppl::trace_fn(model_);
+  for (const auto& site : tr.sites()) {
+    if (site.is_observed) continue;
+    layout_.emplace_back(site.name, site.value.shape());
+    priors_.push_back(site.distribution);
+    dim_ += site.value.numel();
+  }
+  TX_CHECK(dim_ > 0, "Potential: model has no latent sites");
+}
+
+std::vector<double> Potential::initial_position(Generator* gen) const {
+  NoGradGuard ng;
+  std::vector<double> q;
+  q.reserve(static_cast<std::size_t>(dim_));
+  for (std::size_t i = 0; i < layout_.size(); ++i) {
+    Tensor draw = priors_[i]->sample(gen);
+    for (std::int64_t j = 0; j < draw.numel(); ++j) {
+      q.push_back(static_cast<double>(draw.at(j)));
+    }
+  }
+  return q;
+}
+
+std::map<std::string, Tensor> Potential::unflatten(
+    const std::vector<double>& q) const {
+  TX_CHECK(static_cast<std::int64_t>(q.size()) == dim_,
+           "Potential: position size mismatch");
+  std::map<std::string, Tensor> out;
+  std::size_t offset = 0;
+  for (const auto& [name, shape] : layout_) {
+    const std::int64_t n = numel_of(shape);
+    std::vector<float> buf(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) {
+      buf[static_cast<std::size_t>(j)] = static_cast<float>(q[offset + static_cast<std::size_t>(j)]);
+    }
+    out.emplace(name, Tensor(shape, std::move(buf)));
+    offset += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+Tensor Potential::log_joint(const std::map<std::string, Tensor>& latents) const {
+  ppl::ConditionMessenger cond(latents);
+  ppl::TraceMessenger tracer;
+  {
+    ppl::HandlerScope c(cond);
+    ppl::HandlerScope t(tracer);
+    model_();
+  }
+  return tracer.trace().log_prob_sum();
+}
+
+double Potential::value(const std::vector<double>& q) const {
+  NoGradGuard ng;
+  return -static_cast<double>(log_joint(unflatten(q)).item());
+}
+
+double Potential::value_and_grad(const std::vector<double>& q,
+                                 std::vector<double>& grad) const {
+  std::map<std::string, Tensor> latents = unflatten(q);
+  for (auto& [name, t] : latents) t.set_requires_grad(true);
+  Tensor lj = log_joint(latents);
+  lj.backward();
+  grad.assign(q.size(), 0.0);
+  std::size_t offset = 0;
+  for (const auto& [name, shape] : layout_) {
+    const Tensor& t = latents.at(name);
+    const Tensor g = t.grad();
+    for (std::int64_t j = 0; j < t.numel(); ++j) {
+      grad[offset + static_cast<std::size_t>(j)] = -static_cast<double>(g.at(j));
+    }
+    offset += static_cast<std::size_t>(t.numel());
+  }
+  return -static_cast<double>(lj.item());
+}
+
+void MCMCKernel::setup(Program model, Generator* gen) {
+  potential_ = std::make_shared<Potential>(std::move(model));
+  gen_ = gen;
+}
+
+std::vector<double> MCMCKernel::initial_position() {
+  TX_CHECK(potential_ != nullptr, "kernel not set up");
+  return potential_->initial_position(gen_);
+}
+
+DualAveraging::DualAveraging(double initial_step, double target_accept)
+    : mu_(std::log(10.0 * initial_step)),
+      target_(target_accept),
+      step_(initial_step),
+      final_(initial_step) {}
+
+void DualAveraging::update(double accept_prob) {
+  constexpr double kGamma = 0.05, kT0 = 10.0, kKappa = 0.75;
+  ++t_;
+  const double t = static_cast<double>(t_);
+  h_bar_ = (1.0 - 1.0 / (t + kT0)) * h_bar_ +
+           (target_ - accept_prob) / (t + kT0);
+  const double log_eps = mu_ - std::sqrt(t) / kGamma * h_bar_;
+  const double eta = std::pow(t, -kKappa);
+  log_eps_bar_ = eta * log_eps + (1.0 - eta) * log_eps_bar_;
+  step_ = std::exp(log_eps);
+  final_ = std::exp(log_eps_bar_);
+}
+
+HMC::HMC(double step_size, int num_steps, bool adapt_step_size,
+         double target_accept, bool adapt_mass_matrix)
+    : step_size_(step_size),
+      num_steps_(num_steps),
+      adapt_(adapt_step_size),
+      averager_(step_size, target_accept),
+      adapt_mass_(adapt_mass_matrix) {
+  TX_CHECK(step_size > 0.0 && num_steps >= 1, "HMC: bad step_size/num_steps");
+}
+
+double HMC::kinetic(const std::vector<double>& p) const {
+  double k = 0.0;
+  if (inv_mass_.empty()) {
+    for (double v : p) k += v * v;
+  } else {
+    for (std::size_t i = 0; i < p.size(); ++i) k += inv_mass_[i] * p[i] * p[i];
+  }
+  return 0.5 * k;
+}
+
+std::vector<double> HMC::sample_momentum(std::size_t dim, Generator& g) const {
+  std::vector<double> p(dim);
+  if (inv_mass_.empty()) {
+    for (auto& v : p) v = g.normal();
+  } else {
+    // p ~ N(0, M) with M = diag(1 / inv_mass).
+    for (std::size_t i = 0; i < dim; ++i) {
+      p[i] = g.normal() / std::sqrt(inv_mass_[i]);
+    }
+  }
+  return p;
+}
+
+void HMC::accumulate_mass_sample(const std::vector<double>& q) {
+  if (welford_mean_.empty()) {
+    welford_mean_.assign(q.size(), 0.0);
+    welford_m2_.assign(q.size(), 0.0);
+  }
+  ++welford_count_;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const double delta = q[i] - welford_mean_[i];
+    welford_mean_[i] += delta / static_cast<double>(welford_count_);
+    welford_m2_[i] += delta * (q[i] - welford_mean_[i]);
+  }
+}
+
+void HMC::leapfrog(std::vector<double>& q, std::vector<double>& p,
+                   std::vector<double>& grad, double eps, int steps) const {
+  // grad holds dU/dq at the current q on entry and on exit.
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] -= 0.5 * eps * grad[i];
+    if (inv_mass_.empty()) {
+      for (std::size_t i = 0; i < q.size(); ++i) q[i] += eps * p[i];
+    } else {
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        q[i] += eps * inv_mass_[i] * p[i];
+      }
+    }
+    potential_->value_and_grad(q, grad);
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] -= 0.5 * eps * grad[i];
+  }
+}
+
+std::vector<double> HMC::step(const std::vector<double>& q0, bool warmup) {
+  Generator& g = gen_ ? *gen_ : global_generator();
+  if (!warmup && adapt_ && !frozen_) {
+    averager_.freeze();
+    step_size_ = averager_.final_step();
+    frozen_ = true;
+  }
+  const double eps = (warmup && adapt_) ? averager_.current() : step_size_;
+
+  std::vector<double> p = sample_momentum(q0.size(), g);
+  std::vector<double> q = q0;
+  std::vector<double> grad;
+  const double u0 = potential_->value_and_grad(q, grad);
+  const double h0 = u0 + kinetic(p);
+
+  leapfrog(q, p, grad, eps, num_steps_);
+  const double u1 = potential_->value(q);
+  const double h1 = u1 + kinetic(p);
+
+  double accept_prob = std::exp(std::min(0.0, h0 - h1));
+  if (!std::isfinite(h1)) accept_prob = 0.0;
+  accept_stat_ += accept_prob;
+  ++accept_count_;
+  if (warmup && adapt_) averager_.update(accept_prob);
+
+  std::vector<double> result = g.uniform() < accept_prob ? q : q0;
+
+  if (warmup && adapt_mass_) {
+    ++warmup_seen_;
+    accumulate_mass_sample(result);
+    // One Stan-style regularized update once enough warmup draws exist.
+    if (inv_mass_.empty() && welford_count_ >= 50) {
+      const auto n = static_cast<double>(welford_count_);
+      inv_mass_.resize(welford_m2_.size());
+      for (std::size_t i = 0; i < welford_m2_.size(); ++i) {
+        const double var = welford_m2_[i] / (n - 1.0);
+        inv_mass_[i] = (n / (n + 5.0)) * var + 1e-3 * (5.0 / (n + 5.0));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tx::infer

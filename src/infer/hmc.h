@@ -1,0 +1,124 @@
+// Hamiltonian Monte Carlo over the latent sites of a probabilistic program,
+// with dual-averaging step-size adaptation (Hoffman & Gelman, 2014). The
+// kernel works on a flattened coordinate vector; Potential maps it back to
+// named sites and scores the model via the same autograd used by SVI.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infer/elbo.h"
+
+namespace tx::infer {
+
+/// Negative log-joint of a model as a function of a flat latent vector.
+class Potential {
+ public:
+  explicit Potential(Program model);
+
+  std::int64_t dim() const { return dim_; }
+  const std::vector<std::pair<std::string, Shape>>& layout() const {
+    return layout_;
+  }
+
+  /// Prior draw, flattened (the chain's initial position).
+  std::vector<double> initial_position(Generator* gen = nullptr) const;
+
+  /// U(q) = -log p(q, observations).
+  double value(const std::vector<double>& q) const;
+  /// U(q) and dU/dq.
+  double value_and_grad(const std::vector<double>& q,
+                        std::vector<double>& grad) const;
+
+  /// Named site values for a position (for predictives / inspection).
+  std::map<std::string, Tensor> unflatten(const std::vector<double>& q) const;
+
+ private:
+  Tensor log_joint(const std::map<std::string, Tensor>& latents) const;
+
+  Program model_;
+  std::vector<std::pair<std::string, Shape>> layout_;
+  std::vector<dist::DistPtr> priors_;  // aligned with layout_, for init draws
+  std::int64_t dim_ = 0;
+};
+
+/// Base interface shared by HMC and NUTS.
+class MCMCKernel {
+ public:
+  virtual ~MCMCKernel() = default;
+  virtual void setup(Program model, Generator* gen);
+  virtual std::vector<double> initial_position();
+  /// Advance the chain one transition; `warmup` enables adaptation.
+  virtual std::vector<double> step(const std::vector<double>& q,
+                                   bool warmup) = 0;
+  const Potential& potential() const { return *potential_; }
+  double mean_accept_prob() const {
+    return accept_count_ > 0 ? accept_stat_ / accept_count_ : 0.0;
+  }
+
+ protected:
+  std::shared_ptr<Potential> potential_;
+  Generator* gen_ = nullptr;
+  double accept_stat_ = 0.0;
+  std::int64_t accept_count_ = 0;
+};
+
+/// Dual-averaging adaptation of the leapfrog step size.
+class DualAveraging {
+ public:
+  explicit DualAveraging(double initial_step, double target_accept = 0.8);
+  void update(double accept_prob);
+  /// Step size to use while still adapting.
+  double current() const { return step_; }
+  /// Smoothed step size to freeze after warmup.
+  double final_step() const { return final_; }
+  void freeze() { step_ = final_; }
+
+ private:
+  double mu_, target_;
+  double step_, final_;
+  double h_bar_ = 0.0, log_eps_bar_ = 0.0;
+  std::int64_t t_ = 0;
+};
+
+class HMC : public MCMCKernel {
+ public:
+  /// num_steps leapfrog steps of size step_size; step size adapts during
+  /// warmup when adapt_step_size is true (trajectory length is preserved by
+  /// keeping num_steps fixed). With adapt_mass_matrix the diagonal mass is
+  /// estimated from the first part of warmup (Stan-style regularized
+  /// variances), which reconditions poorly scaled posteriors.
+  HMC(double step_size, int num_steps, bool adapt_step_size = true,
+      double target_accept = 0.8, bool adapt_mass_matrix = false);
+
+  std::vector<double> step(const std::vector<double>& q, bool warmup) override;
+
+  /// Current diagonal inverse mass (empty until adapted; identity before).
+  const std::vector<double>& inverse_mass() const { return inv_mass_; }
+
+ protected:
+  /// One leapfrog integration; grad holds dU/dq at q on entry and exit.
+  void leapfrog(std::vector<double>& q, std::vector<double>& p,
+                std::vector<double>& grad, double eps, int steps) const;
+  double kinetic(const std::vector<double>& p) const;
+  /// Draw momenta matching the current mass matrix.
+  std::vector<double> sample_momentum(std::size_t dim, Generator& g) const;
+  /// Warmup-phase bookkeeping for the mass estimate.
+  void accumulate_mass_sample(const std::vector<double>& q);
+
+  double step_size_;
+  int num_steps_;
+  bool adapt_;
+  DualAveraging averager_;
+  bool frozen_ = false;
+
+  bool adapt_mass_;
+  std::vector<double> inv_mass_;        // empty = identity
+  std::vector<double> welford_mean_, welford_m2_;
+  std::int64_t welford_count_ = 0;
+  std::int64_t warmup_seen_ = 0;
+};
+
+}  // namespace tx::infer

@@ -1,0 +1,13 @@
+// Umbrella header for the inference library.
+#pragma once
+
+#include "infer/autoguide.h"
+#include "infer/diagnostics.h"
+#include "infer/elbo.h"
+#include "infer/hmc.h"
+#include "infer/mcmc.h"
+#include "infer/nuts.h"
+#include "infer/predictive.h"
+#include "infer/sgld.h"
+#include "infer/optim.h"
+#include "infer/svi.h"

@@ -1,0 +1,54 @@
+#include "infer/mcmc.h"
+
+namespace tx::infer {
+
+MCMC::MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples,
+           int warmup_steps)
+    : kernel_(std::move(kernel)),
+      num_samples_(num_samples),
+      warmup_(warmup_steps) {
+  TX_CHECK(kernel_ != nullptr, "MCMC: null kernel");
+  TX_CHECK(num_samples >= 1 && warmup_steps >= 0, "MCMC: bad sample counts");
+}
+
+void MCMC::run(Program model, Generator* gen) {
+  kernel_->setup(std::move(model), gen);
+  std::vector<double> q = kernel_->initial_position();
+  for (int i = 0; i < warmup_; ++i) q = kernel_->step(q, /*warmup=*/true);
+  draws_.clear();
+  draws_.reserve(static_cast<std::size_t>(num_samples_));
+  for (int i = 0; i < num_samples_; ++i) {
+    q = kernel_->step(q, /*warmup=*/false);
+    draws_.push_back(q);
+  }
+}
+
+std::vector<Tensor> MCMC::get_samples(const std::string& site) const {
+  TX_CHECK(!draws_.empty(), "MCMC: no samples (run() first)");
+  std::vector<Tensor> out;
+  out.reserve(draws_.size());
+  for (const auto& q : draws_) {
+    auto values = kernel_->potential().unflatten(q);
+    auto it = values.find(site);
+    TX_CHECK(it != values.end(), "MCMC: no site named '", site, "'");
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::map<std::string, Tensor> MCMC::sample_at(std::size_t i) const {
+  TX_CHECK(i < draws_.size(), "MCMC: sample index out of range");
+  return kernel_->potential().unflatten(draws_[i]);
+}
+
+std::vector<double> MCMC::coordinate_chain(std::size_t coord) const {
+  std::vector<double> chain;
+  chain.reserve(draws_.size());
+  for (const auto& q : draws_) {
+    TX_CHECK(coord < q.size(), "MCMC: coordinate out of range");
+    chain.push_back(q[coord]);
+  }
+  return chain;
+}
+
+}  // namespace tx::infer

@@ -1,0 +1,31 @@
+// MCMC driver (pyro.infer.mcmc.MCMC): warmup with adaptation, then sampling;
+// stores flattened draws and exposes them per site.
+#pragma once
+
+#include "infer/hmc.h"
+
+namespace tx::infer {
+
+class MCMC {
+ public:
+  MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples, int warmup_steps);
+
+  /// Run the chain on the given model.
+  void run(Program model, Generator* gen = nullptr);
+
+  std::size_t num_samples() const { return draws_.size(); }
+  /// Values of one site across all kept draws.
+  std::vector<Tensor> get_samples(const std::string& site) const;
+  /// All site values for one kept draw.
+  std::map<std::string, Tensor> sample_at(std::size_t i) const;
+  double mean_accept_prob() const { return kernel_->mean_accept_prob(); }
+  /// Scalar chain of one coordinate (for diagnostics).
+  std::vector<double> coordinate_chain(std::size_t coord) const;
+
+ private:
+  std::shared_ptr<MCMCKernel> kernel_;
+  int num_samples_, warmup_;
+  std::vector<std::vector<double>> draws_;
+};
+
+}  // namespace tx::infer

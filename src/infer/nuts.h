@@ -1,0 +1,36 @@
+// No-U-Turn Sampler (Hoffman & Gelman, 2014, Algorithm 3: the slice-sampling
+// variant with dual-averaging step-size adaptation). Shares the Potential and
+// adaptation machinery with HMC.
+#pragma once
+
+#include "infer/hmc.h"
+
+namespace tx::infer {
+
+class NUTS : public HMC {
+ public:
+  explicit NUTS(double step_size, int max_tree_depth = 8,
+                bool adapt_step_size = true, double target_accept = 0.8);
+
+  std::vector<double> step(const std::vector<double>& q, bool warmup) override;
+
+ private:
+  struct Tree {
+    std::vector<double> q_minus, p_minus, grad_minus;
+    std::vector<double> q_plus, p_plus, grad_plus;
+    std::vector<double> q_proposal;
+    std::int64_t n = 0;   // number of admissible states in the subtree
+    bool valid = true;    // no U-turn / divergence inside
+    double alpha = 0.0;   // sum of acceptance statistics (for adaptation)
+    std::int64_t n_alpha = 0;
+  };
+
+  Tree build_tree(const std::vector<double>& q, const std::vector<double>& p,
+                  const std::vector<double>& grad, double log_u, int direction,
+                  int depth, double eps, double h0);
+  static bool no_u_turn(const Tree& t);
+
+  int max_depth_;
+};
+
+}  // namespace tx::infer

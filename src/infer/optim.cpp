@@ -1,0 +1,97 @@
+#include "infer/optim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tx::infer {
+
+void Optimizer::add_param(const Tensor& p) {
+  TX_CHECK(p.defined() && p.is_leaf(), "optimizer params must be leaf tensors");
+  const TensorImpl* key = p.impl().get();
+  if (index_.count(key)) return;
+  index_.emplace(key, params_.size());
+  params_.push_back(p);
+}
+
+void Optimizer::add_params(const std::vector<Tensor>& ps) {
+  for (const auto& p : ps) add_param(p);
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+SGD::SGD(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void SGD::step() {
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const auto& g = p.grad_buffer();
+    float* data = p.data();
+    if (momentum_ == 0.0) {
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        data[i] -= static_cast<float>(lr_) * g[i];
+      }
+    } else {
+      auto& vel = velocity_[p.impl().get()];
+      if (vel.empty()) vel.assign(g.size(), 0.0f);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        vel[i] = static_cast<float>(momentum_) * vel[i] + g[i];
+        data[i] -= static_cast<float>(lr_) * vel[i];
+      }
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step() {
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const auto& g = p.grad_buffer();
+    auto& st = state_[p.impl().get()];
+    if (st.m.empty()) {
+      st.m.assign(g.size(), 0.0f);
+      st.v.assign(g.size(), 0.0f);
+    }
+    ++st.t;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(st.t));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(st.t));
+    float* data = p.data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float gi = transform_grad(g[i]);
+      st.m[i] = static_cast<float>(beta1_) * st.m[i] +
+                (1.0f - static_cast<float>(beta1_)) * gi;
+      st.v[i] = static_cast<float>(beta2_) * st.v[i] +
+                (1.0f - static_cast<float>(beta2_)) * gi * gi;
+      const double mhat = st.m[i] / bc1;
+      const double vhat = st.v[i] / bc2;
+      data[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+ClippedAdam::ClippedAdam(double lr, double clip_norm, double lrd)
+    : Adam(lr), clip_(clip_norm), lrd_(lrd) {}
+
+float ClippedAdam::transform_grad(float g) const {
+  return std::clamp(g, -static_cast<float>(clip_), static_cast<float>(clip_));
+}
+
+void ClippedAdam::step() {
+  Adam::step();
+  if (lrd_ != 1.0) lr_ *= lrd_;
+}
+
+StepLR::StepLR(Optimizer& opt, std::int64_t period, double factor)
+    : opt_(&opt), period_(period), factor_(factor) {
+  TX_CHECK(period > 0, "StepLR: period must be positive");
+}
+
+void StepLR::step() {
+  ++count_;
+  if (count_ % period_ == 0) opt_->set_lr(opt_->lr() * factor_);
+}
+
+}  // namespace tx::infer

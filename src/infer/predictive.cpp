@@ -1,0 +1,49 @@
+#include "infer/predictive.h"
+
+#include <algorithm>
+
+namespace tx::infer {
+
+Predictive::Predictive(Program model, Program guide, int num_samples,
+                       std::vector<std::string> return_sites)
+    : model_(std::move(model)),
+      guide_(std::move(guide)),
+      num_samples_(num_samples),
+      return_sites_(std::move(return_sites)) {
+  TX_CHECK(model_ != nullptr && guide_ != nullptr, "Predictive: null program");
+  TX_CHECK(num_samples >= 1, "Predictive: num_samples must be >= 1");
+}
+
+std::map<std::string, Tensor> Predictive::operator()() {
+  NoGradGuard ng;
+  std::map<std::string, std::vector<Tensor>> collected;
+  for (int s = 0; s < num_samples_; ++s) {
+    ppl::Trace guide_trace = ppl::trace_fn(guide_);
+    ppl::ReplayMessenger replay(guide_trace);
+    ppl::TraceMessenger tracer;
+    {
+      ppl::HandlerScope r(replay);
+      ppl::HandlerScope t(tracer);
+      model_();
+    }
+    for (const auto& site : tracer.trace().sites()) {
+      if (!return_sites_.empty() &&
+          std::find(return_sites_.begin(), return_sites_.end(), site.name) ==
+              return_sites_.end()) {
+        continue;
+      }
+      collected[site.name].push_back(site.value.detach());
+    }
+  }
+  for (const auto& wanted : return_sites_) {
+    TX_CHECK(collected.count(wanted), "Predictive: site '", wanted,
+             "' never appeared in the model trace");
+  }
+  std::map<std::string, Tensor> out;
+  for (auto& [name, values] : collected) {
+    out.emplace(name, stack(values, 0));
+  }
+  return out;
+}
+
+}  // namespace tx::infer

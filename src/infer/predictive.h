@@ -1,0 +1,32 @@
+// Posterior-predictive utility, the analogue of pyro.infer.Predictive: draw
+// repeated guide samples, replay the model against each, and collect the
+// values of requested sites (including observed/deterministic ones). This is
+// the boilerplate block at the bottom of the paper's Appendix B Listing 7,
+// packaged once.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "infer/autoguide.h"
+
+namespace tx::infer {
+
+class Predictive {
+ public:
+  /// Collect `return_sites` (empty = every site in the model trace) over
+  /// `num_samples` guide draws.
+  Predictive(Program model, Program guide, int num_samples,
+             std::vector<std::string> return_sites = {});
+
+  /// Runs the sweep; values of each requested site stacked along a new
+  /// leading sample dimension.
+  std::map<std::string, Tensor> operator()();
+
+ private:
+  Program model_, guide_;
+  int num_samples_;
+  std::vector<std::string> return_sites_;
+};
+
+}  // namespace tx::infer

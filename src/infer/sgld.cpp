@@ -1,0 +1,35 @@
+#include "infer/sgld.h"
+
+#include <cmath>
+
+namespace tx::infer {
+
+SGLD::SGLD(double a, double gamma, double b) : a_(a), gamma_(gamma), b_(b) {
+  TX_CHECK(a > 0.0, "SGLD: step size must be positive");
+  TX_CHECK(gamma >= 0.0 && gamma <= 1.0, "SGLD: gamma must be in [0, 1]");
+  TX_CHECK(b > 0.0, "SGLD: b must be positive");
+}
+
+double SGLD::current_step_size() const {
+  return a_ * std::pow(b_ + static_cast<double>(t_), -gamma_);
+}
+
+std::vector<double> SGLD::step(const std::vector<double>& q0, bool warmup) {
+  (void)warmup;  // SGLD has no adaptation phase; warmup steps are burn-in.
+  Generator& g = gen_ ? *gen_ : global_generator();
+  const double eps = current_step_size();
+  ++t_;
+  std::vector<double> grad;
+  potential_->value_and_grad(q0, grad);
+  std::vector<double> q = q0;
+  const double noise_std = std::sqrt(eps);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i] += -0.5 * eps * grad[i] + noise_std * g.normal();
+  }
+  // Langevin proposals are always "accepted".
+  accept_stat_ += 1.0;
+  ++accept_count_;
+  return q;
+}
+
+}  // namespace tx::infer

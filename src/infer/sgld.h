@@ -1,0 +1,30 @@
+// Stochastic-gradient Langevin dynamics (Welling & Teh, 2011) — the
+// mini-batch MCMC method the paper's Appendix D lists as planned future work
+// for TyXe/Pyro. Implemented as an MCMCKernel so MCMC_BNN can use it as a
+// drop-in kernel factory; every step is
+//   q <- q - (eps/2) dU(q) + N(0, eps I),
+// with a polynomially decaying step size eps_t = a (b + t)^{-gamma} and no
+// Metropolis correction (exact in the decreasing-step limit).
+#pragma once
+
+#include "infer/hmc.h"
+
+namespace tx::infer {
+
+class SGLD : public MCMCKernel {
+ public:
+  /// a: initial step size; gamma in (0.5, 1] controls the decay; b offsets
+  /// the schedule. With gamma = 0 the step size is constant (a common
+  /// practical choice that trades bias for mixing).
+  explicit SGLD(double a, double gamma = 0.55, double b = 10.0);
+
+  std::vector<double> step(const std::vector<double>& q, bool warmup) override;
+
+  double current_step_size() const;
+
+ private:
+  double a_, gamma_, b_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace tx::infer

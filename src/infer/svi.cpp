@@ -1,0 +1,33 @@
+#include "infer/svi.h"
+
+namespace tx::infer {
+
+SVI::SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
+         std::shared_ptr<ELBO> loss, ppl::ParamStore* store)
+    : model_(std::move(model)),
+      guide_(std::move(guide)),
+      optimizer_(std::move(optimizer)),
+      loss_(std::move(loss)),
+      store_(store ? store : &ppl::param_store()) {
+  TX_CHECK(optimizer_ != nullptr && loss_ != nullptr,
+           "SVI: optimizer and loss must be non-null");
+}
+
+double SVI::step() {
+  // Zero stale gradients on everything currently registered.
+  for (auto& [name, p] : store_->items()) p.zero_grad();
+  Tensor loss = loss_->differentiable_loss(model_, guide_);
+  loss.backward();
+  // Lazily created params now exist; register and update.
+  for (auto& [name, p] : store_->items()) optimizer_->add_param(p);
+  optimizer_->step();
+  return static_cast<double>(loss.item());
+}
+
+double SVI::evaluate_loss() {
+  NoGradGuard ng;
+  return static_cast<double>(
+      loss_->differentiable_loss(model_, guide_).item());
+}
+
+}  // namespace tx::infer

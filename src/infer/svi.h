@@ -1,0 +1,33 @@
+// Stochastic variational inference driver (pyro.infer.SVI).
+#pragma once
+
+#include <memory>
+
+#include "infer/elbo.h"
+#include "infer/optim.h"
+
+namespace tx::infer {
+
+class SVI {
+ public:
+  /// Parameters are gathered from `store` after each loss evaluation, so
+  /// lazily-initialized guides work without pre-registration.
+  SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
+      std::shared_ptr<ELBO> loss, ppl::ParamStore* store = nullptr);
+
+  /// One optimization step; returns the loss value (-ELBO estimate).
+  double step();
+
+  /// Loss without an update (validation).
+  double evaluate_loss();
+
+  Optimizer& optimizer() { return *optimizer_; }
+
+ private:
+  Program model_, guide_;
+  std::shared_ptr<Optimizer> optimizer_;
+  std::shared_ptr<ELBO> loss_;
+  ppl::ParamStore* store_;
+};
+
+}  // namespace tx::infer

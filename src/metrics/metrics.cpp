@@ -1,0 +1,166 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace tx::metrics {
+
+namespace {
+
+void check_probs(const Tensor& probs, const Tensor& labels) {
+  TX_CHECK(probs.rank() == 2, "metrics: probs must be (N, classes)");
+  TX_CHECK(labels.rank() == 1 && labels.dim(0) == probs.dim(0),
+           "metrics: labels must be (N,) matching probs");
+}
+
+}  // namespace
+
+std::vector<CalibrationBin> calibration_curve(const Tensor& probs,
+                                              const Tensor& labels,
+                                              int num_bins) {
+  check_probs(probs, labels);
+  TX_CHECK(num_bins >= 1, "calibration_curve: num_bins must be >= 1");
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t classes = probs.dim(1);
+  std::vector<double> conf_sum(static_cast<std::size_t>(num_bins), 0.0);
+  std::vector<double> acc_sum(static_cast<std::size_t>(num_bins), 0.0);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_bins), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float best = -1.0f;
+    std::int64_t pick = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const float p = probs.at(i * classes + c);
+      if (p > best) {
+        best = p;
+        pick = c;
+      }
+    }
+    int bin = static_cast<int>(best * num_bins);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    conf_sum[static_cast<std::size_t>(bin)] += best;
+    acc_sum[static_cast<std::size_t>(bin)] +=
+        pick == static_cast<std::int64_t>(std::llround(labels.at(i))) ? 1.0 : 0.0;
+    counts[static_cast<std::size_t>(bin)] += 1;
+  }
+  std::vector<CalibrationBin> bins(static_cast<std::size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    const auto ub = static_cast<std::size_t>(b);
+    bins[ub].count = counts[ub];
+    if (counts[ub] > 0) {
+      bins[ub].confidence = conf_sum[ub] / static_cast<double>(counts[ub]);
+      bins[ub].accuracy = acc_sum[ub] / static_cast<double>(counts[ub]);
+    }
+  }
+  return bins;
+}
+
+double expected_calibration_error(const Tensor& probs, const Tensor& labels,
+                                  int num_bins) {
+  const auto bins = calibration_curve(probs, labels, num_bins);
+  const auto n = static_cast<double>(probs.dim(0));
+  double ece = 0.0;
+  for (const auto& b : bins) {
+    if (b.count == 0) continue;
+    ece += (static_cast<double>(b.count) / n) *
+           std::fabs(b.accuracy - b.confidence);
+  }
+  return ece;
+}
+
+double accuracy(const Tensor& probs, const Tensor& labels) {
+  check_probs(probs, labels);
+  const std::int64_t n = probs.dim(0), classes = probs.dim(1);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float best = -1.0f;
+    std::int64_t pick = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (probs.at(i * classes + c) > best) {
+        best = probs.at(i * classes + c);
+        pick = c;
+      }
+    }
+    if (pick == static_cast<std::int64_t>(std::llround(labels.at(i)))) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double nll(const Tensor& probs, const Tensor& labels) {
+  check_probs(probs, labels);
+  const std::int64_t n = probs.dim(0), classes = probs.dim(1);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int64_t>(std::llround(labels.at(i)));
+    TX_CHECK(c >= 0 && c < classes, "nll: label out of range");
+    total -= std::log(std::max(probs.at(i * classes + c), 1e-12f));
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> predictive_entropy(const Tensor& probs) {
+  TX_CHECK(probs.rank() == 2, "predictive_entropy: probs must be (N, classes)");
+  const std::int64_t n = probs.dim(0), classes = probs.dim(1);
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double h = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double p = probs.at(i * classes + c);
+      if (p > 1e-12) h -= p * std::log(p);
+    }
+    out[static_cast<std::size_t>(i)] = h;
+  }
+  return out;
+}
+
+std::vector<double> max_probability(const Tensor& probs) {
+  TX_CHECK(probs.rank() == 2, "max_probability: probs must be (N, classes)");
+  const std::int64_t n = probs.dim(0), classes = probs.dim(1);
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float best = -1.0f;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      best = std::max(best, probs.at(i * classes + c));
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+double auroc(const std::vector<double>& positive_scores,
+             const std::vector<double>& negative_scores) {
+  TX_CHECK(!positive_scores.empty() && !negative_scores.empty(),
+           "auroc: empty score lists");
+  // Mann-Whitney U statistic, O(n log n) via sorting the negatives.
+  std::vector<double> neg = negative_scores;
+  std::sort(neg.begin(), neg.end());
+  double u = 0.0;
+  for (double p : positive_scores) {
+    const auto lower =
+        std::lower_bound(neg.begin(), neg.end(), p) - neg.begin();
+    const auto upper =
+        std::upper_bound(neg.begin(), neg.end(), p) - neg.begin();
+    u += static_cast<double>(lower) +
+         0.5 * static_cast<double>(upper - lower);
+  }
+  return u / (static_cast<double>(positive_scores.size()) *
+              static_cast<double>(neg.size()));
+}
+
+std::vector<double> empirical_cdf(std::vector<double> values,
+                                  const std::vector<double>& points) {
+  TX_CHECK(!values.empty(), "empirical_cdf: no values");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    const auto count =
+        std::upper_bound(values.begin(), values.end(), p) - values.begin();
+    out.push_back(static_cast<double>(count) /
+                  static_cast<double>(values.size()));
+  }
+  return out;
+}
+
+}  // namespace tx::metrics

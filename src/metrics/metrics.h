@@ -1,0 +1,52 @@
+// Evaluation metrics used by the paper's tables and figures: expected
+// calibration error, calibration curves, predictive entropy, empirical CDFs,
+// and OOD detection AUROC from maximum predicted probability.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx::metrics {
+
+/// One calibration bin: mean confidence, empirical accuracy, sample count.
+struct CalibrationBin {
+  double confidence = 0.0;
+  double accuracy = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Bins predictions by max predicted probability (equal-width bins on [0,1]).
+/// `probs` is (N, classes); `labels` is (N,) float-encoded.
+std::vector<CalibrationBin> calibration_curve(const Tensor& probs,
+                                              const Tensor& labels,
+                                              int num_bins = 10);
+
+/// Expected calibration error (weighted |accuracy - confidence|), in [0, 1].
+double expected_calibration_error(const Tensor& probs, const Tensor& labels,
+                                  int num_bins = 10);
+
+/// Classification accuracy from a probability table.
+double accuracy(const Tensor& probs, const Tensor& labels);
+
+/// Mean negative log-likelihood from a probability table.
+double nll(const Tensor& probs, const Tensor& labels);
+
+/// Per-example entropy of the predictive distribution, (N,) from (N, C).
+std::vector<double> predictive_entropy(const Tensor& probs);
+
+/// Per-example maximum predicted probability (the OOD score), (N,).
+std::vector<double> max_probability(const Tensor& probs);
+
+/// Area under the ROC curve where `positive_scores` should exceed
+/// `negative_scores` (ties count half). For OOD detection the paper uses the
+/// max predicted probability with in-distribution as positive.
+double auroc(const std::vector<double>& positive_scores,
+             const std::vector<double>& negative_scores);
+
+/// Empirical CDF of `values` evaluated at `points` (for the entropy CDFs of
+/// Fig. 2).
+std::vector<double> empirical_cdf(std::vector<double> values,
+                                  const std::vector<double>& points);
+
+}  // namespace tx::metrics

@@ -1,0 +1,84 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+
+#include "tensor/serialize.h"
+
+namespace {
+
+void write_entries(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, tx::Tensor>>& entries) {
+  os << "TXCKPT1 " << entries.size() << '\n';
+  for (const auto& [name, value] : entries) {
+    TX_CHECK(name.find_first_of(" \n\t") == std::string::npos,
+             "checkpoint: name '", name, "' contains whitespace");
+    os << name << '\n';
+    tx::save_tensor(os, value);
+  }
+  TX_CHECK(os.good(), "checkpoint: stream write failed");
+}
+
+std::vector<std::pair<std::string, tx::Tensor>> read_entries(std::istream& is) {
+  std::string magic;
+  std::size_t count = 0;
+  is >> magic >> count;
+  TX_CHECK(is.good() && magic == "TXCKPT1", "checkpoint: bad header");
+  std::vector<std::pair<std::string, tx::Tensor>> entries;
+  entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    is >> name;
+    TX_CHECK(is.good() && !name.empty(), "checkpoint: truncated entry name");
+    entries.emplace_back(name, tx::load_tensor(is));
+  }
+  return entries;
+}
+
+}  // namespace
+
+namespace tx::nn {
+
+void save_checkpoint(const std::string& path, Module& module) {
+  std::ofstream os(path);
+  TX_CHECK(os.is_open(), "save_checkpoint: cannot open ", path);
+  write_entries(os, module.state_dict());
+}
+
+void load_checkpoint(const std::string& path, Module& module) {
+  std::ifstream is(path);
+  TX_CHECK(is.is_open(), "load_checkpoint: cannot open ", path);
+  module.load_state_dict(read_entries(is));
+}
+
+}  // namespace tx::nn
+
+namespace tx::ppl {
+
+void save_param_store(const std::string& path, const ParamStore& store) {
+  std::ofstream os(path);
+  TX_CHECK(os.is_open(), "save_param_store: cannot open ", path);
+  std::vector<std::pair<std::string, tx::Tensor>> entries;
+  for (const auto& [name, t] : store.items()) {
+    entries.emplace_back(name, t.detach());
+  }
+  write_entries(os, entries);
+}
+
+void load_param_store(const std::string& path, ParamStore& store) {
+  std::ifstream is(path);
+  TX_CHECK(is.is_open(), "load_param_store: cannot open ", path);
+  for (auto& [name, value] : read_entries(is)) {
+    if (store.contains(name)) {
+      // Keep the existing handle so live guides see the loaded values.
+      Tensor current = store.get(name);
+      TX_CHECK(current.shape() == value.shape(),
+               "load_param_store: shape mismatch for ", name);
+      current.copy_(value);
+    } else {
+      store.set(name, value);
+    }
+  }
+}
+
+}  // namespace tx::ppl

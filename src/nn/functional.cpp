@@ -1,0 +1,42 @@
+#include "nn/functional.h"
+
+#include <vector>
+
+namespace tx::nn::functional {
+
+namespace {
+// Thread-local so parallel test runners don't interfere.
+thread_local std::vector<LinearOpInterceptor*> g_stack;
+}  // namespace
+
+void push_interceptor(LinearOpInterceptor* interceptor) {
+  TX_CHECK(interceptor != nullptr, "push_interceptor: null");
+  g_stack.push_back(interceptor);
+}
+
+void pop_interceptor(LinearOpInterceptor* interceptor) {
+  TX_CHECK(!g_stack.empty() && g_stack.back() == interceptor,
+           "pop_interceptor: unbalanced interceptor stack");
+  g_stack.pop_back();
+}
+
+std::size_t interceptor_depth() { return g_stack.size(); }
+
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  for (auto it = g_stack.rbegin(); it != g_stack.rend(); ++it) {
+    Tensor out = (*it)->linear(x, weight, bias);
+    if (out.defined()) return out;
+  }
+  return tx::linear(x, weight, bias);
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride, std::int64_t padding) {
+  for (auto it = g_stack.rbegin(); it != g_stack.rend(); ++it) {
+    Tensor out = (*it)->conv2d(x, weight, bias, stride, padding);
+    if (out.defined()) return out;
+  }
+  return tx::conv2d(x, weight, bias, stride, padding);
+}
+
+}  // namespace tx::nn::functional

@@ -1,0 +1,38 @@
+// Effectful functional ops. PyTorch-TyXe monkey-patches F.linear / F.conv2d
+// with Pyro-`effectful` wrappers so a messenger can replace how linear maps
+// are computed (local reparameterization, flipout). The C++ analogue is an
+// interceptor stack consulted by nn::functional::linear / conv2d: the newest
+// interceptor that returns a defined tensor wins; otherwise the plain tensor
+// op runs. Model code calls these functions and never changes.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tx::nn::functional {
+
+/// Interface implemented by reparameterization messengers (tyxe::poutine).
+/// Return an undefined Tensor to decline and fall through to the next
+/// interceptor / the base op.
+class LinearOpInterceptor {
+ public:
+  virtual ~LinearOpInterceptor() = default;
+  virtual Tensor linear(const Tensor& x, const Tensor& weight,
+                        const Tensor& bias) = 0;
+  virtual Tensor conv2d(const Tensor& x, const Tensor& weight,
+                        const Tensor& bias, std::int64_t stride,
+                        std::int64_t padding) = 0;
+};
+
+/// Push/pop are LIFO and must be balanced (RAII in the messenger classes).
+void push_interceptor(LinearOpInterceptor* interceptor);
+void pop_interceptor(LinearOpInterceptor* interceptor);
+/// Number of active interceptors (for tests).
+std::size_t interceptor_depth();
+
+/// The functional ops layers call. Identical contract to tx::linear /
+/// tx::conv2d but dispatched through the interceptor stack.
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias);
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride, std::int64_t padding);
+
+}  // namespace tx::nn::functional

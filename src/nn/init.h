@@ -1,0 +1,30 @@
+// Weight initialization schemes. The same fan-based standard deviations are
+// reused by LayerwiseNormalPrior (method="radford"/"xavier"/"kaiming") and by
+// the guide's mean-initialization helpers, mirroring the paper's Section 2.1.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace tx::nn::init {
+
+/// fan_in / fan_out of a weight tensor: Linear weights are (out, in);
+/// Conv2d weights are (out, in, kh, kw) with receptive field folded in.
+std::pair<std::int64_t, std::int64_t> fan_in_out(const Shape& weight_shape);
+
+/// Standard deviation prescribed by each scheme.
+///  radford: 1/sqrt(fan_in)          (Neal, 1996)
+///  xavier:  sqrt(2/(fan_in+fan_out)) (Glorot & Bengio, 2010)
+///  kaiming: sqrt(2/fan_in)           (He et al., 2015)
+float init_std(const std::string& method, const Shape& weight_shape);
+
+/// In-place fills for leaf parameter tensors.
+void normal_(Tensor& t, float mean, float std, Generator* gen = nullptr);
+void uniform_(Tensor& t, float lo, float hi, Generator* gen = nullptr);
+void constant_(Tensor& t, float v);
+void kaiming_normal_(Tensor& t, Generator* gen = nullptr);
+void xavier_normal_(Tensor& t, Generator* gen = nullptr);
+void radford_normal_(Tensor& t, Generator* gen = nullptr);
+
+}  // namespace tx::nn::init

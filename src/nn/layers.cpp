@@ -1,0 +1,176 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/functional.h"
+
+namespace tx::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               Generator* gen)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {
+  init::kaiming_normal_(weight_, gen);
+  weight_.set_requires_grad(true);
+  register_parameter("weight", &weight_);
+  if (has_bias_) {
+    const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+    init::uniform_(bias_, -bound, bound, gen);
+    bias_.set_requires_grad(true);
+    register_parameter("bias", &bias_);
+  }
+}
+
+Tensor Linear::forward_one(const Tensor& x) {
+  return functional::linear(x, weight_, has_bias_ ? bias_ : Tensor());
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool bias, Generator* gen)
+    : stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(Shape{out_channels}) {
+  init::kaiming_normal_(weight_, gen);
+  weight_.set_requires_grad(true);
+  register_parameter("weight", &weight_);
+  if (has_bias_) {
+    const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+    const float bound = 1.0f / std::sqrt(fan_in);
+    init::uniform_(bias_, -bound, bound, gen);
+    bias_.set_requires_grad(true);
+    register_parameter("bias", &bias_);
+  }
+}
+
+Tensor Conv2d::forward_one(const Tensor& x) {
+  return functional::conv2d(x, weight_, has_bias_ ? bias_ : Tensor(), stride_,
+                            padding_);
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t num_features, float eps, float momentum)
+    : num_features_(num_features),
+      eps_(eps),
+      momentum_(momentum),
+      weight_(ones({num_features})),
+      bias_(zeros({num_features})),
+      running_mean_(zeros({num_features})),
+      running_var_(ones({num_features})) {
+  weight_.set_requires_grad(true);
+  bias_.set_requires_grad(true);
+  register_parameter("weight", &weight_);
+  register_parameter("bias", &bias_);
+  register_buffer("running_mean", &running_mean_);
+  register_buffer("running_var", &running_var_);
+}
+
+Tensor BatchNorm2d::forward_one(const Tensor& x) {
+  TX_CHECK(x.rank() == 4 && x.dim(1) == num_features_,
+           "BatchNorm2d: expected NCHW with ", num_features_, " channels");
+  const Shape param_shape{1, num_features_, 1, 1};
+  Tensor mu, var;
+  if (is_training()) {
+    mu = mean(x, {0, 2, 3}, /*keepdim=*/true);
+    Tensor centered = sub(x, mu);
+    var = mean(square(centered), {0, 2, 3}, /*keepdim=*/true);
+    // Update running statistics outside the graph.
+    {
+      NoGradGuard ng;
+      const std::int64_t count = x.dim(0) * x.dim(2) * x.dim(3);
+      const float unbias = count > 1
+                               ? static_cast<float>(count) /
+                                     static_cast<float>(count - 1)
+                               : 1.0f;
+      for (std::int64_t c = 0; c < num_features_; ++c) {
+        running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) +
+                              momentum_ * mu.at(c);
+        running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) +
+                             momentum_ * var.at(c) * unbias;
+      }
+    }
+  } else {
+    mu = reshape(running_mean_, param_shape);
+    var = reshape(running_var_, param_shape);
+  }
+  Tensor norm = div(sub(x, mu), sqrt(add(var, Tensor::scalar(eps_))));
+  return add(mul(norm, reshape(weight_, param_shape)),
+             reshape(bias_, param_shape));
+}
+
+namespace {
+thread_local std::vector<std::uint64_t> g_fixed_dropout_seeds;
+}  // namespace
+
+FixedDropoutScope::FixedDropoutScope(std::uint64_t seed) : seed_(seed) {
+  g_fixed_dropout_seeds.push_back(seed);
+}
+
+FixedDropoutScope::~FixedDropoutScope() {
+  TX_CHECK(!g_fixed_dropout_seeds.empty() &&
+               g_fixed_dropout_seeds.back() == seed_,
+           "FixedDropoutScope: unbalanced scopes");
+  g_fixed_dropout_seeds.pop_back();
+}
+
+const std::uint64_t* FixedDropoutScope::active_seed() {
+  return g_fixed_dropout_seeds.empty() ? nullptr
+                                       : &g_fixed_dropout_seeds.back();
+}
+
+Tensor Dropout::forward_one(const Tensor& x) {
+  if (!is_training() || p_ == 0.0f) return x;
+  // Under a FixedDropoutScope the mask depends only on (scope seed, layer),
+  // so it repeats across forward passes; otherwise it is freshly sampled.
+  Generator fixed(0);
+  Generator* g = gen_ ? gen_ : &global_generator();
+  if (const std::uint64_t* seed = FixedDropoutScope::active_seed()) {
+    fixed.seed(*seed ^ (reinterpret_cast<std::uintptr_t>(this) * 0x9e3779b97f4a7c15ULL));
+    g = &fixed;
+  }
+  Tensor mask = zeros(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask.at(i) = g->bernoulli(1.0 - p_) ? scale : 0.0f;
+  }
+  return mul(x, mask);
+}
+
+Sequential::Sequential(std::vector<ModulePtr> mods) {
+  for (auto& m : mods) append(std::move(m));
+}
+
+void Sequential::append(ModulePtr m) {
+  register_module(std::to_string(mods_.size()), m);
+  mods_.push_back(std::move(m));
+}
+
+Tensor Sequential::forward_one(const Tensor& x) {
+  Tensor h = x;
+  for (auto& m : mods_) h = m->forward(h);
+  return h;
+}
+
+ModulePtr make_mlp(const std::vector<std::int64_t>& sizes,
+                   const std::string& activation, Generator* gen) {
+  TX_CHECK(sizes.size() >= 2, "make_mlp: need at least input and output size");
+  auto act = [&]() -> ModulePtr {
+    if (activation == "relu") return std::make_shared<ReLU>();
+    if (activation == "tanh") return std::make_shared<Tanh>();
+    if (activation == "sigmoid") return std::make_shared<Sigmoid>();
+    if (activation == "softplus") return std::make_shared<Softplus>();
+    TX_THROW("make_mlp: unknown activation '", activation, "'");
+  };
+  auto seq = std::make_shared<Sequential>();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    seq->append(std::make_shared<Linear>(sizes[i], sizes[i + 1], true, gen));
+    if (i + 2 < sizes.size()) seq->append(act());
+  }
+  return seq;
+}
+
+}  // namespace tx::nn

@@ -1,0 +1,189 @@
+// Standard neural-network layers built on the Module registry. Linear and
+// Conv2d route their math through nn::functional so reparameterization
+// messengers can intercept them; everything else is plain tensor code.
+#pragma once
+
+#include <functional>
+
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace tx::nn {
+
+class Linear : public UnaryModule {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias = true,
+         Generator* gen = nullptr);
+
+  std::string type_name() const override { return "Linear"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  bool has_bias_;
+  Tensor weight_, bias_;
+};
+
+class Conv2d : public UnaryModule {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride = 1, std::int64_t padding = 0,
+         bool bias = true, Generator* gen = nullptr);
+
+  std::string type_name() const override { return "Conv2d"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t stride_, padding_;
+  bool has_bias_;
+  Tensor weight_, bias_;
+};
+
+/// BatchNorm over the channel axis of NCHW inputs. Keeps running statistics
+/// as buffers; in eval mode normalizes with them.
+class BatchNorm2d : public UnaryModule {
+ public:
+  explicit BatchNorm2d(std::int64_t num_features, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  std::string type_name() const override { return "BatchNorm2d"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t num_features_;
+  float eps_, momentum_;
+  Tensor weight_, bias_;
+  Tensor running_mean_, running_var_;
+};
+
+class ReLU : public UnaryModule {
+ public:
+  std::string type_name() const override { return "ReLU"; }
+  Tensor forward_one(const Tensor& x) override { return relu(x); }
+};
+
+class Tanh : public UnaryModule {
+ public:
+  std::string type_name() const override { return "Tanh"; }
+  Tensor forward_one(const Tensor& x) override { return tanh(x); }
+};
+
+class Sigmoid : public UnaryModule {
+ public:
+  std::string type_name() const override { return "Sigmoid"; }
+  Tensor forward_one(const Tensor& x) override { return sigmoid(x); }
+};
+
+class Softplus : public UnaryModule {
+ public:
+  std::string type_name() const override { return "Softplus"; }
+  Tensor forward_one(const Tensor& x) override { return softplus(x); }
+};
+
+class MaxPool2d : public UnaryModule {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+  std::string type_name() const override { return "MaxPool2d"; }
+  Tensor forward_one(const Tensor& x) override {
+    return max_pool2d(x, kernel_, stride_);
+  }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+class AvgPool2d : public UnaryModule {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+  std::string type_name() const override { return "AvgPool2d"; }
+  Tensor forward_one(const Tensor& x) override {
+    return avg_pool2d(x, kernel_, stride_);
+  }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+/// Inverted dropout: scales by 1/(1-p) in training, identity in eval.
+/// Inside a FixedDropoutScope the mask is a deterministic function of the
+/// layer identity and the scope seed, so the *same* dropout sample is reused
+/// across forward passes/batches — the Monte Carlo Dropout effect handler
+/// sketched in the paper's Appendix D.
+class Dropout : public UnaryModule {
+ public:
+  explicit Dropout(float p, Generator* gen = nullptr) : p_(p), gen_(gen) {
+    TX_CHECK(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+  }
+  std::string type_name() const override { return "Dropout"; }
+  Tensor forward_one(const Tensor& x) override;
+
+ private:
+  float p_;
+  Generator* gen_;
+};
+
+/// RAII scope fixing every Dropout layer's mask to a function of (seed,
+/// layer): repeated forwards inside the scope see identical dropout noise.
+/// Scopes nest; the innermost seed wins.
+class FixedDropoutScope {
+ public:
+  explicit FixedDropoutScope(std::uint64_t seed);
+  ~FixedDropoutScope();
+  FixedDropoutScope(const FixedDropoutScope&) = delete;
+  FixedDropoutScope& operator=(const FixedDropoutScope&) = delete;
+
+  /// Active scope seed, if any (used by Dropout::forward_one).
+  static const std::uint64_t* active_seed();
+
+ private:
+  std::uint64_t seed_;
+};
+
+class Flatten : public UnaryModule {
+ public:
+  explicit Flatten(std::int64_t start_dim = 1) : start_dim_(start_dim) {}
+  std::string type_name() const override { return "Flatten"; }
+  Tensor forward_one(const Tensor& x) override { return x.flatten(start_dim_); }
+
+ private:
+  std::int64_t start_dim_;
+};
+
+/// Chains child modules; children are registered as "0", "1", ... like torch.
+class Sequential : public UnaryModule {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> mods);
+
+  std::string type_name() const override { return "Sequential"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  void append(ModulePtr m);
+  std::size_t size() const { return mods_.size(); }
+  Module& at(std::size_t i) { return *mods_.at(i); }
+
+ private:
+  std::vector<ModulePtr> mods_;
+};
+
+/// Fully connected network: sizes {in, h1, ..., out} with an activation
+/// between layers (the regression / VCL architecture).
+ModulePtr make_mlp(const std::vector<std::int64_t>& sizes,
+                   const std::string& activation = "relu",
+                   Generator* gen = nullptr);
+
+}  // namespace tx::nn

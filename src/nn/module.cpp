@@ -1,0 +1,122 @@
+#include "nn/module.h"
+
+#include <algorithm>
+
+namespace tx::nn {
+
+namespace {
+std::string joined(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + "." + name;
+}
+}  // namespace
+
+void Module::register_parameter(const std::string& name, Tensor* slot) {
+  TX_CHECK(slot != nullptr && slot->defined(), "register_parameter(", name,
+           "): slot must hold a defined tensor");
+  for (const auto& [n, _] : params_) {
+    TX_CHECK(n != name, "duplicate parameter name ", name);
+  }
+  params_.emplace_back(name, slot);
+}
+
+void Module::register_buffer(const std::string& name, Tensor* slot) {
+  TX_CHECK(slot != nullptr && slot->defined(), "register_buffer(", name,
+           "): slot must hold a defined tensor");
+  buffers_.emplace_back(name, slot);
+}
+
+void Module::register_module(const std::string& name, ModulePtr child) {
+  TX_CHECK(child != nullptr, "register_module(", name, "): null child");
+  for (const auto& [n, _] : children_) {
+    TX_CHECK(n != name, "duplicate module name ", name);
+  }
+  children_.emplace_back(name, std::move(child));
+}
+
+std::vector<ParamSlot> Module::named_parameter_slots(const std::string& prefix) {
+  std::vector<ParamSlot> out;
+  for (auto& [name, slot] : params_) {
+    out.push_back(ParamSlot{joined(prefix, name), slot, this, name});
+  }
+  for (auto& [name, child] : children_) {
+    auto sub = child->named_parameter_slots(joined(prefix, name));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<BufferSlot> Module::named_buffer_slots(const std::string& prefix) {
+  std::vector<BufferSlot> out;
+  for (auto& [name, slot] : buffers_) {
+    out.push_back(BufferSlot{joined(prefix, name), slot});
+  }
+  for (auto& [name, child] : children_) {
+    auto sub = child->named_buffer_slots(joined(prefix, name));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Module*>> Module::named_modules(
+    const std::string& prefix) {
+  std::vector<std::pair<std::string, Module*>> out;
+  out.emplace_back(prefix, this);
+  for (auto& [name, child] : children_) {
+    auto sub = child->named_modules(joined(prefix, name));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::state_dict() {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& p : named_parameter_slots()) {
+    out.emplace_back(p.name, p.slot->detach());
+  }
+  for (const auto& b : named_buffer_slots()) {
+    out.emplace_back(b.name, b.slot->detach());
+  }
+  return out;
+}
+
+void Module::load_state_dict(
+    const std::vector<std::pair<std::string, Tensor>>& values) {
+  auto params = named_parameter_slots();
+  auto buffers = named_buffer_slots();
+  for (const auto& [name, value] : values) {
+    Tensor* slot = nullptr;
+    for (auto& p : params) {
+      if (p.name == name) {
+        slot = p.slot;
+        break;
+      }
+    }
+    if (!slot) {
+      for (auto& b : buffers) {
+        if (b.name == name) {
+          slot = b.slot;
+          break;
+        }
+      }
+    }
+    TX_CHECK(slot != nullptr, "load_state_dict: no slot named ", name);
+    TX_CHECK(slot->shape() == value.shape(), "load_state_dict: shape mismatch for ",
+             name);
+    const bool rg = slot->requires_grad();
+    *slot = value.detach();
+    if (rg) slot->set_requires_grad(true);
+  }
+}
+
+void Module::train(bool mode) {
+  training_ = mode;
+  for (auto& [_, child] : children_) child->train(mode);
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t total = 0;
+  for (const auto& p : named_parameter_slots()) total += p.slot->numel();
+  return total;
+}
+
+}  // namespace tx::nn

@@ -1,0 +1,105 @@
+// Module system, the analogue of torch.nn.Module.
+//
+// The property TyXe depends on is that parameters are *named slots*: a prior
+// can enumerate `named_parameter_slots()` of an arbitrary module tree and
+// replace each slot's Tensor handle with a sample from a distribution before
+// a forward pass, without the module's code changing. This file provides that
+// registry; layers.h provides the standard layers on top of it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx::nn {
+
+class Module;
+using ModulePtr = std::shared_ptr<Module>;
+
+/// A named reference to a parameter held inside a module. Writing through
+/// `slot` swaps the tensor the module's forward pass reads.
+struct ParamSlot {
+  std::string name;     // full dotted path, e.g. "layer1.0.conv1.weight"
+  Tensor* slot;         // points into the owning module
+  Module* owner;        // module that registered it
+  std::string local_name;  // name within the owner, e.g. "weight"
+};
+
+struct BufferSlot {
+  std::string name;
+  Tensor* slot;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Generic forward over a list of inputs; the single-tensor overload covers
+  /// the common case.
+  virtual Tensor forward(const std::vector<Tensor>& inputs) = 0;
+  Tensor forward(const Tensor& x) { return forward(std::vector<Tensor>{x}); }
+  Tensor operator()(const Tensor& x) { return forward(x); }
+  Tensor operator()(const std::vector<Tensor>& xs) { return forward(xs); }
+
+  /// Class name used by hide/expose filters (e.g. "BatchNorm2d").
+  virtual std::string type_name() const = 0;
+
+  /// All parameters in this subtree, depth-first, with dotted paths.
+  std::vector<ParamSlot> named_parameter_slots(const std::string& prefix = "");
+  /// All buffers (non-learned state such as BatchNorm running stats).
+  std::vector<BufferSlot> named_buffer_slots(const std::string& prefix = "");
+  /// All modules in this subtree including itself, with dotted paths.
+  std::vector<std::pair<std::string, Module*>> named_modules(
+      const std::string& prefix = "");
+
+  /// Copies of parameter values keyed by path (a state dict).
+  std::vector<std::pair<std::string, Tensor>> state_dict();
+  /// Loads values into parameters by path; missing keys throw.
+  void load_state_dict(
+      const std::vector<std::pair<std::string, Tensor>>& values);
+
+  /// Recursively set training mode (affects BatchNorm, Dropout).
+  void train(bool mode = true);
+  void eval() { train(false); }
+  bool is_training() const { return training_; }
+
+  /// Total parameter count of the subtree.
+  std::int64_t num_parameters();
+
+ protected:
+  Module() = default;
+
+  /// Register a parameter slot owned by the subclass (a member Tensor).
+  void register_parameter(const std::string& name, Tensor* slot);
+  /// Register a non-learned buffer slot.
+  void register_buffer(const std::string& name, Tensor* slot);
+  /// Register a child module.
+  void register_module(const std::string& name, ModulePtr child);
+
+  bool training_ = true;
+
+ private:
+  std::vector<std::pair<std::string, Tensor*>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, ModulePtr>> children_;
+};
+
+/// Convenience base for modules taking exactly one input tensor.
+class UnaryModule : public Module {
+ public:
+  using Module::forward;  // keep the single-tensor overload visible
+  Tensor forward(const std::vector<Tensor>& inputs) final {
+    TX_CHECK(inputs.size() == 1, type_name(), " expects exactly one input, got ",
+             inputs.size());
+    return forward_one(inputs[0]);
+  }
+  virtual Tensor forward_one(const Tensor& x) = 0;
+};
+
+}  // namespace tx::nn

@@ -1,0 +1,29 @@
+#include "nn/multihead.h"
+
+namespace tx::nn {
+
+MultiHeadNet::MultiHeadNet(ModulePtr body, std::int64_t feature_dim,
+                           std::int64_t out_features, std::int64_t num_heads,
+                           Generator* gen)
+    : body_(std::move(body)) {
+  TX_CHECK(body_ != nullptr && num_heads >= 1, "MultiHeadNet: bad arguments");
+  register_module("body", body_);
+  for (std::int64_t h = 0; h < num_heads; ++h) {
+    auto head = std::make_shared<Linear>(feature_dim, out_features, true, gen);
+    register_module("head" + std::to_string(h), head);
+    heads_.push_back(std::move(head));
+  }
+}
+
+void MultiHeadNet::set_active_head(std::int64_t head) {
+  TX_CHECK(head >= 0 && head < num_heads(), "MultiHeadNet: head ", head,
+           " out of range");
+  active_ = head;
+}
+
+Tensor MultiHeadNet::forward_one(const Tensor& x) {
+  return heads_[static_cast<std::size_t>(active_)]->forward(
+      relu(body_->forward(x)));
+}
+
+}  // namespace tx::nn

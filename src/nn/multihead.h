@@ -1,0 +1,31 @@
+// Shared-body multi-head network for continual learning (the standard
+// Split-MNIST/CIFAR protocol of Nguyen et al., 2018): one feature extractor,
+// one output head per task, with the active head switchable at evaluation.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace tx::nn {
+
+class MultiHeadNet : public UnaryModule {
+ public:
+  /// `body` maps inputs to features of width `feature_dim`; one Linear head
+  /// of `out_features` per task is created.
+  MultiHeadNet(ModulePtr body, std::int64_t feature_dim,
+               std::int64_t out_features, std::int64_t num_heads,
+               Generator* gen = nullptr);
+
+  std::string type_name() const override { return "MultiHeadNet"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  void set_active_head(std::int64_t head);
+  std::int64_t active_head() const { return active_; }
+  std::int64_t num_heads() const { return static_cast<std::int64_t>(heads_.size()); }
+
+ private:
+  ModulePtr body_;
+  std::vector<std::shared_ptr<Linear>> heads_;
+  std::int64_t active_ = 0;
+};
+
+}  // namespace tx::nn

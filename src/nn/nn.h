@@ -1,0 +1,9 @@
+// Umbrella header for the nn library.
+#pragma once
+
+#include "nn/functional.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/multihead.h"
+#include "nn/resnet.h"

@@ -1,0 +1,77 @@
+#include "nn/resnet.h"
+
+namespace tx::nn {
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Generator* gen) {
+  conv1_ = std::make_shared<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    /*bias=*/false, gen);
+  bn1_ = std::make_shared<BatchNorm2d>(out_channels);
+  conv2_ = std::make_shared<Conv2d>(out_channels, out_channels, 3, 1, 1,
+                                    /*bias=*/false, gen);
+  bn2_ = std::make_shared<BatchNorm2d>(out_channels);
+  register_module("conv1", conv1_);
+  register_module("bn1", bn1_);
+  register_module("conv2", conv2_);
+  register_module("bn2", bn2_);
+  if (stride != 1 || in_channels != out_channels) {
+    downsample_conv_ = std::make_shared<Conv2d>(in_channels, out_channels, 1,
+                                                stride, 0, /*bias=*/false, gen);
+    downsample_bn_ = std::make_shared<BatchNorm2d>(out_channels);
+    register_module("downsample_conv", downsample_conv_);
+    register_module("downsample_bn", downsample_bn_);
+  }
+}
+
+Tensor BasicBlock::forward_one(const Tensor& x) {
+  Tensor out = relu(bn1_->forward(conv1_->forward(x)));
+  out = bn2_->forward(conv2_->forward(out));
+  Tensor shortcut = x;
+  if (downsample_conv_) {
+    shortcut = downsample_bn_->forward(downsample_conv_->forward(x));
+  }
+  return relu(add(out, shortcut));
+}
+
+ResNet::ResNet(std::vector<std::int64_t> blocks_per_stage,
+               std::int64_t base_width, std::int64_t num_classes,
+               std::int64_t in_channels, Generator* gen) {
+  TX_CHECK(!blocks_per_stage.empty(), "ResNet: need at least one stage");
+  stem_conv_ = std::make_shared<Conv2d>(in_channels, base_width, 3, 1, 1,
+                                        /*bias=*/false, gen);
+  stem_bn_ = std::make_shared<BatchNorm2d>(base_width);
+  register_module("conv1", stem_conv_);
+  register_module("bn1", stem_bn_);
+  std::int64_t channels = base_width;
+  for (std::size_t s = 0; s < blocks_per_stage.size(); ++s) {
+    const std::int64_t out_channels = base_width << s;
+    auto stage = std::make_shared<Sequential>();
+    for (std::int64_t b = 0; b < blocks_per_stage[s]; ++b) {
+      const std::int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+      stage->append(
+          std::make_shared<BasicBlock>(channels, out_channels, stride, gen));
+      channels = out_channels;
+    }
+    register_module("layer" + std::to_string(s + 1), stage);
+    stages_.push_back(std::move(stage));
+  }
+  fc_ = std::make_shared<Linear>(channels, num_classes, /*bias=*/true, gen);
+  register_module("fc", fc_);
+}
+
+Tensor ResNet::forward_one(const Tensor& x) {
+  Tensor h = relu(stem_bn_->forward(stem_conv_->forward(x)));
+  for (auto& stage : stages_) h = stage->forward(h);
+  // Global average pool over the remaining spatial extent.
+  h = mean(h, {2, 3});
+  return fc_->forward(h);
+}
+
+std::shared_ptr<ResNet> make_resnet8(std::int64_t num_classes,
+                                     std::int64_t base_width,
+                                     std::int64_t in_channels, Generator* gen) {
+  return std::make_shared<ResNet>(std::vector<std::int64_t>{1, 1, 1},
+                                  base_width, num_classes, in_channels, gen);
+}
+
+}  // namespace tx::nn

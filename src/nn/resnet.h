@@ -1,0 +1,56 @@
+// CIFAR-style residual networks (He et al., 2016). The paper's Table 1 uses
+// torchvision's ResNet-18; we provide the same block structure at
+// configurable depth/width so the CPU-scale benchmarks stay tractable while
+// exercising identical code paths (conv, BatchNorm, skip connections).
+#pragma once
+
+#include "nn/layers.h"
+
+namespace tx::nn {
+
+/// Standard two-conv basic block with identity or projection shortcut.
+class BasicBlock : public UnaryModule {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Generator* gen = nullptr);
+
+  std::string type_name() const override { return "BasicBlock"; }
+  Tensor forward_one(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<Conv2d> conv1_, conv2_;
+  std::shared_ptr<BatchNorm2d> bn1_, bn2_;
+  std::shared_ptr<Conv2d> downsample_conv_;     // null for identity shortcut
+  std::shared_ptr<BatchNorm2d> downsample_bn_;  // null for identity shortcut
+};
+
+/// CIFAR ResNet: 3x3 stem, three stages doubling channels and halving
+/// resolution, global average pool, linear classifier.
+class ResNet : public UnaryModule {
+ public:
+  /// blocks_per_stage: e.g. {1,1,1} is ResNet-8, {2,2,2} is ResNet-14 (the
+  /// original torchvision resnet18 uses four stages of two 2-conv blocks).
+  ResNet(std::vector<std::int64_t> blocks_per_stage, std::int64_t base_width,
+         std::int64_t num_classes, std::int64_t in_channels = 3,
+         Generator* gen = nullptr);
+
+  std::string type_name() const override { return "ResNet"; }
+  Tensor forward_one(const Tensor& x) override;
+
+  /// The final classifier layer (the "LL" guides do inference only here).
+  std::shared_ptr<Linear> fc() { return fc_; }
+
+ private:
+  std::shared_ptr<Conv2d> stem_conv_;
+  std::shared_ptr<BatchNorm2d> stem_bn_;
+  std::vector<std::shared_ptr<Sequential>> stages_;
+  std::shared_ptr<Linear> fc_;
+};
+
+/// ResNet-8 at the given width (the scaled Table 1 architecture).
+std::shared_ptr<ResNet> make_resnet8(std::int64_t num_classes,
+                                     std::int64_t base_width = 16,
+                                     std::int64_t in_channels = 3,
+                                     Generator* gen = nullptr);
+
+}  // namespace tx::nn

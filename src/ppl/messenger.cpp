@@ -1,0 +1,62 @@
+#include "ppl/messenger.h"
+
+namespace tx::ppl {
+
+namespace {
+thread_local std::vector<Messenger*> g_stack;
+}  // namespace
+
+HandlerScope::HandlerScope(Messenger& m) : messenger_(&m) {
+  g_stack.push_back(messenger_);
+}
+
+HandlerScope::~HandlerScope() {
+  TX_CHECK(!g_stack.empty() && g_stack.back() == messenger_,
+           "handler stack corrupted (unbalanced scopes)");
+  g_stack.pop_back();
+}
+
+std::size_t handler_depth() { return g_stack.size(); }
+
+void apply_stack(SampleMsg& msg) {
+  // process: innermost (most recently entered) first, until a stop.
+  std::size_t stopped_at = 0;  // index of the outermost frame that processed
+  for (std::size_t i = g_stack.size(); i-- > 0;) {
+    g_stack[i]->process_message(msg);
+    stopped_at = i;
+    if (msg.stop) break;
+  }
+  if (!msg.done) {
+    if (!msg.value.defined()) {
+      TX_CHECK(msg.distribution != nullptr, "sample site '", msg.name,
+               "' has no distribution and no value");
+      msg.value = (grad_enabled() && msg.distribution->has_rsample())
+                      ? msg.distribution->rsample()
+                      : msg.distribution->sample();
+    }
+    msg.done = true;
+  }
+  // postprocess: only frames that processed the message, outermost first /
+  // innermost last (Pyro's stack[-counter:] ordering).
+  if (!g_stack.empty()) {
+    for (std::size_t i = stopped_at; i < g_stack.size(); ++i) {
+      g_stack[i]->postprocess_message(msg);
+    }
+  }
+}
+
+Tensor sample(const std::string& name, dist::DistPtr distribution,
+              const Tensor& obs) {
+  SampleMsg msg;
+  msg.name = name;
+  msg.distribution = std::move(distribution);
+  if (obs.defined()) {
+    msg.value = obs;
+    msg.is_observed = true;
+    msg.done = true;
+  }
+  apply_stack(msg);
+  return msg.value;
+}
+
+}  // namespace tx::ppl

@@ -1,0 +1,69 @@
+// Effect-handler core, the analogue of Pyro's poutine machinery.
+//
+// A probabilistic program is ordinary C++ that calls ppl::sample(name, dist
+// [, obs]). Each call builds a SampleMsg and applies the active handler
+// stack: process_message runs innermost-first (a handler may fill in the
+// value, rescale it, or stop propagation), then the default sampler runs if
+// no handler decided the value, then postprocess_message runs outermost-last
+// (this is where traces record). Handlers are entered/exited with RAII
+// HandlerScope objects, mirroring Python's `with` blocks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "tensor/tensor.h"
+
+namespace tx::ppl {
+
+/// The message threaded through the handler stack for one sample statement.
+struct SampleMsg {
+  std::string name;
+  dist::DistPtr distribution;
+  Tensor value;             // undefined until decided
+  bool is_observed = false;
+  double scale = 1.0;       // log_prob multiplier (mini-batch scaling)
+  Tensor mask;              // optional elementwise log_prob mask (undefined = all on)
+  bool done = false;        // a handler already decided the value
+  bool stop = false;        // stop propagating to outer handlers
+  bool infer_hidden = false;  // site hidden from outer handlers by block
+};
+
+class Messenger {
+ public:
+  virtual ~Messenger() = default;
+  /// Runs innermost-first before the value is decided.
+  virtual void process_message(SampleMsg& msg) { (void)msg; }
+  /// Runs outermost-last after the value is decided.
+  virtual void postprocess_message(SampleMsg& msg) { (void)msg; }
+};
+
+/// RAII activation of a messenger on the (thread-local) handler stack.
+class HandlerScope {
+ public:
+  explicit HandlerScope(Messenger& m);
+  ~HandlerScope();
+  HandlerScope(const HandlerScope&) = delete;
+  HandlerScope& operator=(const HandlerScope&) = delete;
+
+ private:
+  Messenger* messenger_;
+};
+
+/// Current stack depth (for tests).
+std::size_t handler_depth();
+
+/// The sample primitive: draw (or look up) the value of the named random
+/// variable. With `obs` defined the site is observed and the value is fixed.
+Tensor sample(const std::string& name, dist::DistPtr distribution,
+              const Tensor& obs = Tensor());
+
+/// Apply the handler stack to an already-built message. Exposed so compound
+/// handlers (e.g. reparameterization messengers registering synthetic output
+/// sites) can inject messages.
+void apply_stack(SampleMsg& msg);
+
+}  // namespace tx::ppl

@@ -1,0 +1,88 @@
+#include "ppl/param_store.h"
+
+namespace tx::ppl {
+
+Tensor ParamStore::get_or_create(const std::string& name, const Tensor& init) {
+  auto it = params_.find(name);
+  if (it != params_.end()) return it->second;
+  TX_CHECK(init.defined(), "param '", name, "' does not exist and init is undefined");
+  Tensor stored = init.detach();
+  stored.set_requires_grad(true);
+  params_.emplace(name, stored);
+  return stored;
+}
+
+Tensor ParamStore::get_or_create(const std::string& name,
+                                 const std::function<Tensor()>& init) {
+  auto it = params_.find(name);
+  if (it != params_.end()) return it->second;
+  return get_or_create(name, init());
+}
+
+bool ParamStore::contains(const std::string& name) const {
+  return params_.count(name) > 0;
+}
+
+Tensor ParamStore::get(const std::string& name) const {
+  auto it = params_.find(name);
+  TX_CHECK(it != params_.end(), "no param named '", name, "'");
+  return it->second;
+}
+
+void ParamStore::set(const std::string& name, Tensor value) {
+  TX_CHECK(value.defined(), "set param '", name, "': undefined value");
+  if (!value.requires_grad()) {
+    value = value.detach();
+    value.set_requires_grad(true);
+  }
+  params_[name] = std::move(value);
+}
+
+void ParamStore::erase(const std::string& name) { params_.erase(name); }
+
+void ParamStore::clear() { params_.clear(); }
+
+std::vector<std::pair<std::string, Tensor>> ParamStore::items() const {
+  return {params_.begin(), params_.end()};
+}
+
+std::vector<std::pair<std::string, Tensor>> ParamStore::items_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, t] : params_) {
+    if (name.rfind(prefix, 0) == 0) out.emplace_back(name, t);
+  }
+  return out;
+}
+
+std::map<std::string, Tensor> ParamStore::snapshot() const {
+  std::map<std::string, Tensor> snap;
+  for (const auto& [name, t] : params_) snap.emplace(name, t.detach());
+  return snap;
+}
+
+void ParamStore::restore(const std::map<std::string, Tensor>& snap) {
+  for (const auto& [name, value] : snap) {
+    auto it = params_.find(name);
+    TX_CHECK(it != params_.end(), "restore: no param named '", name, "'");
+    // Write through the existing handle so shared references see the values.
+    it->second.copy_(value);
+  }
+}
+
+ParamStore& param_store() {
+  static ParamStore store;
+  return store;
+}
+
+Tensor param(const std::string& name, const Tensor& init) {
+  return param_store().get_or_create(name, init);
+}
+
+Tensor param(const std::string& name, const std::function<Tensor()>& init) {
+  return param_store().get_or_create(name, init);
+}
+
+void clear_param_store() { param_store().clear(); }
+
+}  // namespace tx::ppl

@@ -1,0 +1,58 @@
+// Global parameter store, the analogue of Pyro's param store. Guides and
+// deterministic ("hidden from the prior") network parameters live here; the
+// optimizers in tx::infer update whatever it contains.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx::ppl {
+
+class ParamStore {
+ public:
+  /// Returns the stored parameter, creating it from `init` on first use. The
+  /// returned tensor is a handle into the store: in-place updates by an
+  /// optimizer are visible everywhere it is shared. Created parameters
+  /// require grad.
+  Tensor get_or_create(const std::string& name, const Tensor& init);
+  Tensor get_or_create(const std::string& name,
+                       const std::function<Tensor()>& init);
+
+  bool contains(const std::string& name) const;
+  Tensor get(const std::string& name) const;
+  void set(const std::string& name, Tensor value);
+  void erase(const std::string& name);
+  /// Remove every parameter (pyro.clear_param_store()).
+  void clear();
+  std::size_t size() const { return params_.size(); }
+
+  /// All (name, tensor) pairs, sorted by name.
+  std::vector<std::pair<std::string, Tensor>> items() const;
+  /// Parameters whose names start with `prefix`.
+  std::vector<std::pair<std::string, Tensor>> items_with_prefix(
+      const std::string& prefix) const;
+
+  /// Snapshot / restore of all values (used by VCL coreset fine-tuning and by
+  /// tests).
+  std::map<std::string, Tensor> snapshot() const;
+  void restore(const std::map<std::string, Tensor>& snap);
+
+ private:
+  std::map<std::string, Tensor> params_;
+};
+
+/// Process-wide store used by param() below.
+ParamStore& param_store();
+
+/// pyro.param analogue.
+Tensor param(const std::string& name, const Tensor& init);
+Tensor param(const std::string& name, const std::function<Tensor()>& init);
+
+/// pyro.clear_param_store analogue.
+void clear_param_store();
+
+}  // namespace tx::ppl

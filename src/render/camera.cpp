@@ -1,0 +1,82 @@
+#include "render/camera.h"
+
+#include <cmath>
+
+namespace tx::render {
+
+namespace {
+
+Vec3 normalize(const Vec3& v) {
+  const float n = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+  TX_CHECK(n > 1e-8f, "normalize: zero vector");
+  return {v[0] / n, v[1] / n, v[2] / n};
+}
+
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+}  // namespace
+
+Camera look_at(const Vec3& position, const Vec3& target, float focal,
+               std::int64_t height, std::int64_t width) {
+  Camera cam;
+  cam.position = position;
+  cam.forward = normalize({target[0] - position[0], target[1] - position[1],
+                           target[2] - position[2]});
+  const Vec3 world_up{0.0f, 1.0f, 0.0f};
+  cam.right = normalize(cross(cam.forward, world_up));
+  cam.up = cross(cam.right, cam.forward);
+  cam.focal = focal;
+  cam.height = height;
+  cam.width = width;
+  return cam;
+}
+
+std::vector<Camera> circle_cameras(std::int64_t count, float radius,
+                                   float height_offset, float focal,
+                                   std::int64_t image_size, float start_angle,
+                                   float end_angle) {
+  TX_CHECK(count >= 1, "circle_cameras: need at least one camera");
+  std::vector<Camera> cams;
+  cams.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float t = count == 1 ? 0.0f
+                               : static_cast<float>(i) /
+                                     static_cast<float>(count);
+    const float angle = start_angle + t * (end_angle - start_angle);
+    const Vec3 pos{radius * std::cos(angle), height_offset,
+                   radius * std::sin(angle)};
+    cams.push_back(look_at(pos, {0.0f, 0.0f, 0.0f}, focal, image_size,
+                           image_size));
+  }
+  return cams;
+}
+
+RayBatch camera_rays(const Camera& cam) {
+  const std::int64_t p = cam.height * cam.width;
+  Tensor origins = zeros({p, 3});
+  Tensor directions = zeros({p, 3});
+  const float cy = static_cast<float>(cam.height - 1) / 2.0f;
+  const float cx = static_cast<float>(cam.width - 1) / 2.0f;
+  std::int64_t idx = 0;
+  for (std::int64_t y = 0; y < cam.height; ++y) {
+    for (std::int64_t x = 0; x < cam.width; ++x, ++idx) {
+      const float dx = (static_cast<float>(x) - cx) / cam.focal;
+      const float dy = (cy - static_cast<float>(y)) / cam.focal;  // +y up
+      Vec3 dir{cam.forward[0] + dx * cam.right[0] + dy * cam.up[0],
+               cam.forward[1] + dx * cam.right[1] + dy * cam.up[1],
+               cam.forward[2] + dx * cam.right[2] + dy * cam.up[2]};
+      const float n = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] +
+                                dir[2] * dir[2]);
+      for (std::int64_t c = 0; c < 3; ++c) {
+        origins.at(idx * 3 + c) = cam.position[static_cast<std::size_t>(c)];
+        directions.at(idx * 3 + c) = dir[static_cast<std::size_t>(c)] / n;
+      }
+    }
+  }
+  return RayBatch{origins, directions, cam.height, cam.width};
+}
+
+}  // namespace tx::render

@@ -1,0 +1,45 @@
+// Pinhole cameras and ray generation for the NeRF experiment. Cameras sit on
+// a circle around the origin looking inward (the paper's 360° cow setup; our
+// scene is analytic, Sec. 2 of DESIGN.md).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx::render {
+
+using Vec3 = std::array<float, 3>;
+
+struct Camera {
+  Vec3 position;
+  Vec3 forward, right, up;  // orthonormal basis, forward towards the target
+  float focal;              // in pixels
+  std::int64_t height, width;
+};
+
+/// Camera at `position` looking at `target` with +y as world up.
+Camera look_at(const Vec3& position, const Vec3& target, float focal,
+               std::int64_t height, std::int64_t width);
+
+/// `count` cameras evenly spaced on a horizontal circle of `radius` at
+/// elevation `height_offset`, all looking at the origin. `start_angle` /
+/// `end_angle` (radians) bound the arc — holding out a 90° arc is how the
+/// experiment creates out-of-distribution views.
+std::vector<Camera> circle_cameras(std::int64_t count, float radius,
+                                   float height_offset, float focal,
+                                   std::int64_t image_size,
+                                   float start_angle = 0.0f,
+                                   float end_angle = 6.2831853f);
+
+struct RayBatch {
+  Tensor origins;     // (P, 3)
+  Tensor directions;  // (P, 3), unit length
+  std::int64_t height = 0, width = 0;
+};
+
+/// One ray per pixel through the pinhole.
+RayBatch camera_rays(const Camera& camera);
+
+}  // namespace tx::render

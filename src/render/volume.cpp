@@ -1,0 +1,132 @@
+#include "render/volume.h"
+
+#include <cmath>
+
+namespace tx::render {
+
+Tensor positional_encoding(const Tensor& points, std::int64_t levels) {
+  TX_CHECK(points.rank() == 2 && points.dim(1) == 3,
+           "positional_encoding: points must be (P, 3)");
+  std::vector<Tensor> parts{points};
+  float freq = 1.0f;
+  for (std::int64_t l = 0; l < levels; ++l) {
+    Tensor scaled = mul(points, Tensor::scalar(freq));
+    parts.push_back(sin(scaled));
+    parts.push_back(cos(scaled));
+    freq *= 2.0f;
+  }
+  return cat(parts, 1);
+}
+
+RenderResult composite(const Tensor& sigma, const Tensor& rgb,
+                       const Tensor& depths) {
+  TX_CHECK(sigma.rank() == 2 && rgb.rank() == 3 && depths.rank() == 1,
+           "composite: bad shapes");
+  const std::int64_t p = sigma.dim(0), t = sigma.dim(1);
+  TX_CHECK(rgb.dim(0) == p && rgb.dim(1) == t && rgb.dim(2) == 3 &&
+               depths.dim(0) == t,
+           "composite: shape mismatch");
+  // Segment lengths; the final segment repeats the previous delta.
+  Tensor deltas = zeros({t});
+  for (std::int64_t i = 0; i + 1 < t; ++i) {
+    deltas.at(i) = depths.at(i + 1) - depths.at(i);
+  }
+  deltas.at(t - 1) = t > 1 ? deltas.at(t - 2) : 1.0f;
+  // alpha_i = 1 - exp(-sigma_i * delta_i)
+  Tensor alpha = sub(Tensor::scalar(1.0f),
+                     exp(neg(mul(sigma, reshape(deltas, {1, t})))));
+  // Exclusive transmittance: T_i = prod_{j<i} (1 - alpha_j), in log space.
+  Tensor log1m = log(clamp_min(sub(Tensor::scalar(1.0f), alpha), 1e-7f));
+  Tensor inclusive = cumsum(log1m, 1);
+  Tensor exclusive = sub(inclusive, log1m);
+  Tensor transmittance = exp(exclusive);
+  Tensor weights = mul(transmittance, alpha);  // (P, T)
+  RenderResult out;
+  out.rgb = sum(mul(reshape(weights, {p, t, 1}), rgb), {1});
+  out.alpha = sum(weights, {1});
+  return out;
+}
+
+RenderResult render_rays(const FieldFn& field_fn, const RayBatch& rays,
+                         const RenderConfig& config) {
+  const std::int64_t p = rays.origins.dim(0);
+  const std::int64_t t = config.num_samples;
+  Tensor depths = linspace(config.t_near, config.t_far, t);
+  // points[r, s] = origin[r] + depth[s] * direction[r]; flattened (P*T, 3).
+  Tensor o = reshape(rays.origins, {p, 1, 3});
+  Tensor d = reshape(rays.directions, {p, 1, 3});
+  Tensor z = reshape(depths, {1, t, 1});
+  Tensor points = reshape(add(broadcast_to(o, {p, t, 3}),
+                              mul(broadcast_to(d, {p, t, 3}), z)),
+                          {p * t, 3});
+  Tensor raw = field_fn(points);
+  TX_CHECK(raw.rank() == 2 && raw.dim(0) == p * t && raw.dim(1) == 4,
+           "render_rays: field must return (P*T, 4)");
+  Tensor raw4 = reshape(raw, {p, t, 4});
+  Tensor sigma = softplus(reshape(slice(raw4, 2, 0, 1), {p, t}));
+  Tensor rgb = sigmoid(slice(raw4, 2, 1, 4));
+  return composite(sigma, rgb, depths);
+}
+
+NeRFField::NeRFField(std::int64_t encoding_levels, std::int64_t hidden,
+                     std::int64_t depth, Generator* gen)
+    : levels_(encoding_levels) {
+  TX_CHECK(depth >= 1, "NeRFField: depth must be >= 1");
+  std::vector<std::int64_t> sizes{3 + 6 * levels_};
+  for (std::int64_t i = 0; i < depth; ++i) sizes.push_back(hidden);
+  sizes.push_back(4);
+  mlp_ = nn::make_mlp(sizes, "relu", gen);
+  register_module("mlp", mlp_);
+}
+
+Tensor NeRFField::forward_one(const Tensor& points) {
+  return mlp_->forward(positional_encoding(points, levels_));
+}
+
+Tensor AnalyticScene::operator()(const Tensor& points) const {
+  TX_CHECK(points.rank() == 2 && points.dim(1) == 3,
+           "AnalyticScene: points must be (P, 3)");
+  const std::int64_t p = points.dim(0);
+  Tensor out = zeros({p, 4});
+  for (std::int64_t i = 0; i < p; ++i) {
+    const float x = points.at(i * 3 + 0);
+    const float y = points.at(i * 3 + 1);
+    const float z = points.at(i * 3 + 2);
+    // Soft sphere of radius 0.6 at the origin.
+    const float r = std::sqrt(x * x + y * y + z * z);
+    float density = 18.0f * (0.6f - r);
+    // Ring of radius 0.9 in the y = 0 plane, tube radius 0.18.
+    const float ring = std::sqrt(x * x + z * z) - 0.9f;
+    const float tube = std::sqrt(ring * ring + y * y);
+    density = std::max(density, 18.0f * (0.18f - tube));
+    // Raw outputs feed softplus/sigmoid in the compositor: invert roughly by
+    // emitting large negatives for empty space.
+    out.at(i * 4 + 0) = density;
+    // Position-dependent colour (pre-sigmoid logits).
+    out.at(i * 4 + 1) = 2.0f * std::sin(3.0f * x);
+    out.at(i * 4 + 2) = 2.0f * std::cos(3.0f * y + 1.0f);
+    out.at(i * 4 + 3) = 2.0f * std::sin(3.0f * z + 2.0f);
+  }
+  return out;
+}
+
+std::vector<RenderResult> ground_truth_views(const std::vector<Camera>& cameras,
+                                             const RenderConfig& config) {
+  AnalyticScene scene;
+  std::vector<RenderResult> views;
+  views.reserve(cameras.size());
+  NoGradGuard ng;
+  for (const auto& cam : cameras) {
+    views.push_back(render_rays([&scene](const Tensor& pts) { return scene(pts); },
+                                camera_rays(cam), config));
+  }
+  return views;
+}
+
+Tensor render_loss(const RenderResult& predicted, const RenderResult& target) {
+  Tensor colour = mean(square(sub(predicted.rgb, target.rgb)));
+  Tensor silhouette = mean(square(sub(predicted.alpha, target.alpha)));
+  return add(colour, silhouette);
+}
+
+}  // namespace tx::render

@@ -1,0 +1,74 @@
+// Differentiable emission-absorption volume rendering, positional encoding,
+// the NeRF field network, and the analytic ground-truth scene that replaces
+// the paper's mesh renderer (see DESIGN.md's substitution table).
+#pragma once
+
+#include <functional>
+
+#include "nn/nn.h"
+#include "render/camera.h"
+
+namespace tx::render {
+
+struct RenderConfig {
+  std::int64_t num_samples = 24;  // depth samples per ray
+  float t_near = 1.0f;
+  float t_far = 5.0f;
+};
+
+/// gamma(p): [p, sin(2^l p), cos(2^l p)] for l = 0..levels-1; (P, 3 + 6L).
+Tensor positional_encoding(const Tensor& points, std::int64_t levels);
+
+struct RenderResult {
+  Tensor rgb;    // (P, 3)
+  Tensor alpha;  // (P,) accumulated opacity (silhouette)
+};
+
+/// Composite per-sample densities and colours along each ray.
+/// sigma: (P, T) nonnegative; rgb: (P, T, 3) in [0, 1]; depths: (T,).
+RenderResult composite(const Tensor& sigma, const Tensor& rgb,
+                       const Tensor& depths);
+
+/// A field maps world points (P, 3) to raw outputs (P, 4): density gets
+/// softplus, colour gets sigmoid inside the renderer.
+using FieldFn = std::function<Tensor(const Tensor& points)>;
+
+/// March `rays` through the field: the whole path is differentiable w.r.t.
+/// anything inside field_fn — this is where a PytorchBNN drops in for the
+/// deterministic network.
+RenderResult render_rays(const FieldFn& field_fn, const RayBatch& rays,
+                         const RenderConfig& config);
+
+/// The NeRF network: positional encoding + MLP emitting 4 raw channels.
+class NeRFField : public nn::UnaryModule {
+ public:
+  NeRFField(std::int64_t encoding_levels, std::int64_t hidden,
+            std::int64_t depth, Generator* gen = nullptr);
+
+  std::string type_name() const override { return "NeRFField"; }
+  Tensor forward_one(const Tensor& points) override;
+
+ private:
+  std::int64_t levels_;
+  nn::ModulePtr mlp_;
+};
+
+/// Analytic emissive scene: a soft sphere and a ring ("torus") with
+/// position-dependent colour, evaluated directly — the ground truth the NeRF
+/// learns from.
+class AnalyticScene {
+ public:
+  /// Raw field values matching the NeRFField output convention (so the same
+  /// compositor renders ground truth and predictions).
+  Tensor operator()(const Tensor& points) const;
+};
+
+/// Render target images for a set of cameras against the analytic scene.
+std::vector<RenderResult> ground_truth_views(const std::vector<Camera>& cameras,
+                                             const RenderConfig& config);
+
+/// Mean squared error between two rendered results (rgb + alpha channels),
+/// matching the tutorial's colour+silhouette loss.
+Tensor render_loss(const RenderResult& predicted, const RenderResult& target);
+
+}  // namespace tx::render

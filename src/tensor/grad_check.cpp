@@ -1,0 +1,49 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+
+namespace tx {
+
+double max_grad_error(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps) {
+  for (auto& in : inputs) {
+    TX_CHECK(in.is_leaf(), "grad_check inputs must be leaves");
+    in.set_requires_grad(true);
+    in.zero_grad();
+  }
+  Tensor out = fn(inputs);
+  TX_CHECK(out.numel() == 1, "grad_check function must return a scalar");
+  out.backward();
+
+  double worst = 0.0;
+  for (auto& in : inputs) {
+    const Tensor analytic = in.grad();
+    for (std::int64_t i = 0; i < in.numel(); ++i) {
+      const float original = in.at(i);
+      double plus, minus;
+      {
+        NoGradGuard ng;
+        in.at(i) = original + eps;
+        plus = fn(inputs).item();
+        in.at(i) = original - eps;
+        minus = fn(inputs).item();
+        in.at(i) = original;
+      }
+      const double numeric = (plus - minus) / (2.0 * static_cast<double>(eps));
+      const double err = std::fabs(numeric - static_cast<double>(analytic.at(i)));
+      // Normalize by gradient magnitude so large gradients aren't penalized.
+      const double scale =
+          std::max(1.0, std::fabs(numeric) + std::fabs(analytic.at(i)));
+      worst = std::max(worst, err / scale);
+    }
+  }
+  return worst;
+}
+
+bool grad_check(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+                std::vector<Tensor> inputs, float eps, double tol) {
+  return max_grad_error(fn, std::move(inputs), eps) <= tol;
+}
+
+}  // namespace tx

@@ -1,0 +1,25 @@
+// Finite-difference gradient checking used throughout the test suite.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+/// Compares the analytic gradient of `fn` (a scalar-valued function of the
+/// given inputs) against central finite differences. Returns the maximum
+/// absolute deviation across all input elements.
+///
+/// Inputs must be leaf tensors; their requires_grad flags are forced on.
+double max_grad_error(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps = 1e-3f);
+
+/// Convenience assertion form: true if the gradients match within tolerance.
+bool grad_check(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+                std::vector<Tensor> inputs, float eps = 1e-3f,
+                double tol = 5e-2);
+
+}  // namespace tx

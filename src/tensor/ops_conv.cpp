@@ -1,0 +1,290 @@
+// NCHW convolution and pooling, implemented as self-contained autograd ops
+// with hand-written im2col / col2im so the backward pass needs no view
+// gymnastics.
+#include <algorithm>
+#include <limits>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+namespace {
+
+struct ConvDims {
+  std::int64_t n, ic, ih, iw;      // input
+  std::int64_t oc, kh, kw;         // kernel
+  std::int64_t oh, ow;             // output spatial
+  std::int64_t stride, padding;
+};
+
+ConvDims conv_dims(const Tensor& x, const Tensor& w, std::int64_t stride,
+                   std::int64_t padding) {
+  TX_CHECK(x.rank() == 4 && w.rank() == 4, "conv2d expects NCHW x and OIHW w");
+  ConvDims d{};
+  d.n = x.dim(0);
+  d.ic = x.dim(1);
+  d.ih = x.dim(2);
+  d.iw = x.dim(3);
+  d.oc = w.dim(0);
+  d.kh = w.dim(2);
+  d.kw = w.dim(3);
+  d.stride = stride;
+  d.padding = padding;
+  TX_CHECK(w.dim(1) == d.ic, "conv2d: weight in-channels ", w.dim(1),
+           " != input channels ", d.ic);
+  TX_CHECK(stride >= 1 && padding >= 0, "conv2d: bad stride/padding");
+  d.oh = (d.ih + 2 * padding - d.kh) / stride + 1;
+  d.ow = (d.iw + 2 * padding - d.kw) / stride + 1;
+  TX_CHECK(d.oh > 0 && d.ow > 0, "conv2d: empty output");
+  return d;
+}
+
+/// Expand one image (ic, ih, iw) into columns (ic*kh*kw, oh*ow).
+void im2col(const float* img, const ConvDims& d, float* cols) {
+  const std::int64_t patch = d.ic * d.kh * d.kw;
+  const std::int64_t spatial = d.oh * d.ow;
+  for (std::int64_t c = 0; c < d.ic; ++c) {
+    for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+        const std::int64_t row = (c * d.kh + ky) * d.kw + kx;
+        float* dst = cols + row * spatial;
+        for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+          const std::int64_t iy = oy * d.stride + ky - d.padding;
+          for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+            const std::int64_t ix = ox * d.stride + kx - d.padding;
+            const bool inside = iy >= 0 && iy < d.ih && ix >= 0 && ix < d.iw;
+            dst[oy * d.ow + ox] =
+                inside ? img[(c * d.ih + iy) * d.iw + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  (void)patch;
+}
+
+/// Scatter columns (ic*kh*kw, oh*ow) back into an image, accumulating.
+void col2im(const float* cols, const ConvDims& d, float* img) {
+  const std::int64_t spatial = d.oh * d.ow;
+  for (std::int64_t c = 0; c < d.ic; ++c) {
+    for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+        const std::int64_t row = (c * d.kh + ky) * d.kw + kx;
+        const float* src = cols + row * spatial;
+        for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+          const std::int64_t iy = oy * d.stride + ky - d.padding;
+          if (iy < 0 || iy >= d.ih) continue;
+          for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+            const std::int64_t ix = ox * d.stride + kx - d.padding;
+            if (ix < 0 || ix >= d.iw) continue;
+            img[(c * d.ih + iy) * d.iw + ix] += src[oy * d.ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// C(M,N) += A(M,K) * B(K,N).
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C(M,N) += A(K,M)^T * B(K,N).
+void gemm_at_acc(const float* a, const float* b, float* c, std::int64_t k,
+                 std::int64_t m, std::int64_t n) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C(M,N) += A(M,K) * B(N,K)^T.
+void gemm_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride, std::int64_t padding) {
+  const ConvDims d = conv_dims(x, weight, stride, padding);
+  const std::int64_t patch = d.ic * d.kh * d.kw;
+  const std::int64_t spatial = d.oh * d.ow;
+  std::vector<float> out(static_cast<std::size_t>(d.n * d.oc * spatial), 0.0f);
+  std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+  for (std::int64_t img = 0; img < d.n; ++img) {
+    im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+    // weight (oc, patch) * cols (patch, spatial) -> out (oc, spatial)
+    gemm_acc(weight.data(), cols.data(), out.data() + img * d.oc * spatial,
+             d.oc, patch, spatial);
+  }
+  if (bias.defined()) {
+    TX_CHECK(bias.rank() == 1 && bias.dim(0) == d.oc, "conv2d: bias mismatch");
+    for (std::int64_t img = 0; img < d.n; ++img) {
+      for (std::int64_t c = 0; c < d.oc; ++c) {
+        float* dst = out.data() + (img * d.oc + c) * spatial;
+        const float bv = bias.at(c);
+        for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+      }
+    }
+  }
+  const bool has_bias = bias.defined();
+  std::vector<Tensor> inputs{x, weight};
+  if (has_bias) inputs.push_back(bias);
+  return make_tensor_from_op(
+      "conv2d", Shape{d.n, d.oc, d.oh, d.ow}, std::move(out), inputs,
+      [x, weight, d, patch, spatial, has_bias](const Tensor& g) {
+        Tensor gx = zeros(x.shape());
+        Tensor gw = zeros(weight.shape());
+        std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+        std::vector<float> gcols(static_cast<std::size_t>(patch * spatial));
+        for (std::int64_t img = 0; img < d.n; ++img) {
+          const float* gout = g.data() + img * d.oc * spatial;
+          // dW (oc, patch) += gout (oc, spatial) * cols (patch, spatial)^T
+          im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+          gemm_bt_acc(gout, cols.data(), gw.data(), d.oc, spatial, patch);
+          // dcols (patch, spatial) = W (oc, patch)^T * gout (oc, spatial)
+          std::fill(gcols.begin(), gcols.end(), 0.0f);
+          gemm_at_acc(weight.data(), gout, gcols.data(), d.oc, patch, spatial);
+          col2im(gcols.data(), d, gx.data() + img * d.ic * d.ih * d.iw);
+        }
+        std::vector<Tensor> grads{gx, gw};
+        if (has_bias) {
+          Tensor gb = zeros(Shape{d.oc});
+          for (std::int64_t img = 0; img < d.n; ++img) {
+            for (std::int64_t c = 0; c < d.oc; ++c) {
+              const float* src = g.data() + (img * d.oc + c) * spatial;
+              float acc = 0.0f;
+              for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+              gb.at(c) += acc;
+            }
+          }
+          grads.push_back(gb);
+        }
+        return grads;
+      });
+}
+
+Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  TX_CHECK(x.rank() == 4, "max_pool2d expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const std::int64_t oh = (ih - kernel) / stride + 1;
+  const std::int64_t ow = (iw - kernel) / stride + 1;
+  TX_CHECK(oh > 0 && ow > 0, "max_pool2d: empty output");
+  const std::int64_t planes = n * c;
+  std::vector<float> out(static_cast<std::size_t>(planes * oh * ow));
+  std::vector<std::int64_t> arg(out.size());
+  const float* px = x.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* plane = px + p * ih * iw;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = -1;
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            const std::int64_t iy = oy * stride + ky;
+            const std::int64_t ix = ox * stride + kx;
+            const float v = plane[iy * iw + ix];
+            if (v > best) {
+              best = v;
+              best_idx = p * ih * iw + iy * iw + ix;
+            }
+          }
+        }
+        const auto o = static_cast<std::size_t>(p * oh * ow + oy * ow + ox);
+        out[o] = best;
+        arg[o] = best_idx;
+      }
+    }
+  }
+  const Shape in_shape = x.shape();
+  return make_tensor_from_op(
+      "max_pool2d", Shape{n, c, oh, ow}, std::move(out), {x},
+      [in_shape, arg](const Tensor& g) {
+        Tensor gx = zeros(in_shape);
+        for (std::size_t o = 0; o < arg.size(); ++o) {
+          gx.at(arg[o]) += g.at(static_cast<std::int64_t>(o));
+        }
+        return std::vector<Tensor>{gx};
+      });
+}
+
+Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  TX_CHECK(x.rank() == 4, "avg_pool2d expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const std::int64_t oh = (ih - kernel) / stride + 1;
+  const std::int64_t ow = (iw - kernel) / stride + 1;
+  TX_CHECK(oh > 0 && ow > 0, "avg_pool2d: empty output");
+  const std::int64_t planes = n * c;
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  std::vector<float> out(static_cast<std::size_t>(planes * oh * ow), 0.0f);
+  const float* px = x.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* plane = px + p * ih * iw;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            acc += plane[(oy * stride + ky) * iw + (ox * stride + kx)];
+          }
+        }
+        out[static_cast<std::size_t>(p * oh * ow + oy * ow + ox)] = acc * inv;
+      }
+    }
+  }
+  const Shape in_shape = x.shape();
+  const std::int64_t k = kernel, s = stride, IH = ih, IW = iw, OH = oh, OW = ow,
+                     P = planes;
+  return make_tensor_from_op(
+      "avg_pool2d", Shape{n, c, oh, ow}, std::move(out), {x},
+      [in_shape, k, s, IH, IW, OH, OW, P, inv](const Tensor& g) {
+        Tensor gx = zeros(in_shape);
+        float* pg = gx.data();
+        const float* src = g.data();
+        for (std::int64_t p = 0; p < P; ++p) {
+          float* plane = pg + p * IH * IW;
+          for (std::int64_t oy = 0; oy < OH; ++oy) {
+            for (std::int64_t ox = 0; ox < OW; ++ox) {
+              const float gv = src[p * OH * OW + oy * OW + ox] * inv;
+              for (std::int64_t ky = 0; ky < k; ++ky) {
+                for (std::int64_t kx = 0; kx < k; ++kx) {
+                  plane[(oy * s + ky) * IW + (ox * s + kx)] += gv;
+                }
+              }
+            }
+          }
+        }
+        return std::vector<Tensor>{gx};
+      });
+}
+
+}  // namespace tx

@@ -1,0 +1,276 @@
+// Elementwise binary ops with NumPy broadcasting and unary math ops.
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+namespace {
+
+/// Applies `fn(av, bv)` over the broadcast of a and b.
+template <typename Fn>
+Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
+  const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
+  const Shape sa = broadcast_strides(a.shape(), out_shape);
+  const Shape sb = broadcast_strides(b.shape(), out_shape);
+  const std::int64_t n = numel_of(out_shape);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (a.shape() == b.shape()) {  // fast path: no index arithmetic
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = fn(pa[i], pb[i]);
+    }
+  } else {
+    const std::size_t rank = out_shape.size();
+    for_each_index(out_shape, [&](const std::vector<std::int64_t>& idx,
+                                  std::int64_t flat) {
+      std::int64_t oa = 0, ob = 0;
+      for (std::size_t d = 0; d < rank; ++d) {
+        oa += idx[d] * sa[d];
+        ob += idx[d] * sb[d];
+      }
+      out[static_cast<std::size_t>(flat)] = fn(pa[oa], pb[ob]);
+    });
+  }
+  return Tensor(out_shape, std::move(out));
+}
+
+/// Shared machinery for unary ops: forward map plus a backward closure that
+/// receives (input, detached output, upstream grad).
+template <typename Fwd, typename Bwd>
+Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
+  TX_CHECK(a.defined(), name, " on undefined tensor");
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[static_cast<std::size_t>(i)] = fwd(pa[i]);
+  }
+  Tensor result(a.shape(), std::move(out));
+  Tensor y = result.detach();
+  return make_tensor_from_op(
+      name, a.shape(), result.to_vector(), {a},
+      [a, y, bwd](const Tensor& g) { return std::vector<Tensor>{bwd(a, y, g)}; });
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x + y; });
+  const Shape as = a.shape(), bs = b.shape();
+  return make_tensor_from_op(
+      "add", out.shape(), out.to_vector(), {a, b},
+      [as, bs](const Tensor& g) {
+        return std::vector<Tensor>{sum_to(g, as), sum_to(g, bs)};
+      });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x - y; });
+  const Shape as = a.shape(), bs = b.shape();
+  return make_tensor_from_op(
+      "sub", out.shape(), out.to_vector(), {a, b},
+      [as, bs](const Tensor& g) {
+        return std::vector<Tensor>{sum_to(g, as), sum_to(neg(g), bs)};
+      });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x * y; });
+  return make_tensor_from_op(
+      "mul", out.shape(), out.to_vector(), {a, b},
+      [a, b](const Tensor& g) {
+        return std::vector<Tensor>{sum_to(mul(g, b), a.shape()),
+                                   sum_to(mul(g, a), b.shape())};
+      });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x / y; });
+  return make_tensor_from_op(
+      "div", out.shape(), out.to_vector(), {a, b},
+      [a, b](const Tensor& g) {
+        Tensor ga = sum_to(div(g, b), a.shape());
+        Tensor gb = sum_to(neg(div(mul(g, a), mul(b, b))), b.shape());
+        return std::vector<Tensor>{ga, gb};
+      });
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(
+      a, b, [](float x, float y) { return x >= y ? x : y; });
+  return make_tensor_from_op(
+      "maximum", out.shape(), out.to_vector(), {a, b},
+      [a, b](const Tensor& g) {
+        NoGradGuard ng;
+        Tensor mask = broadcast_binary_forward(
+            a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
+        Tensor inv = 1.0f - mask;
+        return std::vector<Tensor>{sum_to(mul(g, mask), a.shape()),
+                                   sum_to(mul(g, inv), b.shape())};
+      });
+}
+
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  Tensor out = broadcast_binary_forward(
+      a, b, [](float x, float y) { return x <= y ? x : y; });
+  return make_tensor_from_op(
+      "minimum", out.shape(), out.to_vector(), {a, b},
+      [a, b](const Tensor& g) {
+        NoGradGuard ng;
+        Tensor mask = broadcast_binary_forward(
+            a, b, [](float x, float y) { return x <= y ? 1.0f : 0.0f; });
+        Tensor inv = 1.0f - mask;
+        return std::vector<Tensor>{sum_to(mul(g, mask), a.shape()),
+                                   sum_to(mul(g, inv), b.shape())};
+      });
+}
+
+Tensor neg(const Tensor& a) {
+  return map_unary(
+      "neg", a, [](float x) { return -x; },
+      [](const Tensor&, const Tensor&, const Tensor& g) { return neg(g); });
+}
+
+Tensor exp(const Tensor& a) {
+  return map_unary(
+      "exp", a, [](float x) { return std::exp(x); },
+      [](const Tensor&, const Tensor& y, const Tensor& g) { return mul(g, y); });
+}
+
+Tensor log(const Tensor& a) {
+  return map_unary(
+      "log", a, [](float x) { return std::log(x); },
+      [](const Tensor& x, const Tensor&, const Tensor& g) { return div(g, x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return map_unary(
+      "sqrt", a, [](float x) { return std::sqrt(x); },
+      [](const Tensor&, const Tensor& y, const Tensor& g) {
+        return div(g, mul(Tensor::scalar(2.0f), y));
+      });
+}
+
+Tensor square(const Tensor& a) {
+  return map_unary(
+      "square", a, [](float x) { return x * x; },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, mul(Tensor::scalar(2.0f), x));
+      });
+}
+
+Tensor abs(const Tensor& a) {
+  return map_unary(
+      "abs", a, [](float x) { return std::fabs(x); },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        NoGradGuard ng;
+        Tensor sign = broadcast_binary_forward(
+            x, Tensor::scalar(0.0f),
+            [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
+        return mul(g, sign);
+      });
+}
+
+Tensor tanh(const Tensor& a) {
+  return map_unary(
+      "tanh", a, [](float x) { return std::tanh(x); },
+      [](const Tensor&, const Tensor& y, const Tensor& g) {
+        return mul(g, sub(Tensor::scalar(1.0f), mul(y, y)));
+      });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return map_unary(
+      "sigmoid", a,
+      [](float x) {
+        // Stable logistic function.
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](const Tensor&, const Tensor& y, const Tensor& g) {
+        return mul(g, mul(y, sub(Tensor::scalar(1.0f), y)));
+      });
+}
+
+Tensor relu(const Tensor& a) {
+  return map_unary(
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        NoGradGuard ng;
+        Tensor mask = broadcast_binary_forward(
+            x, Tensor::scalar(0.0f),
+            [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+        return mul(g, mask);
+      });
+}
+
+Tensor softplus(const Tensor& a) {
+  return map_unary(
+      "softplus", a,
+      [](float x) {
+        // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}) for stability.
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, sigmoid(x));
+      });
+}
+
+Tensor sin(const Tensor& a) {
+  return map_unary(
+      "sin", a, [](float x) { return std::sin(x); },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, cos(x));
+      });
+}
+
+Tensor cos(const Tensor& a) {
+  return map_unary(
+      "cos", a, [](float x) { return std::cos(x); },
+      [](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, neg(sin(x)));
+      });
+}
+
+Tensor erf(const Tensor& a) {
+  constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
+  return map_unary(
+      "erf", a, [](float x) { return std::erf(x); },
+      [kTwoOverSqrtPi](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, mul(Tensor::scalar(kTwoOverSqrtPi), exp(neg(mul(x, x)))));
+      });
+}
+
+Tensor pow_scalar(const Tensor& a, float p) {
+  return map_unary(
+      "pow_scalar", a, [p](float x) { return std::pow(x, p); },
+      [p](const Tensor& x, const Tensor&, const Tensor& g) {
+        return mul(g, mul(Tensor::scalar(p), pow_scalar(x, p - 1.0f)));
+      });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  TX_CHECK(lo <= hi, "clamp: lo > hi");
+  return map_unary(
+      "clamp", a,
+      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](const Tensor& x, const Tensor&, const Tensor& g) {
+        NoGradGuard ng;
+        Tensor mask = broadcast_binary_forward(
+            x, Tensor::scalar(0.0f), [lo, hi](float v, float) {
+              return (v >= lo && v <= hi) ? 1.0f : 0.0f;
+            });
+        return mul(g, mask);
+      });
+}
+
+Tensor clamp_min(const Tensor& a, float lo) {
+  return clamp(a, lo, std::numeric_limits<float>::infinity());
+}
+
+Tensor clamp_max(const Tensor& a, float hi) {
+  return clamp(a, -std::numeric_limits<float>::infinity(), hi);
+}
+
+}  // namespace tx

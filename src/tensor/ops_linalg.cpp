@@ -1,0 +1,122 @@
+// Matrix products. Kernels use the i-k-j loop order so the inner loop streams
+// contiguously through both the B matrix and the output row.
+#include "tensor/tensor.h"
+
+namespace tx {
+
+namespace {
+
+/// C(M,N) += A(M,K) * B(K,N) over raw buffers.
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C(M,N) += A(M,K) * B(N,K)^T.
+void gemm_bt_accumulate(const float* a, const float* b, float* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+/// C(K,N) += A(M,K)^T * B(M,N).
+void gemm_at_accumulate(const float* a, const float* b, float* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TX_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects 2-D tensors, got [",
+           join(a.shape()), "] x [", join(b.shape()), "]");
+  const std::int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  TX_CHECK(k == k2, "matmul inner dims mismatch: ", k, " vs ", k2);
+  std::vector<float> out(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_accumulate(a.data(), b.data(), out.data(), m, k, n);
+  return make_tensor_from_op(
+      "matmul", Shape{m, n}, std::move(out), {a, b},
+      [a, b, m, k, n](const Tensor& g) {
+        // dA = g * B^T, dB = A^T * g.
+        Tensor ga = zeros(Shape{m, k});
+        Tensor gb = zeros(Shape{k, n});
+        gemm_bt_accumulate(g.data(), b.data(), ga.data(), m, n, k);
+        gemm_at_accumulate(a.data(), g.data(), gb.data(), m, k, n);
+        return std::vector<Tensor>{ga, gb};
+      });
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  TX_CHECK(a.rank() == 3 && b.rank() == 3, "bmm expects 3-D tensors");
+  const std::int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2);
+  TX_CHECK(b.dim(0) == batch && b.dim(1) == k, "bmm shape mismatch: [",
+           join(a.shape()), "] x [", join(b.shape()), "]");
+  const std::int64_t n = b.dim(2);
+  std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm_accumulate(a.data() + i * m * k, b.data() + i * k * n,
+                    out.data() + i * m * n, m, k, n);
+  }
+  return make_tensor_from_op(
+      "bmm", Shape{batch, m, n}, std::move(out), {a, b},
+      [a, b, batch, m, k, n](const Tensor& g) {
+        Tensor ga = zeros(Shape{batch, m, k});
+        Tensor gb = zeros(Shape{batch, k, n});
+        for (std::int64_t i = 0; i < batch; ++i) {
+          gemm_bt_accumulate(g.data() + i * m * n, b.data() + i * k * n,
+                             ga.data() + i * m * k, m, n, k);
+          gemm_at_accumulate(a.data() + i * m * k, g.data() + i * m * n,
+                             gb.data() + i * k * n, m, k, n);
+        }
+        return std::vector<Tensor>{ga, gb};
+      });
+}
+
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  TX_CHECK(x.rank() >= 1 && weight.rank() == 2,
+           "linear expects x rank >= 1 and 2-D weight");
+  const std::int64_t in_features = weight.dim(1);
+  const std::int64_t out_features = weight.dim(0);
+  TX_CHECK(x.dim(-1) == in_features, "linear: x last dim ", x.dim(-1),
+           " != in_features ", in_features);
+  // Flatten leading dims into a row dimension and use matmul.
+  Shape lead(x.shape().begin(), x.shape().end() - 1);
+  Tensor x2 = reshape(x, Shape{-1, in_features});
+  Tensor out = matmul(x2, transpose(weight, 0, 1));
+  if (bias.defined()) {
+    TX_CHECK(bias.rank() == 1 && bias.dim(0) == out_features,
+             "linear: bias shape mismatch");
+    out = add(out, bias);
+  }
+  Shape out_shape = lead;
+  out_shape.push_back(out_features);
+  return reshape(out, out_shape);
+}
+
+}  // namespace tx

@@ -1,0 +1,234 @@
+// Reductions: sum/mean over axis sets, max/min over a single axis,
+// logsumexp, softmax, log_softmax, cumsum, argmax.
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+namespace {
+
+/// Maps every flat input index to its flat output index for a keepdim
+/// reduction over `axes`.
+struct ReducePlan {
+  Shape keep_shape;               // input shape with reduced dims set to 1
+  std::vector<std::int64_t> map;  // input flat -> output flat
+};
+
+ReducePlan make_reduce_plan(const Shape& in_shape,
+                            const std::vector<std::int64_t>& axes) {
+  const auto rank = static_cast<std::int64_t>(in_shape.size());
+  std::vector<bool> reduce(in_shape.size(), false);
+  for (auto ax : axes) {
+    reduce[static_cast<std::size_t>(normalize_axis(ax, rank))] = true;
+  }
+  ReducePlan plan;
+  plan.keep_shape = in_shape;
+  for (std::size_t i = 0; i < in_shape.size(); ++i) {
+    if (reduce[i]) plan.keep_shape[i] = 1;
+  }
+  const Shape out_strides = contiguous_strides(plan.keep_shape);
+  plan.map.resize(static_cast<std::size_t>(numel_of(in_shape)));
+  for_each_index(in_shape, [&](const std::vector<std::int64_t>& idx,
+                               std::int64_t flat) {
+    std::int64_t out = 0;
+    for (std::size_t d = 0; d < in_shape.size(); ++d) {
+      if (!reduce[d]) out += idx[d] * out_strides[d];
+    }
+    plan.map[static_cast<std::size_t>(flat)] = out;
+  });
+  return plan;
+}
+
+}  // namespace
+
+Tensor sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) s += a.at(i);
+  const Shape in_shape = a.shape();
+  return make_tensor_from_op(
+      "sum", Shape{}, {static_cast<float>(s)}, {a},
+      [in_shape](const Tensor& g) {
+        return std::vector<Tensor>{broadcast_to(g, in_shape)};
+      });
+}
+
+Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
+           bool keepdim) {
+  TX_CHECK(!axes.empty(), "sum: empty axis list (use sum(a) for full sum)");
+  const ReducePlan plan = make_reduce_plan(a.shape(), axes);
+  std::vector<float> out(static_cast<std::size_t>(numel_of(plan.keep_shape)),
+                         0.0f);
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[static_cast<std::size_t>(plan.map[static_cast<std::size_t>(i)])] += pa[i];
+  }
+  const Shape final_shape =
+      keepdim ? plan.keep_shape : reduced_shape(a.shape(), axes, false);
+  const Shape in_shape = a.shape();
+  const Shape keep_shape = plan.keep_shape;
+  return make_tensor_from_op(
+      "sum_axes", final_shape, std::move(out), {a},
+      [in_shape, keep_shape](const Tensor& g) {
+        return std::vector<Tensor>{
+            broadcast_to(reshape(g, keep_shape), in_shape)};
+      });
+}
+
+Tensor mean(const Tensor& a) {
+  return div(sum(a), Tensor::scalar(static_cast<float>(a.numel())));
+}
+
+Tensor mean(const Tensor& a, const std::vector<std::int64_t>& axes,
+            bool keepdim) {
+  Tensor s = sum(a, axes, keepdim);
+  const float scale = static_cast<float>(s.numel()) /
+                      static_cast<float>(a.numel());
+  return mul(s, Tensor::scalar(scale));
+}
+
+namespace {
+
+/// Shared implementation of max/min over one axis; `sign` +1 for max, -1 for
+/// min. Gradient routes to the first extremal element along the axis.
+Tensor extremum(const Tensor& a, std::int64_t axis, bool keepdim, float sign,
+                const char* name) {
+  const auto rank = static_cast<std::int64_t>(a.shape().size());
+  axis = normalize_axis(axis, rank);
+  const ReducePlan plan = make_reduce_plan(a.shape(), {axis});
+  const std::int64_t out_n = numel_of(plan.keep_shape);
+  std::vector<float> out(static_cast<std::size_t>(out_n),
+                         -std::numeric_limits<float>::infinity());
+  std::vector<std::int64_t> arg(static_cast<std::size_t>(out_n), -1);
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const auto o = static_cast<std::size_t>(plan.map[static_cast<std::size_t>(i)]);
+    const float v = sign * pa[i];
+    if (v > out[o]) {
+      out[o] = v;
+      arg[o] = i;
+    }
+  }
+  for (auto& v : out) v *= sign;
+  const Shape final_shape =
+      keepdim ? plan.keep_shape : reduced_shape(a.shape(), {axis}, false);
+  const Shape in_shape = a.shape();
+  return make_tensor_from_op(
+      name, final_shape, std::move(out), {a},
+      [in_shape, arg](const Tensor& g) {
+        Tensor ga = zeros(in_shape);
+        for (std::size_t o = 0; o < arg.size(); ++o) {
+          ga.at(arg[o]) += g.at(static_cast<std::int64_t>(o));
+        }
+        return std::vector<Tensor>{ga};
+      });
+}
+
+}  // namespace
+
+Tensor max(const Tensor& a, std::int64_t axis, bool keepdim) {
+  return extremum(a, axis, keepdim, 1.0f, "max");
+}
+
+Tensor min(const Tensor& a, std::int64_t axis, bool keepdim) {
+  return extremum(a, axis, keepdim, -1.0f, "min");
+}
+
+Tensor logsumexp(const Tensor& a, std::int64_t axis, bool keepdim) {
+  // Subtracting the detached max is exact: the max term cancels analytically.
+  Tensor m;
+  {
+    NoGradGuard ng;
+    m = max(a, axis, /*keepdim=*/true);
+  }
+  Tensor shifted = sub(a, m);
+  Tensor lse = add(log(sum(exp(shifted), {axis}, /*keepdim=*/true)), m);
+  if (!keepdim) {
+    lse = reshape(lse, reduced_shape(a.shape(), {axis}, false));
+  }
+  return lse;
+}
+
+Tensor softmax(const Tensor& a, std::int64_t axis) {
+  Tensor m;
+  {
+    NoGradGuard ng;
+    m = max(a, axis, /*keepdim=*/true);
+  }
+  Tensor e = exp(sub(a, m));
+  return div(e, sum(e, {axis}, /*keepdim=*/true));
+}
+
+Tensor log_softmax(const Tensor& a, std::int64_t axis) {
+  return sub(a, logsumexp(a, axis, /*keepdim=*/true));
+}
+
+Tensor cumsum(const Tensor& a, std::int64_t axis) {
+  const auto rank = static_cast<std::int64_t>(a.shape().size());
+  axis = normalize_axis(axis, rank);
+  const Shape& shape = a.shape();
+  const Shape strides = contiguous_strides(shape);
+  const std::int64_t len = shape[static_cast<std::size_t>(axis)];
+  const std::int64_t stride = strides[static_cast<std::size_t>(axis)];
+  // Iterate over all "lines" along the axis.
+  std::vector<float> out = a.to_vector();
+  const std::int64_t n = a.numel();
+  const std::int64_t line_block = stride * len;
+  for (std::int64_t base = 0; base < n; base += line_block) {
+    for (std::int64_t off = 0; off < stride; ++off) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < len; ++k) {
+        const auto idx = static_cast<std::size_t>(base + off + k * stride);
+        acc += out[idx];
+        out[idx] = static_cast<float>(acc);
+      }
+    }
+  }
+  const std::int64_t ax = axis;
+  return make_tensor_from_op(
+      "cumsum", shape, std::move(out), {a},
+      [shape, strides, len, stride, ax](const Tensor& g) {
+        // d/dx_i sum over outputs j>=i -> reverse cumulative sum of g.
+        std::vector<float> gv = g.to_vector();
+        const std::int64_t total = static_cast<std::int64_t>(gv.size());
+        const std::int64_t block = stride * len;
+        for (std::int64_t base = 0; base < total; base += block) {
+          for (std::int64_t off = 0; off < stride; ++off) {
+            double acc = 0.0;
+            for (std::int64_t k = len - 1; k >= 0; --k) {
+              const auto idx = static_cast<std::size_t>(base + off + k * stride);
+              acc += gv[idx];
+              gv[idx] = static_cast<float>(acc);
+            }
+          }
+        }
+        (void)ax;
+        return std::vector<Tensor>{Tensor(shape, std::move(gv))};
+      });
+}
+
+Tensor argmax(const Tensor& a, std::int64_t axis) {
+  const auto rank = static_cast<std::int64_t>(a.shape().size());
+  axis = normalize_axis(axis, rank);
+  const ReducePlan plan = make_reduce_plan(a.shape(), {axis});
+  const std::int64_t out_n = numel_of(plan.keep_shape);
+  std::vector<float> best(static_cast<std::size_t>(out_n),
+                          -std::numeric_limits<float>::infinity());
+  std::vector<float> arg(static_cast<std::size_t>(out_n), 0.0f);
+  // Recover the coordinate along `axis` from the flat index.
+  const Shape strides = contiguous_strides(a.shape());
+  const std::int64_t ax_stride = strides[static_cast<std::size_t>(axis)];
+  const std::int64_t ax_len = a.shape()[static_cast<std::size_t>(axis)];
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const auto o = static_cast<std::size_t>(plan.map[static_cast<std::size_t>(i)]);
+    if (pa[i] > best[o]) {
+      best[o] = pa[i];
+      arg[o] = static_cast<float>((i / ax_stride) % ax_len);
+    }
+  }
+  return Tensor(reduced_shape(a.shape(), {axis}, false), std::move(arg));
+}
+
+}  // namespace tx

@@ -1,0 +1,118 @@
+// Small dense symmetric-positive-definite helpers (log-determinant and
+// inverse) used by the low-rank-plus-diagonal Gaussian guide. Implemented as
+// custom autograd ops: forward in double precision via Cholesky /
+// Gauss-Jordan, backward via the standard matrix-calculus identities.
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+namespace {
+
+/// Cholesky factor (lower) of an SPD matrix in doubles; throws on failure.
+std::vector<double> cholesky(const std::vector<double>& m, std::int64_t n) {
+  std::vector<double> l(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double s = m[static_cast<std::size_t>(i * n + j)];
+      for (std::int64_t k = 0; k < j; ++k) {
+        s -= l[static_cast<std::size_t>(i * n + k)] *
+             l[static_cast<std::size_t>(j * n + k)];
+      }
+      if (i == j) {
+        TX_CHECK(s > 0.0, "cholesky: matrix not positive definite (pivot ", s,
+                 " at ", i, ")");
+        l[static_cast<std::size_t>(i * n + i)] = std::sqrt(s);
+      } else {
+        l[static_cast<std::size_t>(i * n + j)] =
+            s / l[static_cast<std::size_t>(j * n + j)];
+      }
+    }
+  }
+  return l;
+}
+
+/// Inverse of an SPD matrix via its Cholesky factor.
+std::vector<double> spd_inverse(const std::vector<double>& m, std::int64_t n) {
+  const std::vector<double> l = cholesky(m, n);
+  // Invert L (lower triangular) by forward substitution.
+  std::vector<double> linv(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t j = 0; j < n; ++j) {
+    linv[static_cast<std::size_t>(j * n + j)] =
+        1.0 / l[static_cast<std::size_t>(j * n + j)];
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      double s = 0.0;
+      for (std::int64_t k = j; k < i; ++k) {
+        s += l[static_cast<std::size_t>(i * n + k)] *
+             linv[static_cast<std::size_t>(k * n + j)];
+      }
+      linv[static_cast<std::size_t>(i * n + j)] =
+          -s / l[static_cast<std::size_t>(i * n + i)];
+    }
+  }
+  // A^{-1} = L^{-T} L^{-1}.
+  std::vector<double> inv(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t k = std::max(i, j); k < n; ++k) {
+        s += linv[static_cast<std::size_t>(k * n + i)] *
+             linv[static_cast<std::size_t>(k * n + j)];
+      }
+      inv[static_cast<std::size_t>(i * n + j)] = s;
+    }
+  }
+  return inv;
+}
+
+std::vector<double> to_double(const Tensor& t) {
+  std::vector<double> v(static_cast<std::size_t>(t.numel()));
+  for (std::int64_t i = 0; i < t.numel(); ++i) v[static_cast<std::size_t>(i)] = t.at(i);
+  return v;
+}
+
+std::vector<float> to_float(const std::vector<double>& v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor logdet_spd(const Tensor& a) {
+  TX_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1), "logdet_spd expects square");
+  const std::int64_t n = a.dim(0);
+  const std::vector<double> m = to_double(a);
+  const std::vector<double> l = cholesky(m, n);
+  double logdet = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    logdet += 2.0 * std::log(l[static_cast<std::size_t>(i * n + i)]);
+  }
+  const std::vector<double> inv = spd_inverse(m, n);
+  const Shape shape = a.shape();
+  return make_tensor_from_op(
+      "logdet_spd", Shape{}, {static_cast<float>(logdet)}, {a},
+      [inv, shape](const Tensor& g) {
+        // d logdet(A) / dA = A^{-T} = A^{-1} for symmetric A.
+        Tensor ga(shape, to_float(inv));
+        return std::vector<Tensor>{mul(ga, g)};
+      });
+}
+
+Tensor inverse_spd(const Tensor& a) {
+  TX_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1), "inverse_spd expects square");
+  const std::int64_t n = a.dim(0);
+  const std::vector<double> inv = spd_inverse(to_double(a), n);
+  Tensor inv_t(a.shape(), to_float(inv));
+  Tensor inv_detached = inv_t.detach();
+  return make_tensor_from_op(
+      "inverse_spd", a.shape(), inv_t.to_vector(), {a},
+      [inv_detached](const Tensor& g) {
+        // dA = -A^{-T} G A^{-T}; A^{-1} symmetric here.
+        Tensor ga = neg(matmul(matmul(inv_detached, g), inv_detached));
+        return std::vector<Tensor>{ga};
+      });
+}
+
+}  // namespace tx

@@ -1,0 +1,65 @@
+#include "tensor/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tx {
+
+namespace {
+constexpr const char* kMagic = "TXT1";
+}  // namespace
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+  TX_CHECK(t.defined(), "save_tensor: undefined tensor");
+  os << kMagic << ' ' << t.rank();
+  for (auto d : t.shape()) os << ' ' << d;
+  os << '\n';
+  os << std::hexfloat;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    os << t.at(i) << (i + 1 == t.numel() ? '\n' : ' ');
+  }
+  if (t.numel() == 0) os << '\n';
+  os << std::defaultfloat;
+  TX_CHECK(os.good(), "save_tensor: stream write failed");
+}
+
+Tensor load_tensor(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  TX_CHECK(is.good() && magic == kMagic, "load_tensor: bad magic '", magic, "'");
+  std::int64_t rank = 0;
+  is >> rank;
+  TX_CHECK(is.good() && rank >= 0 && rank <= 16, "load_tensor: bad rank");
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) {
+    is >> d;
+    TX_CHECK(is.good() && d >= 0, "load_tensor: bad dimension");
+  }
+  const std::int64_t n = numel_of(shape);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  for (auto& v : values) {
+    // std::hexfloat parsing via operator>> is unreliable pre-C++23; parse
+    // tokens with strtof, which accepts hexfloat.
+    std::string token;
+    is >> token;
+    TX_CHECK(!token.empty() && is, "load_tensor: truncated values");
+    char* end = nullptr;
+    v = std::strtof(token.c_str(), &end);
+    TX_CHECK(end != token.c_str(), "load_tensor: bad value token '", token, "'");
+  }
+  return Tensor(std::move(shape), std::move(values));
+}
+
+void save_tensor_file(const std::string& path, const Tensor& t) {
+  std::ofstream os(path);
+  TX_CHECK(os.is_open(), "save_tensor_file: cannot open ", path);
+  save_tensor(os, t);
+}
+
+Tensor load_tensor_file(const std::string& path) {
+  std::ifstream is(path);
+  TX_CHECK(is.is_open(), "load_tensor_file: cannot open ", path);
+  return load_tensor(is);
+}
+
+}  // namespace tx

@@ -1,0 +1,22 @@
+// Tensor serialization: a simple self-describing text format ("TXT1") used
+// for checkpointing module state dicts and parameter stores. Values are
+// written as lossless hexfloats.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+
+/// Write one tensor (shape + values). Gradients and autograd state are not
+/// serialized; loaded tensors are plain leaves.
+void save_tensor(std::ostream& os, const Tensor& t);
+Tensor load_tensor(std::istream& is);
+
+/// Convenience file round trip for a single tensor.
+void save_tensor_file(const std::string& path, const Tensor& t);
+Tensor load_tensor_file(const std::string& path);
+
+}  // namespace tx

@@ -1,0 +1,70 @@
+// Shape arithmetic shared by tensor ops: sizes, strides, NumPy-style
+// broadcasting rules, and multi-index iteration helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace tx {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape (1 for rank-0 scalars).
+inline std::int64_t numel_of(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    TX_CHECK(d >= 0, "negative dimension in shape [", join(shape), "]");
+    n *= d;
+  }
+  return n;
+}
+
+/// Row-major (C-order) strides for a contiguous tensor of the given shape.
+inline Shape contiguous_strides(const Shape& shape) {
+  Shape strides(shape.size());
+  std::int64_t acc = 1;
+  for (std::int64_t i = static_cast<std::int64_t>(shape.size()) - 1; i >= 0; --i) {
+    strides[static_cast<std::size_t>(i)] = acc;
+    acc *= shape[static_cast<std::size_t>(i)];
+  }
+  return strides;
+}
+
+/// True if two shapes are broadcast-compatible under NumPy rules.
+bool broadcastable(const Shape& a, const Shape& b);
+
+/// Resulting shape of broadcasting a against b; throws if incompatible.
+Shape broadcast_shapes(const Shape& a, const Shape& b);
+
+/// Normalize a possibly-negative axis into [0, rank); throws if out of range.
+std::int64_t normalize_axis(std::int64_t axis, std::int64_t rank);
+
+/// Shape after reducing `axes` (keepdim keeps them as size-1 dims).
+Shape reduced_shape(const Shape& shape, const std::vector<std::int64_t>& axes,
+                    bool keepdim);
+
+/// Walks all multi-indices of `shape` in row-major order, calling fn with the
+/// flat offset computed against `strides` (which may contain zeros to express
+/// broadcasting). This is the generic slow path used by broadcast kernels.
+template <typename Fn>
+void for_each_index(const Shape& shape, Fn&& fn) {
+  const std::int64_t n = numel_of(shape);
+  const std::size_t rank = shape.size();
+  std::vector<std::int64_t> idx(rank, 0);
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    fn(idx, flat);
+    for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < shape[ud]) break;
+      idx[ud] = 0;
+    }
+  }
+}
+
+/// Strides to read a tensor of shape `src` as if broadcast to `dst`:
+/// size-1 (or missing leading) dims get stride 0.
+Shape broadcast_strides(const Shape& src, const Shape& dst);
+
+}  // namespace tx

@@ -1,0 +1,68 @@
+// Common utilities: error checking, small helpers shared across all modules.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tx {
+
+/// Exception type thrown by all TX_CHECK failures. Carrying a dedicated type
+/// lets tests assert on library errors without catching unrelated failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline void format_parts(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_parts(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  format_parts(os, rest...);
+}
+
+template <typename... Args>
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const Args&... args) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if constexpr (sizeof...(args) > 0) {
+    os << " — ";
+    format_parts(os, args...);
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Always-on invariant check (kept in release builds: these guard shape and
+/// API misuse, not hot inner loops).
+#define TX_CHECK(cond, ...)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tx::detail::check_failed(#cond, __FILE__, __LINE__, ##__VA_ARGS__); \
+    }                                                                     \
+  } while (false)
+
+#define TX_THROW(...)                                                     \
+  ::tx::detail::check_failed("explicit throw", __FILE__, __LINE__, ##__VA_ARGS__)
+
+/// Join a container into "a, b, c" for error messages.
+template <typename Container>
+std::string join(const Container& c, const std::string& sep = ", ") {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& v : c) {
+    if (!first) os << sep;
+    os << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace tx

@@ -1,0 +1,12 @@
+#include "util/random.h"
+
+namespace tx {
+
+Generator& global_generator() {
+  static Generator gen;
+  return gen;
+}
+
+void manual_seed(std::uint64_t seed) { global_generator().seed(seed); }
+
+}  // namespace tx

@@ -1,0 +1,62 @@
+// Global and local random number generation. All stochastic components in the
+// library draw from a Generator; the global one is controlled by manual_seed()
+// so every experiment is replayable from a printed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tx {
+
+/// Thin wrapper around std::mt19937_64 with the sampling primitives the
+/// library needs. Copyable; copies continue the same stream independently.
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  void seed(std::uint64_t s) { engine_.seed(s); }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal.
+  double normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  double normal(double mean, double std) {
+    return std::normal_distribution<double>(mean, std)(engine_);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  double gamma(double shape, double scale) {
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Process-wide generator used by default tensor factories and samplers.
+Generator& global_generator();
+
+/// Seed the global generator (analogue of torch.manual_seed).
+void manual_seed(std::uint64_t seed);
+
+}  // namespace tx

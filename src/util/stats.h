@@ -1,0 +1,37 @@
+// Small statistics helpers for aggregating repeated runs (mean, standard
+// error) the way the paper reports "mean and two standard errors over 5 runs".
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace tx {
+
+inline double mean_of(const std::vector<double>& xs) {
+  TX_CHECK(!xs.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double variance_of(const std::vector<double>& xs) {
+  TX_CHECK(xs.size() >= 2, "variance needs >= 2 samples");
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+/// Standard error of the mean.
+inline double stderr_of(const std::vector<double>& xs) {
+  return std::sqrt(variance_of(xs) / static_cast<double>(xs.size()));
+}
+
+/// Two standard errors, the interval the paper's tables report.
+inline double two_stderr_of(const std::vector<double>& xs) {
+  return 2.0 * stderr_of(xs);
+}
+
+}  // namespace tx

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace tx {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  TX_CHECK(row.size() == header_.size(), "row arity ", row.size(),
+           " != header arity ", header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_pm(double mean, double err, int precision) {
+  return fmt(mean, precision) + " ± " + fmt(err, precision);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(const std::string& caption) const {
+  if (!caption.empty()) std::cout << caption << '\n';
+  std::cout << to_string() << std::flush;
+}
+
+}  // namespace tx

@@ -1,0 +1,35 @@
+// Plain-text table printer used by the benchmark harnesses so every bench
+// emits the same row/column layout the paper's tables use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tx {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Format "mean ± err".
+  static std::string fmt_pm(double mean, double err, int precision = 2);
+
+  /// Render the table with a separator under the header.
+  std::string to_string() const;
+
+  /// Print to stdout with an optional caption line above.
+  void print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tx

@@ -1,0 +1,172 @@
+// Tests for likelihood classes: KL/likelihood scaling, aggregation,
+// predictive log-likelihood, error measures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/likelihoods.h"
+
+namespace tyxe {
+namespace {
+
+using tx::Shape;
+using tx::Tensor;
+
+TEST(Likelihood, DataProgramScalesByDatasetOverBatch) {
+  Categorical lik(/*dataset_size=*/100);
+  Tensor logits = tx::zeros({4, 3});
+  Tensor targets(Shape{4}, {0.0f, 1.0f, 2.0f, 0.0f});
+  tx::ppl::TraceMessenger tracer;
+  {
+    tx::ppl::HandlerScope scope(tracer);
+    lik.data_program(logits, targets);
+  }
+  const auto& site = tracer.trace().at("likelihood.data");
+  EXPECT_TRUE(site.is_observed);
+  EXPECT_NEAR(site.scale, 25.0, 1e-9);  // 100 / 4
+  // Uniform logits: log 1/3 per observation, x4 observations, x25 scale.
+  EXPECT_NEAR(site.log_prob_sum().item(), 25.0f * 4.0f * std::log(1.0f / 3.0f),
+              1e-2);
+}
+
+TEST(Likelihood, SetDatasetSizeChangesScaling) {
+  Categorical lik(100);
+  lik.set_dataset_size(8);
+  Tensor logits = tx::zeros({4, 3});
+  Tensor targets(Shape{4}, {0.0f, 1.0f, 2.0f, 0.0f});
+  tx::ppl::TraceMessenger tracer;
+  {
+    tx::ppl::HandlerScope scope(tracer);
+    lik.data_program(logits, targets);
+  }
+  EXPECT_NEAR(tracer.trace().at("likelihood.data").scale, 2.0, 1e-9);
+  EXPECT_THROW(lik.set_dataset_size(0), tx::Error);
+}
+
+TEST(Categorical, AggregateAveragesProbabilities) {
+  // Two samples with opposite hard predictions average to uniform.
+  Tensor s1(Shape{1, 2}, {10.0f, -10.0f});
+  Tensor s2(Shape{1, 2}, {-10.0f, 10.0f});
+  Tensor stacked = tx::stack({s1, s2}, 0);
+  Categorical lik(10);
+  Tensor agg = lik.aggregate_predictions(stacked);
+  EXPECT_EQ(agg.shape(), (Shape{1, 2}));
+  EXPECT_NEAR(agg.at(0), 0.5f, 1e-4);
+  EXPECT_NEAR(agg.at(1), 0.5f, 1e-4);
+}
+
+TEST(Categorical, LogPredictiveIsMixture) {
+  Tensor s1(Shape{1, 2}, {10.0f, -10.0f});
+  Tensor s2(Shape{1, 2}, {-10.0f, 10.0f});
+  Tensor stacked = tx::stack({s1, s2}, 0);
+  Categorical lik(10);
+  Tensor target(Shape{1}, {0.0f});
+  // Mixture prob = 0.5 regardless of which component is right.
+  EXPECT_NEAR(lik.log_predictive(stacked, target).item(), std::log(0.5f), 1e-3);
+}
+
+TEST(Categorical, ErrorRate) {
+  Categorical lik(10);
+  Tensor probs(Shape{4, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f, 0.3f, 0.7f});
+  Tensor targets(Shape{4}, {0.0f, 1.0f, 1.0f, 0.0f});  // 2 wrong
+  EXPECT_NEAR(lik.error(probs, targets).item(), 0.5f, 1e-6);
+}
+
+TEST(Bernoulli, AggregateAndError) {
+  Bernoulli lik(10);
+  Tensor s1(Shape{3}, {5.0f, -5.0f, 5.0f});
+  Tensor s2(Shape{3}, {5.0f, -5.0f, -5.0f});
+  Tensor stacked = tx::stack({s1, s2}, 0);
+  Tensor agg = lik.aggregate_predictions(stacked);
+  EXPECT_NEAR(agg.at(0), 1.0f, 1e-2);
+  EXPECT_NEAR(agg.at(2), 0.5f, 1e-2);
+  // Predictions after thresholding: {1, 0, 1}; two of three disagree.
+  Tensor targets(Shape{3}, {1.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(lik.error(agg, targets).item(), 2.0f / 3.0f, 1e-4);
+}
+
+TEST(HomoGaussian, FixedScaleDensityAndError) {
+  HomoskedasticGaussian lik(50, 0.1f);
+  Tensor pred = tx::zeros({4, 1});
+  auto d = lik.predictive_distribution(pred);
+  EXPECT_EQ(d->shape(), (Shape{4, 1}));
+  Tensor stacked = tx::stack({tx::zeros({2, 1}), tx::full({2, 1}, 2.0f)}, 0);
+  Tensor agg = lik.aggregate_predictions(stacked);
+  EXPECT_NEAR(agg.at(0), 1.0f, 1e-5);
+  Tensor targets = tx::ones({2, 1});
+  EXPECT_NEAR(lik.error(agg, targets).item(), 0.0f, 1e-6);
+  EXPECT_THROW(HomoskedasticGaussian(50, -1.0f), tx::Error);
+}
+
+TEST(HomoGaussian, PredictiveStdCombinesSamplesAndNoise) {
+  HomoskedasticGaussian lik(50, 0.5f);
+  // Two samples at 0 and 2: sample std = 1 per element; total = sqrt(1+0.25).
+  Tensor stacked = tx::stack({tx::zeros({3}), tx::full({3}, 2.0f)}, 0);
+  Tensor std = lik.predictive_std(stacked);
+  EXPECT_NEAR(std.at(0), std::sqrt(1.25f), 1e-4);
+}
+
+TEST(HomoGaussian, LatentScaleEmitsExtraSite) {
+  auto scale_prior = std::make_shared<tx::dist::LogNormal>(
+      Tensor::scalar(std::log(0.2f)), Tensor::scalar(0.1f));
+  HomoskedasticGaussian lik(20, scale_prior);
+  EXPECT_TRUE(lik.has_latent_scale());
+  Tensor preds = tx::zeros({5, 1});
+  Tensor obs = tx::zeros({5, 1});
+  tx::ppl::TraceMessenger tracer;
+  {
+    tx::ppl::HandlerScope scope(tracer);
+    lik.data_program(preds, obs);
+  }
+  ASSERT_TRUE(tracer.trace().contains("likelihood.data.scale"));
+  // The scale site must not be scaled by dataset/batch.
+  EXPECT_NEAR(tracer.trace().at("likelihood.data.scale").scale, 1.0, 1e-9);
+  EXPECT_NEAR(tracer.trace().at("likelihood.data").scale, 4.0, 1e-9);
+  EXPECT_GT(tracer.trace().at("likelihood.data.scale").value.item(), 0.0f);
+}
+
+TEST(HomoGaussian, MixturePredictiveMatchesManualLogSumExp) {
+  HomoskedasticGaussian lik(10, 1.0f);
+  Tensor stacked = tx::stack({tx::zeros({1}), tx::full({1}, 1.0f)}, 0);
+  Tensor target(Shape{1}, {0.5f});
+  tx::dist::Normal n0(0.0f, 1.0f), n1(1.0f, 1.0f);
+  const float l0 = n0.log_prob(Tensor::scalar(0.5f)).item();
+  const float l1 = n1.log_prob(Tensor::scalar(0.5f)).item();
+  const float expected =
+      std::log(0.5f * (std::exp(l0) + std::exp(l1)));
+  EXPECT_NEAR(lik.log_predictive(stacked, target).item(), expected, 1e-4);
+}
+
+TEST(HeteroGaussian, SplitAndAggregate) {
+  HeteroskedasticGaussian lik(10);
+  // predictions: [mean | raw_scale]; softplus(0) ~ 0.693.
+  Tensor pred(Shape{2, 2}, {1.0f, 0.0f, 3.0f, 0.0f});
+  auto [mean, scale] = HeteroskedasticGaussian::split(pred);
+  EXPECT_FLOAT_EQ(mean.at(0), 1.0f);
+  EXPECT_NEAR(scale.at(0), std::log(2.0f) + 1e-4f, 1e-5);
+  EXPECT_THROW(HeteroskedasticGaussian::split(tx::zeros({2, 3})), tx::Error);
+  // Aggregation of two equal-precision samples averages the means.
+  Tensor stacked = tx::stack({pred, pred}, 0);
+  Tensor agg = lik.aggregate_predictions(stacked);
+  auto [am, as] = HeteroskedasticGaussian::split(agg);
+  EXPECT_NEAR(am.at(0), 1.0f, 1e-4);
+  EXPECT_NEAR(am.at(1), 3.0f, 1e-4);
+  Tensor targets(Shape{2, 1}, {1.0f, 3.0f});
+  EXPECT_NEAR(lik.error(agg, targets).item(), 0.0f, 1e-5);
+}
+
+TEST(PoissonLikelihood, RateAndError) {
+  Poisson lik(10);
+  Tensor pred = tx::full({3}, 2.0f);
+  auto d = lik.predictive_distribution(pred);
+  EXPECT_EQ(d->name(), "Poisson");
+  Tensor stacked = tx::stack({pred, pred}, 0);
+  Tensor agg = lik.aggregate_predictions(stacked);
+  EXPECT_NEAR(agg.at(0), std::log(1.0f + std::exp(2.0f)), 1e-3);
+  // log_predictive falls back to the generic mixture path.
+  Tensor targets(Shape{3}, {2.0f, 1.0f, 3.0f});
+  EXPECT_LT(lik.log_predictive(stacked, targets).item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace tyxe

@@ -1,0 +1,115 @@
+// Tests for prior classes and hide/expose filtering.
+#include <gtest/gtest.h>
+
+#include "core/priors.h"
+#include "nn/nn.h"
+
+namespace tyxe {
+namespace {
+
+namespace nd = tx::dist;
+
+TEST(HideExpose, DefaultEverythingBayesian) {
+  HideExpose f;
+  EXPECT_FALSE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+}
+
+TEST(HideExpose, HideAll) {
+  HideExpose f;
+  f.hide_all = true;
+  EXPECT_TRUE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+}
+
+TEST(HideExpose, HideByModuleType) {
+  HideExpose f;
+  f.hide_module_types = {"BatchNorm2d"};
+  EXPECT_TRUE(f.hidden("net.bn1.weight", "bn1", "BatchNorm2d", "weight"));
+  EXPECT_FALSE(f.hidden("net.conv1.weight", "conv1", "Conv2d", "weight"));
+}
+
+TEST(HideExpose, ExposeIsWhitelist) {
+  HideExpose f;
+  f.expose_modules = {"fc"};
+  EXPECT_FALSE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+  EXPECT_TRUE(f.hidden("net.conv1.weight", "conv1", "Conv2d", "weight"));
+}
+
+TEST(HideExpose, HideBeatsExpose) {
+  HideExpose f;
+  f.expose_modules = {"fc"};
+  f.hide_parameters = {"bias"};
+  EXPECT_TRUE(f.hidden("net.fc.bias", "fc", "Linear", "bias"));
+  EXPECT_FALSE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+}
+
+TEST(HideExpose, FullSiteNames) {
+  HideExpose f;
+  f.hide = {"net.fc.weight"};
+  EXPECT_TRUE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+  f = HideExpose{};
+  f.expose = {"net.fc.weight"};
+  EXPECT_FALSE(f.hidden("net.fc.weight", "fc", "Linear", "weight"));
+  EXPECT_TRUE(f.hidden("net.other", "", "Linear", "other"));
+}
+
+TEST(HideExpose, ExposeParametersByLocalName) {
+  HideExpose f;
+  f.expose_parameters = {"weight"};
+  EXPECT_FALSE(f.hidden("net.a.weight", "a", "Linear", "weight"));
+  EXPECT_TRUE(f.hidden("net.a.bias", "a", "Linear", "bias"));
+}
+
+TEST(IIDPrior, ExpandsToParamShape) {
+  IIDPrior prior(std::make_shared<nd::Normal>(0.0f, 1.0f));
+  auto d = prior.prior_dist("w", {3, 4}, tx::zeros({3, 4}));
+  EXPECT_EQ(d->shape(), (tx::Shape{3, 4}));
+  EXPECT_EQ(d->name(), "Normal");
+}
+
+TEST(LayerwiseNormalPrior, FanBasedStd) {
+  LayerwiseNormalPrior prior("radford");
+  auto d = prior.prior_dist("w", {8, 4}, tx::zeros({8, 4}));
+  auto* n = dynamic_cast<nd::Normal*>(d.get());
+  ASSERT_NE(n, nullptr);
+  EXPECT_NEAR(n->scale().at(0), 0.5f, 1e-6);  // 1/sqrt(4)
+  LayerwiseNormalPrior kaiming("kaiming");
+  auto dk = kaiming.prior_dist("w", {8, 2}, tx::zeros({8, 2}));
+  EXPECT_NEAR(dynamic_cast<nd::Normal*>(dk.get())->scale().at(0), 1.0f, 1e-6);
+  LayerwiseNormalPrior bogus("bogus");
+  EXPECT_THROW(bogus.prior_dist("w", {2, 2}, tx::zeros({2, 2})), tx::Error);
+}
+
+TEST(DictPrior, LooksUpAndValidates) {
+  std::map<std::string, nd::DistPtr> dists;
+  dists["w"] = std::make_shared<nd::Normal>(tx::zeros({2}), tx::ones({2}));
+  DictPrior prior(dists);
+  EXPECT_EQ(prior.prior_dist("w", {2}, tx::zeros({2}))->shape(), (tx::Shape{2}));
+  EXPECT_THROW(prior.prior_dist("missing", {2}, tx::zeros({2})), tx::Error);
+  EXPECT_THROW(prior.prior_dist("w", {3}, tx::zeros({3})), tx::Error);
+}
+
+TEST(LambdaPrior, CustomFunction) {
+  LambdaPrior prior([](const std::string& name, const tx::Shape& shape,
+                       const tx::Tensor& value) -> nd::DistPtr {
+    (void)name;
+    // Prior centred at the current (pretrained) value.
+    return std::make_shared<nd::Normal>(value, tx::full(shape, 0.5f));
+  });
+  tx::Tensor v(tx::Shape{2}, {1.0f, -1.0f});
+  auto d = prior.prior_dist("w", {2}, v);
+  EXPECT_TRUE(tx::allclose(dynamic_cast<nd::Normal*>(d.get())->loc(), v));
+}
+
+TEST(ScaleMixturePriorIntegration, UsableAsIIDBase) {
+  IIDPrior prior(
+      std::make_shared<nd::ScaleMixtureNormal>(tx::Shape{}, 0.5f, 1.0f, 0.01f));
+  auto d = prior.prior_dist("w", {4, 4}, tx::zeros({4, 4}));
+  EXPECT_EQ(d->shape(), (tx::Shape{4, 4}));
+  // Heavier peak at zero than a unit normal.
+  nd::Normal unit(tx::zeros({4, 4}), tx::ones({4, 4}));
+  EXPECT_GT(d->log_prob_sum(tx::zeros({4, 4})).item(),
+            unit.log_prob_sum(tx::zeros({4, 4})).item());
+}
+
+}  // namespace
+}  // namespace tyxe

@@ -1,0 +1,194 @@
+// Tests for the synthetic dataset generators and the DataLoader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/datasets.h"
+
+namespace tx::data {
+namespace {
+
+TEST(Regression, FoongClustersAndTargets) {
+  Generator gen(1);
+  auto data = make_foong_regression(100, gen);
+  EXPECT_EQ(data.x.shape(), (Shape{100, 1}));
+  EXPECT_EQ(data.y.shape(), (Shape{100, 1}));
+  for (std::int64_t i = 0; i < 100; ++i) {
+    const float x = data.x.at(i);
+    EXPECT_TRUE((x >= -1.0f && x <= -0.7f) || (x >= 0.5f && x <= 1.0f)) << x;
+    // Target within a few noise-sigmas of the clean function.
+    EXPECT_NEAR(data.y.at(i), std::cos(4.0f * x + 0.8f), 0.5f);
+  }
+}
+
+TEST(Images, PatternDatasetShapesAndLabels) {
+  Generator gen(2);
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.per_class = 8;
+  cfg.size = 8;
+  auto ds = make_pattern_images(cfg, gen);
+  EXPECT_EQ(ds.images.shape(), (Shape{32, 3, 8, 8}));
+  EXPECT_EQ(ds.labels.shape(), (Shape{32}));
+  EXPECT_EQ(ds.num_classes, 4);
+  std::vector<int> counts(4, 0);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    counts[static_cast<std::size_t>(std::llround(ds.labels.at(i)))]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(Images, SamePatternSeedIsLearnableAcrossSplits) {
+  // Train/test generated independently share class patterns: the nearest
+  // class-mean classifier on train means must beat chance on test.
+  Generator gen(3);
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.per_class = 24;
+  cfg.size = 8;
+  cfg.noise = 0.3f;
+  auto train = make_pattern_images(cfg, gen);
+  auto test = make_pattern_images(cfg, gen);
+  const std::int64_t pixels = 3 * 8 * 8;
+  // Class means from train.
+  std::vector<std::vector<double>> means(
+      4, std::vector<double>(static_cast<std::size_t>(pixels), 0.0));
+  std::vector<int> counts(4, 0);
+  for (std::int64_t i = 0; i < train.labels.numel(); ++i) {
+    const auto c = static_cast<std::size_t>(std::llround(train.labels.at(i)));
+    counts[c]++;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      means[c][static_cast<std::size_t>(p)] += train.images.at(i * pixels + p);
+    }
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (auto& v : means[c]) v /= counts[c];
+  }
+  // Nearest-mean classification on test.
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test.labels.numel(); ++i) {
+    double best = 1e30;
+    std::size_t pick = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      double d = 0.0;
+      for (std::int64_t p = 0; p < pixels; ++p) {
+        const double diff = test.images.at(i * pixels + p) -
+                            means[c][static_cast<std::size_t>(p)];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        pick = c;
+      }
+    }
+    if (pick == static_cast<std::size_t>(std::llround(test.labels.at(i)))) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(test.labels.numel()),
+            0.9);
+}
+
+TEST(Images, DifferentPatternSeedChangesPatterns) {
+  Generator gen(4);
+  SyntheticImageConfig a, b;
+  a.per_class = 1;
+  a.noise = 0.0f;
+  b = a;
+  b.pattern_seed = a.pattern_seed + 1;
+  auto da = make_pattern_images(a, gen);
+  auto db = make_pattern_images(b, gen);
+  EXPECT_FALSE(allclose(da.images, db.images, 1e-2f));
+}
+
+TEST(Images, OodSetHasDifferentStatistics) {
+  Generator gen(5);
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 2;
+  cfg.per_class = 16;
+  cfg.size = 8;
+  auto id_set = make_pattern_images(cfg, gen);
+  auto ood = make_ood_images(32, 3, 8, gen);
+  EXPECT_EQ(ood.images.shape(), (Shape{32, 3, 8, 8}));
+  // OOD checker textures have much higher local contrast: compare mean
+  // absolute horizontal gradient.
+  auto mean_abs_grad = [](const Tensor& images) {
+    double total = 0.0;
+    std::int64_t count = 0;
+    const auto& s = images.shape();
+    for (std::int64_t i = 0; i < s[0]; ++i) {
+      for (std::int64_t c = 0; c < s[1]; ++c) {
+        for (std::int64_t y = 0; y < s[2]; ++y) {
+          for (std::int64_t x = 0; x + 1 < s[3]; ++x) {
+            const std::int64_t base = ((i * s[1] + c) * s[2] + y) * s[3] + x;
+            total += std::fabs(images.at(base + 1) - images.at(base));
+            ++count;
+          }
+        }
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  EXPECT_GT(mean_abs_grad(ood.images), 1.5 * mean_abs_grad(id_set.images));
+}
+
+TEST(SplitTasks, DisjointClassesRelabelled) {
+  Generator gen(6);
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 10;
+  cfg.size = 8;
+  auto tasks = make_split_tasks(cfg, 5, 8, 4, gen);
+  ASSERT_EQ(tasks.size(), 5u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(tasks[t].class_a, static_cast<std::int64_t>(2 * t));
+    EXPECT_EQ(tasks[t].class_b, static_cast<std::int64_t>(2 * t + 1));
+    EXPECT_EQ(tasks[t].train.labels.numel(), 16);
+    EXPECT_EQ(tasks[t].test.labels.numel(), 8);
+    for (std::int64_t i = 0; i < tasks[t].train.labels.numel(); ++i) {
+      const float y = tasks[t].train.labels.at(i);
+      EXPECT_TRUE(y == 0.0f || y == 1.0f);
+    }
+  }
+  EXPECT_THROW(make_split_tasks(cfg, 6, 4, 4, gen), Error);
+}
+
+TEST(Loader, BatchesPartitionDataset) {
+  Generator gen(7);
+  Tensor x = randn({10, 3}, &gen);
+  Tensor y = arange(10);
+  DataLoader loader(x, y, 4, /*shuffle=*/false);
+  EXPECT_EQ(loader.num_batches(), 3);
+  auto batches = loader.batches();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].first[0].shape(), (Shape{4, 3}));
+  EXPECT_EQ(batches[2].first[0].shape(), (Shape{2, 3}));  // remainder
+  // Unshuffled: targets stay in order.
+  EXPECT_FLOAT_EQ(batches[0].second.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(batches[2].second.at(1), 9.0f);
+}
+
+TEST(Loader, ShuffleCoversAllExamplesOnce) {
+  Generator gen(8);
+  Tensor x = randn({9, 2}, &gen);
+  Tensor y = arange(9);
+  DataLoader loader(x, y, 2, /*shuffle=*/true);
+  auto batches = loader.batches(&gen);
+  std::set<std::int64_t> seen;
+  for (const auto& [inputs, targets] : batches) {
+    for (std::int64_t i = 0; i < targets.numel(); ++i) {
+      EXPECT_TRUE(seen.insert(static_cast<std::int64_t>(targets.at(i))).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Loader, Validation) {
+  Tensor x = zeros({4, 2});
+  EXPECT_THROW(DataLoader(x, zeros({3}), 2), Error);
+  EXPECT_THROW(DataLoader(x, zeros({4}), 0), Error);
+}
+
+}  // namespace
+}  // namespace tx::data

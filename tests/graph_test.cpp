@@ -1,0 +1,177 @@
+// Tests for the graph substrate: normalization, spmm (values and gradient),
+// the SBM generator, and GCN training above chance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/gcn.h"
+#include "graph/graph.h"
+#include "tensor/grad_check.h"
+
+namespace tx::graph {
+namespace {
+
+TEST(Graph, NormalizedAdjacencyRowsAreCorrect) {
+  // Path graph 0-1-2 with self-loops: degrees {2, 3, 2}.
+  Graph g(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  // Row 0 has entries for {0, 1}: 1/2 and 1/sqrt(6).
+  const auto& rows = g.row_offsets();
+  const auto& cols = g.col_indices();
+  const auto& vals = g.values();
+  EXPECT_EQ(rows[1] - rows[0], 2);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_NEAR(vals[0], 0.5f, 1e-6);
+  EXPECT_NEAR(vals[1], 1.0f / std::sqrt(6.0f), 1e-6);
+}
+
+TEST(Graph, DuplicateAndSelfEdgesIgnored) {
+  Graph g(2, {{0, 1}, {1, 0}, {0, 0}});
+  // Both nodes have degree 2 (self-loop + one edge).
+  const auto& rows = g.row_offsets();
+  EXPECT_EQ(rows[1] - rows[0], 2);
+  EXPECT_EQ(rows[2] - rows[1], 2);
+}
+
+TEST(Graph, EdgeOutOfRangeThrows) {
+  EXPECT_THROW(Graph(2, {{0, 5}}), Error);
+}
+
+TEST(Spmm, MatchesDenseProduct) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  Generator gen(1);
+  Tensor x = randn({3, 4}, &gen);
+  Tensor y = spmm(g, x);
+  // Build the dense normalized adjacency and compare.
+  Tensor dense = zeros({3, 3});
+  const auto& rows = g.row_offsets();
+  const auto& cols = g.col_indices();
+  const auto& vals = g.values();
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t k = rows[static_cast<std::size_t>(i)];
+         k < rows[static_cast<std::size_t>(i) + 1]; ++k) {
+      dense.at(i * 3 + cols[static_cast<std::size_t>(k)]) =
+          vals[static_cast<std::size_t>(k)];
+    }
+  }
+  EXPECT_TRUE(allclose(y, matmul(dense, x), 1e-5f));
+}
+
+TEST(Spmm, GradientMatchesFiniteDifferences) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Generator gen(2);
+  Tensor x = rand_uniform({4, 3}, -1.0f, 1.0f, &gen);
+  EXPECT_TRUE(grad_check(
+      [&g](const std::vector<Tensor>& in) {
+        return sum(square(spmm(g, in[0])));
+      },
+      {x}));
+}
+
+TEST(Spmm, RegularGraphPreservesConstants) {
+  // On a regular graph (4-cycle, every degree 3 with self-loops) symmetric
+  // normalization makes each row sum to exactly 1, so Â preserves constants.
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Tensor ones_in = ones({4, 1});
+  Tensor out = spmm(g, ones_in);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out.at(i), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Sbm, GeneratesHomophilousGraphWithSplit) {
+  Generator gen(3);
+  SbmConfig cfg;
+  cfg.num_nodes = 350;
+  cfg.num_classes = 7;
+  cfg.num_val = 50;
+  cfg.num_test = 100;
+  auto data = make_sbm_citation(cfg, gen);
+  EXPECT_EQ(data.graph.num_nodes(), 350);
+  EXPECT_EQ(data.features.shape(), (Shape{350, cfg.num_features}));
+  EXPECT_EQ(static_cast<std::int64_t>(data.train_idx.size()),
+            7 * cfg.train_per_class);
+  EXPECT_EQ(data.val_idx.size(), 50u);
+  EXPECT_EQ(data.test_idx.size(), 100u);
+  // Intra-class edges dominate: homophily well above chance (1/7).
+  EXPECT_GT(data.graph.homophily(data.labels), 0.5);
+  // Train mask marks exactly the train nodes.
+  Tensor mask = data.train_mask();
+  double total = 0;
+  for (std::int64_t i = 0; i < mask.numel(); ++i) total += mask.at(i);
+  EXPECT_EQ(static_cast<std::int64_t>(total), 7 * cfg.train_per_class);
+}
+
+TEST(Sbm, SplitsAreDisjoint) {
+  Generator gen(4);
+  SbmConfig cfg;
+  cfg.num_nodes = 250;
+  cfg.num_val = 40;
+  cfg.num_test = 60;
+  auto data = make_sbm_citation(cfg, gen);
+  std::set<std::int64_t> seen;
+  for (auto i : data.train_idx) EXPECT_TRUE(seen.insert(i).second);
+  for (auto i : data.val_idx) EXPECT_TRUE(seen.insert(i).second);
+  for (auto i : data.test_idx) EXPECT_TRUE(seen.insert(i).second);
+}
+
+TEST(Gcn, ForwardShapesAndParamNames) {
+  Generator gen(5);
+  Graph g(6, {{0, 1}, {2, 3}, {4, 5}});
+  GCN gcn(&g, 8, 4, 3, &gen);
+  Tensor x = randn({6, 8}, &gen);
+  EXPECT_EQ(gcn.forward(x).shape(), (Shape{6, 3}));
+  auto slots = gcn.named_parameter_slots();
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0].name, "gcn_layer1.linear.weight");
+  EXPECT_EQ(slots[2].name, "gcn_layer2.linear.weight");
+  // GCNLayer advertises a Linear inside, so flipout interception applies.
+  bool found_linear = false;
+  for (auto& [path, m] : gcn.named_modules()) {
+    if (m->type_name() == "Linear") found_linear = true;
+  }
+  EXPECT_TRUE(found_linear);
+}
+
+TEST(Gcn, TrainsAboveChanceOnSbm) {
+  Generator gen(6);
+  SbmConfig cfg;
+  cfg.num_nodes = 210;
+  cfg.num_classes = 3;
+  cfg.num_features = 16;
+  cfg.p_intra = 0.05;
+  cfg.p_inter = 0.005;
+  cfg.train_per_class = 10;
+  cfg.num_val = 30;
+  cfg.num_test = 90;
+  auto data = make_sbm_citation(cfg, gen);
+  GCN gcn(&data.graph, cfg.num_features, 16, cfg.num_classes, &gen);
+  // Plain cross-entropy training on the labelled nodes.
+  Tensor train_labels = data.labels_at(data.train_idx);
+  for (int step = 0; step < 150; ++step) {
+    for (auto& s : gcn.named_parameter_slots()) s.slot->zero_grad();
+    Tensor logits = gcn.forward(data.features);
+    Tensor train_logits = index_select(logits, 0, data.train_idx);
+    Tensor loss = neg(mean(gather_last(log_softmax(train_logits, -1),
+                                       train_labels)));
+    loss.backward();
+    for (auto& s : gcn.named_parameter_slots()) {
+      s.slot->add_(s.slot->grad(), -0.1f);
+    }
+  }
+  // Test accuracy must beat chance (1/3) comfortably.
+  Tensor logits = gcn.forward(data.features);
+  Tensor test_logits = index_select(logits, 0, data.test_idx);
+  Tensor preds = argmax(test_logits, -1);
+  Tensor test_labels = data.labels_at(data.test_idx);
+  double correct = 0;
+  for (std::int64_t i = 0; i < preds.numel(); ++i) {
+    if (preds.at(i) == test_labels.at(i)) ++correct;
+  }
+  EXPECT_GT(correct / static_cast<double>(preds.numel()), 0.6);
+}
+
+}  // namespace
+}  // namespace tx::graph

@@ -1,0 +1,293 @@
+// Tests for the module system and layers: registry behaviour (the property
+// priors depend on), layer math, training/eval modes, ResNet shapes, and the
+// functional interceptor stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/nn.h"
+#include "tensor/grad_check.h"
+
+namespace tx::nn {
+namespace {
+
+TEST(Module, NamedParameterSlotsArePaths) {
+  Generator gen(1);
+  auto net = make_mlp({1, 4, 1}, "tanh", &gen);
+  auto slots = net->named_parameter_slots();
+  ASSERT_EQ(slots.size(), 4u);  // two Linear layers x (weight, bias)
+  EXPECT_EQ(slots[0].name, "0.weight");
+  EXPECT_EQ(slots[0].local_name, "weight");
+  EXPECT_EQ(slots[1].name, "0.bias");
+  EXPECT_EQ(slots[2].name, "2.weight");  // activation at index 1 has no params
+  EXPECT_EQ(slots[3].name, "2.bias");
+}
+
+TEST(Module, SlotSwapChangesForward) {
+  // The central TyXe-enabling property: writing through a slot changes what
+  // the unchanged forward code computes.
+  Generator gen(2);
+  Linear lin(2, 1, /*bias=*/false, &gen);
+  Tensor x(Shape{1, 2}, {1.0f, 1.0f});
+  auto slots = lin.named_parameter_slots();
+  *slots[0].slot = Tensor(Shape{1, 2}, {2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(lin.forward(x).item(), 5.0f);
+  *slots[0].slot = Tensor(Shape{1, 2}, {-1.0f, 1.0f});
+  EXPECT_FLOAT_EQ(lin.forward(x).item(), 0.0f);
+}
+
+TEST(Module, NamedModulesAndTypeNames) {
+  Generator gen(3);
+  auto net = make_mlp({2, 3, 2}, "relu", &gen);
+  auto mods = net->named_modules();
+  ASSERT_EQ(mods.size(), 4u);  // Sequential + Linear + ReLU + Linear
+  EXPECT_EQ(mods[0].second->type_name(), "Sequential");
+  EXPECT_EQ(mods[1].first, "0");
+  EXPECT_EQ(mods[1].second->type_name(), "Linear");
+  EXPECT_EQ(mods[2].second->type_name(), "ReLU");
+}
+
+TEST(Module, StateDictRoundTrip) {
+  Generator gen(4);
+  auto a = make_mlp({2, 4, 1}, "relu", &gen);
+  auto b = make_mlp({2, 4, 1}, "relu", &gen);
+  Tensor x = randn({3, 2}, &gen);
+  EXPECT_FALSE(allclose(a->forward(x), b->forward(x)));
+  b->load_state_dict(a->state_dict());
+  EXPECT_TRUE(allclose(a->forward(x), b->forward(x)));
+}
+
+TEST(Module, LoadStateDictValidates) {
+  Generator gen(5);
+  auto net = make_mlp({2, 2}, "relu", &gen);
+  EXPECT_THROW(net->load_state_dict({{"nope", zeros({1})}}), Error);
+  EXPECT_THROW(net->load_state_dict({{"0.weight", zeros({3, 3})}}), Error);
+}
+
+TEST(Module, NumParameters) {
+  Generator gen(6);
+  auto net = make_mlp({10, 20, 5}, "relu", &gen);
+  EXPECT_EQ(net->num_parameters(), 10 * 20 + 20 + 20 * 5 + 5);
+}
+
+TEST(Module, DuplicateRegistrationThrows) {
+  struct Bad : UnaryModule {
+    Tensor a = ones({1}), b = ones({1});
+    Bad() {
+      a.set_requires_grad(true);
+      b.set_requires_grad(true);
+      register_parameter("w", &a);
+    }
+    void register_again() { register_parameter("w", &b); }
+    std::string type_name() const override { return "Bad"; }
+    Tensor forward_one(const Tensor& x) override { return x; }
+  };
+  Bad bad;
+  EXPECT_THROW(bad.register_again(), Error);
+}
+
+TEST(Linear, MatchesFunctional) {
+  Generator gen(7);
+  Linear lin(3, 2, true, &gen);
+  Tensor x = randn({4, 3}, &gen);
+  Tensor expected = linear(x, lin.weight(), lin.bias());
+  EXPECT_TRUE(allclose(lin.forward(x), expected));
+}
+
+TEST(Linear, GradientsFlowToParameters) {
+  Generator gen(8);
+  Linear lin(3, 2, true, &gen);
+  Tensor x = randn({4, 3}, &gen);
+  sum(square(lin.forward(x))).backward();
+  EXPECT_TRUE(lin.weight().has_grad());
+  EXPECT_TRUE(lin.bias().has_grad());
+}
+
+TEST(Conv2d, ShapeAndNoBias) {
+  Generator gen(9);
+  Conv2d conv(3, 8, 3, 2, 1, /*bias=*/false, &gen);
+  Tensor x = randn({2, 3, 8, 8}, &gen);
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{2, 8, 4, 4}));
+  EXPECT_EQ(conv.named_parameter_slots().size(), 1u);
+}
+
+TEST(BatchNorm, NormalizesInTraining) {
+  Generator gen(10);
+  BatchNorm2d bn(4);
+  Tensor x = add(mul(randn({8, 4, 5, 5}, &gen), Tensor::scalar(3.0f)),
+                 Tensor::scalar(7.0f));
+  Tensor y = bn.forward(x);
+  Tensor m = mean(y, {0, 2, 3});
+  Tensor v = mean(square(sub(y, mean(y, {0, 2, 3}, true))), {0, 2, 3});
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(m.at(c), 0.0f, 1e-4);
+    EXPECT_NEAR(v.at(c), 1.0f, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Generator gen(11);
+  BatchNorm2d bn(2);
+  Tensor x = add(randn({16, 2, 4, 4}, &gen), Tensor::scalar(5.0f));
+  for (int i = 0; i < 50; ++i) bn.forward(x);  // converge running stats
+  bn.eval();
+  Tensor y = bn.forward(x);
+  Tensor m = mean(y, {0, 2, 3});
+  EXPECT_NEAR(m.at(0), 0.0f, 0.1f);
+  // Eval mode must not depend on the batch: a single sample is normalized
+  // with the same statistics.
+  Tensor one = slice(x, 0, 0, 1);
+  Tensor y1 = bn.forward(one);
+  EXPECT_TRUE(allclose(y1, slice(y, 0, 0, 1), 1e-4f));
+}
+
+TEST(Dropout, TrainVsEval) {
+  Generator gen(12);
+  Dropout drop(0.5f, &gen);
+  Tensor x = ones({1000});
+  Tensor y = drop.forward(x);
+  std::int64_t zeros_count = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0f) ++zeros_count;
+  }
+  EXPECT_GT(zeros_count, 350);
+  EXPECT_LT(zeros_count, 650);
+  drop.eval();
+  EXPECT_TRUE(allclose(drop.forward(x), x));
+}
+
+TEST(Sequential, ChainsAndPropagatesTrainMode) {
+  Generator gen(13);
+  auto seq = std::make_shared<Sequential>();
+  seq->append(std::make_shared<Linear>(2, 2, true, &gen));
+  seq->append(std::make_shared<ReLU>());
+  EXPECT_EQ(seq->size(), 2u);
+  seq->eval();
+  EXPECT_FALSE(seq->at(0).is_training());
+  seq->train();
+  EXPECT_TRUE(seq->at(0).is_training());
+}
+
+TEST(MLP, ActivationsAndErrors) {
+  Generator gen(14);
+  EXPECT_NO_THROW(make_mlp({1, 2, 1}, "tanh", &gen));
+  EXPECT_NO_THROW(make_mlp({1, 2, 1}, "sigmoid", &gen));
+  EXPECT_NO_THROW(make_mlp({1, 2, 1}, "softplus", &gen));
+  EXPECT_THROW(make_mlp({1, 2, 1}, "gelu", &gen), Error);
+  EXPECT_THROW(make_mlp({1}, "relu", &gen), Error);
+}
+
+TEST(Init, FanCalculations) {
+  EXPECT_EQ(init::fan_in_out({8, 4}), (std::pair<std::int64_t, std::int64_t>{4, 8}));
+  EXPECT_EQ(init::fan_in_out({16, 3, 3, 3}),
+            (std::pair<std::int64_t, std::int64_t>{27, 144}));
+  EXPECT_NEAR(init::init_std("radford", {8, 4}), 0.5f, 1e-6);
+  EXPECT_NEAR(init::init_std("kaiming", {8, 2}), 1.0f, 1e-6);
+  EXPECT_NEAR(init::init_std("xavier", {6, 2}), 0.5f, 1e-6);
+  EXPECT_THROW(init::init_std("bogus", {2, 2}), Error);
+}
+
+TEST(Init, FillsHaveRequestedMoments) {
+  Generator gen(15);
+  Tensor t = zeros({200, 50});
+  init::normal_(t, 1.0f, 0.5f, &gen);
+  double m = 0, v = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) m += t.at(i);
+  m /= static_cast<double>(t.numel());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    v += (t.at(i) - m) * (t.at(i) - m);
+  }
+  v /= static_cast<double>(t.numel());
+  EXPECT_NEAR(m, 1.0, 0.02);
+  EXPECT_NEAR(std::sqrt(v), 0.5, 0.02);
+}
+
+TEST(ResNet, OutputShapesAndBlocks) {
+  Generator gen(16);
+  auto net = make_resnet8(10, 8, 3, &gen);
+  Tensor x = randn({2, 3, 16, 16}, &gen);
+  EXPECT_EQ(net->forward(x).shape(), (Shape{2, 10}));
+  // Has BatchNorm modules that the Table-1 prior hides.
+  int bn_count = 0;
+  for (auto& [name, m] : net->named_modules()) {
+    if (m->type_name() == "BatchNorm2d") ++bn_count;
+  }
+  EXPECT_GT(bn_count, 4);
+  // Deeper/wider variant.
+  ResNet deep({2, 2, 2}, 8, 10, 3, &gen);
+  EXPECT_EQ(deep.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(ResNet, GradientReachesStem) {
+  Generator gen(17);
+  auto net = make_resnet8(4, 4, 3, &gen);
+  Tensor x = randn({2, 3, 8, 8}, &gen);
+  sum(square(net->forward(x))).backward();
+  auto slots = net->named_parameter_slots();
+  EXPECT_EQ(slots[0].name, "conv1.weight");
+  EXPECT_TRUE(slots[0].slot->has_grad());
+  EXPECT_TRUE(slots.back().slot->has_grad());  // fc.bias
+}
+
+// A test interceptor that scales every linear output by a constant.
+class ScalingInterceptor : public functional::LinearOpInterceptor {
+ public:
+  explicit ScalingInterceptor(float s) : s_(s) {}
+  Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) override {
+    return mul(tx::linear(x, w, b), Tensor::scalar(s_));
+  }
+  Tensor conv2d(const Tensor&, const Tensor&, const Tensor&, std::int64_t,
+                std::int64_t) override {
+    return Tensor();  // decline: conv falls through to the base op
+  }
+
+ private:
+  float s_;
+};
+
+TEST(Functional, InterceptorOverridesAndRestores) {
+  Generator gen(18);
+  Linear lin(2, 2, true, &gen);
+  Tensor x = randn({1, 2}, &gen);
+  Tensor plain = lin.forward(x);
+  {
+    ScalingInterceptor sc(2.0f);
+    functional::push_interceptor(&sc);
+    EXPECT_EQ(functional::interceptor_depth(), 1u);
+    EXPECT_TRUE(allclose(lin.forward(x), mul(plain, Tensor::scalar(2.0f))));
+    functional::pop_interceptor(&sc);
+  }
+  EXPECT_EQ(functional::interceptor_depth(), 0u);
+  EXPECT_TRUE(allclose(lin.forward(x), plain));
+}
+
+TEST(Functional, InterceptorsNestLifo) {
+  Generator gen(19);
+  Linear lin(2, 1, false, &gen);
+  Tensor x = ones({1, 2});
+  Tensor plain = lin.forward(x);
+  ScalingInterceptor outer(2.0f), inner(3.0f);
+  functional::push_interceptor(&outer);
+  functional::push_interceptor(&inner);
+  // Innermost wins; it does not chain (first defined result returns).
+  EXPECT_TRUE(allclose(lin.forward(x), mul(plain, Tensor::scalar(3.0f))));
+  functional::pop_interceptor(&inner);
+  EXPECT_TRUE(allclose(lin.forward(x), mul(plain, Tensor::scalar(2.0f))));
+  functional::pop_interceptor(&outer);
+  // Unbalanced pops throw.
+  EXPECT_THROW(functional::pop_interceptor(&outer), Error);
+}
+
+TEST(Functional, DecliningInterceptorFallsThrough) {
+  Generator gen(20);
+  Conv2d conv(1, 1, 3, 1, 1, false, &gen);
+  Tensor x = randn({1, 1, 4, 4}, &gen);
+  Tensor plain = conv.forward(x);
+  ScalingInterceptor sc(5.0f);  // declines conv2d
+  functional::push_interceptor(&sc);
+  EXPECT_TRUE(allclose(conv.forward(x), plain));
+  functional::pop_interceptor(&sc);
+}
+
+}  // namespace
+}  // namespace tx::nn

@@ -1,0 +1,299 @@
+// Tests for the effect-handler core: sample semantics, trace recording,
+// replay/condition/block/scale/mask composition laws, param store.
+#include <gtest/gtest.h>
+
+#include "dist/distributions.h"
+#include "ppl/ppl.h"
+
+namespace tx::ppl {
+namespace {
+
+using dist::Normal;
+
+dist::DistPtr std_normal(Shape shape = {}) {
+  return std::make_shared<Normal>(zeros(std::move(shape)), Tensor::scalar(1.0f));
+}
+
+TEST(Sample, NoHandlersDrawsFromDistribution) {
+  manual_seed(1);
+  Tensor a = sample("a", std_normal({100}));
+  EXPECT_EQ(a.shape(), (Shape{100}));
+  Tensor b = sample("a", std_normal({100}));
+  EXPECT_FALSE(allclose(a, b));  // independent draws
+}
+
+TEST(Sample, ObservedValuePassesThrough) {
+  Tensor obs = Tensor::scalar(3.14f);
+  Tensor v = sample("x", std_normal(), obs);
+  EXPECT_FLOAT_EQ(v.item(), 3.14f);
+}
+
+TEST(Trace, RecordsSitesInOrder) {
+  manual_seed(2);
+  Trace tr = trace_fn([] {
+    sample("w", std_normal({2}));
+    sample("b", std_normal());
+    sample("y", std_normal(), Tensor::scalar(1.0f));
+  });
+  ASSERT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.sites()[0].name, "w");
+  EXPECT_EQ(tr.sites()[1].name, "b");
+  EXPECT_TRUE(tr.sites()[2].is_observed);
+  EXPECT_FALSE(tr.sites()[0].is_observed);
+  EXPECT_TRUE(tr.contains("b"));
+  EXPECT_FALSE(tr.contains("nope"));
+  EXPECT_THROW(tr.at("nope"), Error);
+}
+
+TEST(Trace, DuplicateSiteThrows) {
+  EXPECT_THROW(trace_fn([] {
+    sample("x", std_normal());
+    sample("x", std_normal());
+  }),
+               Error);
+}
+
+TEST(Trace, LogProbSumMatchesManual) {
+  manual_seed(3);
+  Trace tr = trace_fn([] {
+    sample("z", std_normal({4}));
+    sample("y", std_normal(), Tensor::scalar(0.5f));
+  });
+  Normal n(0.0f, 1.0f);
+  const float expected = n.expand({4})->log_prob_sum(tr.at("z").value).item() +
+                         n.log_prob(Tensor::scalar(0.5f)).item();
+  EXPECT_NEAR(tr.log_prob_sum().item(), expected, 1e-4);
+  const float latent_only = tr.log_prob_sum(/*observed_only=*/false).item();
+  const float obs_only = tr.log_prob_sum(/*observed_only=*/true).item();
+  EXPECT_NEAR(latent_only + obs_only, expected, 1e-4);
+}
+
+TEST(Replay, ForcesRecordedValues) {
+  manual_seed(4);
+  auto program = [] { return sample("z", std_normal({3})); };
+  Trace first = trace_fn([&] { program(); });
+  ReplayMessenger replay(first);
+  HandlerScope scope(replay);
+  Tensor replayed = program();
+  EXPECT_TRUE(allclose(replayed, first.at("z").value));
+}
+
+TEST(Replay, DoesNotTouchUnknownOrObservedSites) {
+  manual_seed(5);
+  Trace first = trace_fn([] { sample("a", std_normal()); });
+  ReplayMessenger replay(first);
+  HandlerScope scope(replay);
+  Tensor b1 = sample("b", std_normal({50}));
+  Tensor b2 = sample("b", std_normal({50}));
+  EXPECT_FALSE(allclose(b1, b2));  // unknown site still samples fresh
+  Tensor obs = sample("a", std_normal(), Tensor::scalar(9.0f));
+  EXPECT_FLOAT_EQ(obs.item(), 9.0f);  // observation wins over replay
+}
+
+TEST(Condition, MarksObserved) {
+  ConditionMessenger cond({{"z", Tensor::scalar(2.0f)}});
+  Trace tr;
+  {
+    HandlerScope c(cond);
+    tr = trace_fn([] {
+      sample("z", std_normal());
+      sample("other", std_normal());
+    });
+  }
+  EXPECT_TRUE(tr.at("z").is_observed);
+  EXPECT_FLOAT_EQ(tr.at("z").value.item(), 2.0f);
+  EXPECT_FALSE(tr.at("other").is_observed);
+}
+
+TEST(Scale, MultipliesLogProb) {
+  manual_seed(6);
+  Trace tr;
+  {
+    ScaleMessenger sc(10.0);
+    HandlerScope s(sc);
+    tr = trace_fn([] { sample("y", std_normal(), Tensor::scalar(1.0f)); });
+  }
+  Normal n(0.0f, 1.0f);
+  EXPECT_NEAR(tr.log_prob_sum().item(),
+              10.0f * n.log_prob(Tensor::scalar(1.0f)).item(), 1e-4);
+  EXPECT_THROW(ScaleMessenger(-1.0), Error);
+}
+
+TEST(Scale, Composes) {
+  // Nested scales multiply.
+  Trace tr;
+  ScaleMessenger outer(2.0), inner(3.0);
+  {
+    HandlerScope a(outer);
+    HandlerScope b(inner);
+    tr = trace_fn([] { sample("y", std_normal(), Tensor::scalar(0.0f)); });
+  }
+  EXPECT_NEAR(tr.at("y").scale, 6.0, 1e-9);
+}
+
+TEST(Mask, ZeroesOutElements) {
+  Tensor mask(Shape{4}, {1.0f, 0.0f, 1.0f, 0.0f});
+  Trace tr;
+  {
+    MaskMessenger mm(mask);
+    HandlerScope s(mm);
+    tr = trace_fn([] {
+      sample("y", std_normal({4}), Tensor(Shape{4}, {1.0f, 5.0f, 1.0f, 5.0f}));
+    });
+  }
+  Normal n(0.0f, 1.0f);
+  const float expected = 2.0f * n.log_prob(Tensor::scalar(1.0f)).item();
+  EXPECT_NEAR(tr.log_prob_sum().item(), expected, 1e-4);
+}
+
+TEST(Mask, SelectiveMaskOnlyTouchesExposedSites) {
+  // The paper's selective_mask: mask applies to "likelihood.data" only.
+  Tensor mask(Shape{2}, {0.0f, 1.0f});
+  Trace tr;
+  {
+    MaskMessenger mm(mask, {"likelihood.data"});
+    HandlerScope s(mm);
+    tr = trace_fn([] {
+      sample("w", std_normal({2}));
+      sample("likelihood.data", std_normal({2}),
+             Tensor(Shape{2}, {100.0f, 0.0f}));
+    });
+  }
+  EXPECT_FALSE(tr.at("w").mask.defined());
+  ASSERT_TRUE(tr.at("likelihood.data").mask.defined());
+  // The masked-out 100.0 observation contributes nothing.
+  Normal n(0.0f, 1.0f);
+  const float expected = n.log_prob(Tensor::scalar(0.0f)).item();
+  EXPECT_NEAR(tr.at("likelihood.data").log_prob_sum().item(), expected, 1e-4);
+}
+
+TEST(Block, HidesFromOuterHandlers) {
+  manual_seed(7);
+  TraceMessenger outer_trace;
+  BlockMessenger block = BlockMessenger::hiding({"secret"});
+  {
+    HandlerScope t(outer_trace);
+    HandlerScope b(block);
+    sample("public", std_normal());
+    sample("secret", std_normal());
+  }
+  EXPECT_TRUE(outer_trace.trace().contains("public"));
+  EXPECT_FALSE(outer_trace.trace().contains("secret"));
+}
+
+TEST(Block, ExposingHidesEverythingElse) {
+  manual_seed(8);
+  TraceMessenger outer_trace;
+  BlockMessenger block = BlockMessenger::exposing({"keep"});
+  {
+    HandlerScope t(outer_trace);
+    HandlerScope b(block);
+    sample("keep", std_normal());
+    sample("drop1", std_normal());
+    sample("drop2", std_normal());
+  }
+  EXPECT_EQ(outer_trace.trace().size(), 1u);
+  EXPECT_TRUE(outer_trace.trace().contains("keep"));
+}
+
+TEST(Block, InnerHandlersStillSeeBlockedSites) {
+  manual_seed(9);
+  TraceMessenger outer_trace, inner_trace;
+  BlockMessenger block = BlockMessenger::hiding({"z"});
+  {
+    HandlerScope t_out(outer_trace);
+    HandlerScope b(block);
+    HandlerScope t_in(inner_trace);
+    sample("z", std_normal());
+  }
+  EXPECT_TRUE(inner_trace.trace().contains("z"));
+  EXPECT_FALSE(outer_trace.trace().contains("z"));
+}
+
+TEST(Handlers, StackUnwindsOnScopeExit) {
+  EXPECT_EQ(handler_depth(), 0u);
+  {
+    TraceMessenger tm;
+    HandlerScope s(tm);
+    EXPECT_EQ(handler_depth(), 1u);
+    {
+      ScaleMessenger sc(2.0);
+      HandlerScope s2(sc);
+      EXPECT_EQ(handler_depth(), 2u);
+    }
+    EXPECT_EQ(handler_depth(), 1u);
+  }
+  EXPECT_EQ(handler_depth(), 0u);
+}
+
+TEST(Handlers, RsampleUsedWhenGradsEnabled) {
+  // A Normal whose loc requires grad should yield a sample on the graph.
+  Tensor loc = Tensor::scalar(0.0f).set_requires_grad(true);
+  auto d = std::make_shared<Normal>(loc, Tensor::scalar(1.0f));
+  Tensor v = sample("z", d);
+  EXPECT_TRUE(v.requires_grad());
+  {
+    NoGradGuard ng;
+    Tensor v2 = sample("z", d);
+    EXPECT_FALSE(v2.requires_grad());
+  }
+}
+
+TEST(ParamStore, CreateGetUpdate) {
+  ParamStore store;
+  Tensor p = store.get_or_create("w", zeros({2}));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_TRUE(store.contains("w"));
+  // Second call returns the same underlying tensor.
+  Tensor q = store.get_or_create("w", ones({2}));
+  EXPECT_FLOAT_EQ(q.at(0), 0.0f);
+  p.add_(ones({2}));
+  EXPECT_FLOAT_EQ(store.get("w").at(0), 1.0f);
+  EXPECT_THROW(store.get("nope"), Error);
+  store.erase("w");
+  EXPECT_FALSE(store.contains("w"));
+}
+
+TEST(ParamStore, LazyInitOnlyRunsOnce) {
+  ParamStore store;
+  int calls = 0;
+  auto init = [&] {
+    ++calls;
+    return zeros({1});
+  };
+  store.get_or_create("p", init);
+  store.get_or_create("p", init);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParamStore, PrefixQuery) {
+  ParamStore store;
+  store.get_or_create("guide.loc.a", zeros({1}));
+  store.get_or_create("guide.scale.a", zeros({1}));
+  store.get_or_create("other", zeros({1}));
+  EXPECT_EQ(store.items_with_prefix("guide.").size(), 2u);
+  EXPECT_EQ(store.items().size(), 3u);
+}
+
+TEST(ParamStore, SnapshotRestore) {
+  ParamStore store;
+  Tensor p = store.get_or_create("w", full({2}, 1.0f));
+  auto snap = store.snapshot();
+  p.fill_(5.0f);
+  EXPECT_FLOAT_EQ(store.get("w").at(0), 5.0f);
+  store.restore(snap);
+  EXPECT_FLOAT_EQ(store.get("w").at(0), 1.0f);
+  // Restore writes through the original handle.
+  EXPECT_FLOAT_EQ(p.at(0), 1.0f);
+}
+
+TEST(ParamStore, GlobalStoreAndClear) {
+  clear_param_store();
+  param("tmp.x", zeros({3}));
+  EXPECT_TRUE(param_store().contains("tmp.x"));
+  clear_param_store();
+  EXPECT_EQ(param_store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace tx::ppl

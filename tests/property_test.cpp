@@ -1,0 +1,188 @@
+// Property-based invariant tests, parameterized over seeds: algebraic laws
+// of the tensor ops, shift invariances, handler idempotence, and the
+// strongest inference property available — at the exact posterior the ELBO
+// equals the log evidence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributions.h"
+#include "infer/infer.h"
+#include "ppl/ppl.h"
+
+namespace {
+
+namespace nd = tx::dist;
+using tx::Shape;
+using tx::Tensor;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  tx::Generator gen{GetParam()};
+};
+
+TEST_P(SeededProperty, ElementwiseAlgebraLaws) {
+  Tensor a = tx::rand_uniform({3, 4}, 0.5f, 2.0f, &gen);
+  Tensor b = tx::rand_uniform({4}, 0.5f, 2.0f, &gen);      // broadcasts
+  Tensor c = tx::rand_uniform({3, 1}, 0.5f, 2.0f, &gen);   // broadcasts
+  // Commutativity and associativity (within float tolerance).
+  EXPECT_TRUE(tx::allclose(tx::add(a, b), tx::add(b, a)));
+  EXPECT_TRUE(tx::allclose(tx::mul(a, b), tx::mul(b, a)));
+  EXPECT_TRUE(tx::allclose(tx::add(tx::add(a, b), c), tx::add(a, tx::add(b, c)),
+                           1e-5f));
+  // Distributivity.
+  EXPECT_TRUE(tx::allclose(tx::mul(a, tx::add(b, c)),
+                           tx::add(tx::mul(a, b), tx::mul(a, c)), 1e-4f));
+  // a / b == a * (1 / b).
+  EXPECT_TRUE(tx::allclose(tx::div(a, b),
+                           tx::mul(a, tx::div(Tensor::scalar(1.0f), b)), 1e-5f));
+}
+
+TEST_P(SeededProperty, ReductionLinearity) {
+  Tensor a = tx::randn({4, 5}, &gen);
+  Tensor b = tx::randn({4, 5}, &gen);
+  EXPECT_NEAR(tx::sum(tx::add(a, b)).item(),
+              tx::sum(a).item() + tx::sum(b).item(), 1e-3);
+  // sum over cat == sum of parts.
+  EXPECT_NEAR(tx::sum(tx::cat({a, b}, 0)).item(),
+              tx::sum(a).item() + tx::sum(b).item(), 1e-3);
+  // mean of a constant is the constant.
+  EXPECT_NEAR(tx::mean(tx::full({7, 2}, 3.25f)).item(), 3.25f, 1e-6);
+  // sum over both axes equals full sum regardless of order.
+  EXPECT_NEAR(tx::sum(tx::sum(a, {0}), {0}).item(), tx::sum(a).item(), 1e-3);
+}
+
+TEST_P(SeededProperty, ShapeRoundTrips) {
+  Tensor a = tx::randn({2, 3, 4}, &gen);
+  EXPECT_TRUE(tx::allclose(tx::reshape(tx::reshape(a, {6, 4}), {2, 3, 4}), a));
+  Tensor p = tx::permute(a, {2, 0, 1});
+  EXPECT_TRUE(tx::allclose(tx::permute(p, {1, 2, 0}), a));
+  EXPECT_TRUE(tx::allclose(tx::transpose(tx::transpose(a, 0, 2), 0, 2), a));
+  // cat of slices reassembles the original.
+  Tensor left = tx::slice(a, 1, 0, 2);
+  Tensor right = tx::slice(a, 1, 2, 3);
+  EXPECT_TRUE(tx::allclose(tx::cat({left, right}, 1), a));
+}
+
+TEST_P(SeededProperty, SoftmaxShiftInvariance) {
+  Tensor a = tx::randn({3, 6}, &gen);
+  Tensor shifted = tx::add(a, Tensor::scalar(37.5f));
+  EXPECT_TRUE(tx::allclose(tx::softmax(a, -1), tx::softmax(shifted, -1), 1e-5f));
+  // logsumexp(a + c) == logsumexp(a) + c.
+  Tensor lse = tx::logsumexp(a, -1);
+  Tensor lse_shifted = tx::logsumexp(shifted, -1);
+  EXPECT_TRUE(tx::allclose(tx::add(lse, Tensor::scalar(37.5f)), lse_shifted,
+                           1e-3f, 1e-4f));
+}
+
+TEST_P(SeededProperty, MatmulLinearity) {
+  Tensor a = tx::randn({3, 4}, &gen);
+  Tensor b = tx::randn({4, 2}, &gen);
+  Tensor c = tx::randn({4, 2}, &gen);
+  EXPECT_TRUE(tx::allclose(tx::matmul(a, tx::add(b, c)),
+                           tx::add(tx::matmul(a, b), tx::matmul(a, c)), 1e-4f));
+  // (A B)^T == B^T A^T.
+  EXPECT_TRUE(tx::allclose(tx::transpose(tx::matmul(a, b), 0, 1),
+                           tx::matmul(tx::transpose(b, 0, 1),
+                                      tx::transpose(a, 0, 1)),
+                           1e-4f));
+}
+
+TEST_P(SeededProperty, NormalLocationScaleInvariances) {
+  const float mu = static_cast<float>(gen.uniform(-2.0, 2.0));
+  const float sigma = static_cast<float>(gen.uniform(0.3, 2.0));
+  const float shift = static_cast<float>(gen.uniform(-3.0, 3.0));
+  nd::Normal p(mu, sigma), q(mu + 1.0f, sigma * 1.5f);
+  nd::Normal ps(mu + shift, sigma), qs(mu + 1.0f + shift, sigma * 1.5f);
+  // KL is invariant under a common location shift.
+  EXPECT_NEAR(nd::kl_divergence(p, q).item(), nd::kl_divergence(ps, qs).item(),
+              1e-4);
+  // Density transforms correctly: log N(x; mu, s) == log N(x+c; mu+c, s).
+  const float x = static_cast<float>(gen.uniform(-2.0, 2.0));
+  EXPECT_NEAR(p.log_prob(Tensor::scalar(x)).item(),
+              ps.log_prob(Tensor::scalar(x + shift)).item(), 1e-5);
+}
+
+TEST_P(SeededProperty, ReplayIsIdempotent) {
+  auto program = [&] {
+    Tensor z = tx::ppl::sample("z", std::make_shared<nd::Normal>(0.0f, 1.0f));
+    tx::ppl::sample("w", std::make_shared<nd::Normal>(z, Tensor::scalar(0.5f)));
+  };
+  tx::ppl::Trace first = tx::ppl::trace_fn(program);
+  // Replaying twice reproduces exactly the same trace (values + log prob).
+  tx::ppl::ReplayMessenger replay(first);
+  tx::ppl::Trace second;
+  {
+    tx::ppl::HandlerScope s(replay);
+    second = tx::ppl::trace_fn(program);
+  }
+  tx::ppl::ReplayMessenger replay2(second);
+  tx::ppl::Trace third;
+  {
+    tx::ppl::HandlerScope s(replay2);
+    third = tx::ppl::trace_fn(program);
+  }
+  EXPECT_TRUE(tx::allclose(first.at("z").value, third.at("z").value));
+  EXPECT_TRUE(tx::allclose(first.at("w").value, third.at("w").value));
+  EXPECT_NEAR(first.log_prob_sum().item(), third.log_prob_sum().item(), 1e-5);
+}
+
+TEST_P(SeededProperty, ElboAtExactPosteriorEqualsLogEvidence) {
+  // Conjugate model: z ~ N(0,1), x | z ~ N(z, s). With the guide set to the
+  // exact posterior, ELBO == log evidence = log N(x; 0, sqrt(1 + s^2)),
+  // for every x and s — and it is an upper bound for any other guide.
+  const float s = static_cast<float>(gen.uniform(0.3, 1.5));
+  const float x = static_cast<float>(gen.uniform(-2.0, 2.0));
+  auto model = [s, x] {
+    Tensor z = tx::ppl::sample("z", std::make_shared<nd::Normal>(0.0f, 1.0f));
+    tx::ppl::sample("x", std::make_shared<nd::Normal>(z, Tensor::scalar(s)),
+                    Tensor::scalar(x));
+  };
+  const float post_var = 1.0f / (1.0f + 1.0f / (s * s));
+  const float post_mean = post_var * x / (s * s);
+  auto exact_guide = [post_mean, post_var] {
+    tx::ppl::sample("z", std::make_shared<nd::Normal>(
+                             post_mean, std::sqrt(post_var)));
+  };
+  const float log_evidence =
+      nd::Normal(0.0f, std::sqrt(1.0f + s * s)).log_prob(Tensor::scalar(x)).item();
+
+  // The KL term is analytic but the likelihood term is a single-sample Monte
+  // Carlo estimate, so average over repeated evaluations.
+  tx::infer::TraceMeanFieldELBO elbo;
+  auto mean_elbo = [&](const tx::infer::Program& g) {
+    double total = 0.0;
+    const int kReps = 2000;
+    for (int i = 0; i < kReps; ++i) {
+      total += -elbo.differentiable_loss(model, g).item();
+    }
+    return total / kReps;
+  };
+  const double elbo_value = mean_elbo(exact_guide);
+  EXPECT_NEAR(elbo_value, log_evidence, 0.02);
+
+  // Any mismatched guide gives a strictly smaller ELBO (gap is
+  // KL(q_wrong || posterior) = 0.5 * 0.5^2 / post_var >> the MC noise).
+  auto wrong_guide = [post_mean, post_var] {
+    tx::ppl::sample("z", std::make_shared<nd::Normal>(
+                             post_mean + 0.5f, std::sqrt(post_var)));
+  };
+  EXPECT_LT(mean_elbo(wrong_guide), elbo_value - 0.02);
+}
+
+TEST_P(SeededProperty, GuideTraceLogProbMatchesAnalyticEntropyTerm) {
+  // For a Normal guide, E[log q(z)] at its own samples averages to -H(q).
+  const float sigma = static_cast<float>(gen.uniform(0.5, 1.5));
+  nd::Normal q(0.0f, sigma);
+  double acc = 0.0;
+  const int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    acc += q.log_prob(q.sample(&gen)).item();
+  }
+  EXPECT_NEAR(acc / kSamples, -q.entropy().item(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for the render substrate: cameras/rays, positional encoding,
+// compositing invariants, analytic-scene rendering, and a tiny NeRF fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/volume.h"
+#include "tensor/grad_check.h"
+
+namespace tx::render {
+namespace {
+
+TEST(Camera, LookAtBasisIsOrthonormal) {
+  Camera cam = look_at({2.0f, 1.0f, 0.0f}, {0.0f, 0.0f, 0.0f}, 10.0f, 8, 8);
+  auto dot = [](const Vec3& a, const Vec3& b) {
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+  };
+  EXPECT_NEAR(dot(cam.forward, cam.forward), 1.0f, 1e-5);
+  EXPECT_NEAR(dot(cam.right, cam.right), 1.0f, 1e-5);
+  EXPECT_NEAR(dot(cam.forward, cam.right), 0.0f, 1e-5);
+  EXPECT_NEAR(dot(cam.forward, cam.up), 0.0f, 1e-5);
+  // Forward points from the position towards the origin.
+  EXPECT_LT(cam.forward[0], 0.0f);
+}
+
+TEST(Camera, CircleCamerasLookInward) {
+  auto cams = circle_cameras(8, 3.0f, 0.5f, 10.0f, 4);
+  EXPECT_EQ(cams.size(), 8u);
+  for (const auto& cam : cams) {
+    const float r = std::sqrt(cam.position[0] * cam.position[0] +
+                              cam.position[2] * cam.position[2]);
+    EXPECT_NEAR(r, 3.0f, 1e-4);
+    // Forward roughly towards origin: negative dot with position.
+    const float d = cam.forward[0] * cam.position[0] +
+                    cam.forward[1] * cam.position[1] +
+                    cam.forward[2] * cam.position[2];
+    EXPECT_LT(d, 0.0f);
+  }
+}
+
+TEST(Camera, ArcHoldoutCoversRequestedAngles) {
+  // Training arc [0, 3pi/2]; heldout arc (3pi/2, 2pi).
+  auto train = circle_cameras(12, 3.0f, 0.0f, 10.0f, 4, 0.0f, 4.712389f);
+  auto held = circle_cameras(4, 3.0f, 0.0f, 10.0f, 4, 4.712389f, 6.2831853f);
+  for (const auto& cam : held) {
+    const float angle = std::atan2(cam.position[2], cam.position[0]);
+    const float wrapped = angle < 0.0f ? angle + 6.2831853f : angle;
+    EXPECT_GE(wrapped, 4.7f);
+  }
+  EXPECT_EQ(train.size(), 12u);
+}
+
+TEST(Rays, OnePerPixelUnitNorm) {
+  Camera cam = look_at({0.0f, 0.0f, 3.0f}, {0.0f, 0.0f, 0.0f}, 6.0f, 4, 4);
+  RayBatch rays = camera_rays(cam);
+  EXPECT_EQ(rays.origins.shape(), (Shape{16, 3}));
+  EXPECT_EQ(rays.directions.shape(), (Shape{16, 3}));
+  for (std::int64_t i = 0; i < 16; ++i) {
+    float n = 0.0f;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      n += rays.directions.at(i * 3 + c) * rays.directions.at(i * 3 + c);
+      EXPECT_FLOAT_EQ(rays.origins.at(i * 3 + c), cam.position[static_cast<std::size_t>(c)]);
+    }
+    EXPECT_NEAR(n, 1.0f, 1e-5);
+  }
+}
+
+TEST(Encoding, ShapeAndValues) {
+  Tensor p(Shape{2, 3}, {0.0f, 1.0f, -1.0f, 0.5f, 0.0f, 2.0f});
+  Tensor enc = positional_encoding(p, 2);
+  EXPECT_EQ(enc.shape(), (Shape{2, 3 + 12}));
+  // First three columns are the raw points.
+  EXPECT_FLOAT_EQ(enc.at(1), 1.0f);
+  // sin at level 0 of p[0][1] = sin(1).
+  EXPECT_NEAR(enc.at(3 + 1), std::sin(1.0f), 1e-5);
+  // Layout per row: [p | sin(p) | cos(p) | sin(2p) | cos(2p)].
+  EXPECT_NEAR(enc.at(6), 1.0f, 1e-5);   // cos(p[0][0]) = cos(0)
+  EXPECT_NEAR(enc.at(9), 0.0f, 1e-5);   // sin(2 * 0)
+  EXPECT_NEAR(enc.at(12), 1.0f, 1e-5);  // cos(2 * 0)
+}
+
+TEST(Composite, EmptyVolumeIsTransparent) {
+  Tensor sigma = zeros({2, 4});
+  Tensor rgb = full({2, 4, 3}, 0.5f);
+  Tensor depths = linspace(1.0f, 2.0f, 4);
+  auto out = composite(sigma, rgb, depths);
+  EXPECT_NEAR(out.alpha.at(0), 0.0f, 1e-5);
+  EXPECT_NEAR(out.rgb.at(0), 0.0f, 1e-5);
+}
+
+TEST(Composite, OpaqueFirstSampleWins) {
+  Tensor sigma(Shape{1, 3}, {100.0f, 0.0f, 0.0f});
+  Tensor rgb = zeros({1, 3, 3});
+  rgb.at(0) = 1.0f;  // first sample is red
+  rgb.at(5) = 1.0f;  // second sample is blue (never seen)
+  Tensor depths = linspace(1.0f, 2.0f, 3);
+  auto out = composite(sigma, rgb, depths);
+  EXPECT_NEAR(out.alpha.at(0), 1.0f, 1e-3);
+  EXPECT_NEAR(out.rgb.at(0), 1.0f, 1e-3);  // red channel
+  EXPECT_NEAR(out.rgb.at(2), 0.0f, 1e-3);  // blue blocked
+}
+
+TEST(Composite, AlphaBoundedAndWeightsDifferentiable) {
+  Generator gen(1);
+  Tensor sigma_raw = rand_uniform({2, 4}, 0.1f, 1.5f, &gen);
+  Tensor rgb = rand_uniform({2, 4, 3}, 0.0f, 1.0f, &gen);
+  Tensor depths = linspace(1.0f, 3.0f, 4);
+  auto out = composite(sigma_raw, rgb, depths);
+  for (std::int64_t i = 0; i < out.alpha.numel(); ++i) {
+    EXPECT_GE(out.alpha.at(i), 0.0f);
+    EXPECT_LE(out.alpha.at(i), 1.0f);
+  }
+  EXPECT_TRUE(grad_check(
+      [&](const std::vector<Tensor>& in) {
+        auto res = composite(in[0], in[1], depths);
+        return add(sum(square(res.rgb)), sum(square(res.alpha)));
+      },
+      {sigma_raw, rgb}));
+}
+
+TEST(Scene, AnalyticSceneHasStructure) {
+  AnalyticScene scene;
+  // Center of the sphere: dense. Far away: empty.
+  Tensor inside(Shape{1, 3}, {0.0f, 0.0f, 0.0f});
+  Tensor outside(Shape{1, 3}, {2.5f, 2.5f, 2.5f});
+  EXPECT_GT(scene(inside).at(0), 1.0f);
+  EXPECT_LT(scene(outside).at(0), 0.0f);
+  // On the ring (radius 0.9 in the y=0 plane): dense.
+  Tensor on_ring(Shape{1, 3}, {0.9f, 0.0f, 0.0f});
+  EXPECT_GT(scene(on_ring).at(0), 1.0f);
+}
+
+TEST(Scene, GroundTruthViewsSeeTheObject) {
+  auto cams = circle_cameras(2, 2.5f, 0.4f, 10.0f, 12);
+  RenderConfig cfg;
+  cfg.num_samples = 32;
+  cfg.t_near = 1.0f;
+  cfg.t_far = 4.5f;
+  auto views = ground_truth_views(cams, cfg);
+  ASSERT_EQ(views.size(), 2u);
+  // Some pixels hit the object (alpha ~ 1), some miss (alpha ~ 0).
+  double max_alpha = 0.0, min_alpha = 1.0;
+  for (std::int64_t i = 0; i < views[0].alpha.numel(); ++i) {
+    max_alpha = std::max<double>(max_alpha, views[0].alpha.at(i));
+    min_alpha = std::min<double>(min_alpha, views[0].alpha.at(i));
+  }
+  EXPECT_GT(max_alpha, 0.8);
+  EXPECT_LT(min_alpha, 0.2);
+}
+
+TEST(NeRF, FieldShapesAndRenderLossDecreasesUnderTraining) {
+  Generator gen(2);
+  NeRFField field(/*levels=*/3, /*hidden=*/32, /*depth=*/2, &gen);
+  Tensor pts = randn({5, 3}, &gen);
+  EXPECT_EQ(field.forward(pts).shape(), (Shape{5, 4}));
+
+  // One training view; a few gradient steps should reduce the loss.
+  auto cams = circle_cameras(1, 2.5f, 0.4f, 8.0f, 8);
+  RenderConfig cfg;
+  cfg.num_samples = 16;
+  cfg.t_near = 1.0f;
+  cfg.t_far = 4.5f;
+  auto target = ground_truth_views(cams, cfg)[0];
+  RayBatch rays = camera_rays(cams[0]);
+  auto field_fn = [&field](const Tensor& p) { return field.forward(p); };
+
+  auto loss_value = [&] {
+    NoGradGuard ng;
+    return render_loss(render_rays(field_fn, rays, cfg), target).item();
+  };
+  const float before = loss_value();
+  for (int step = 0; step < 30; ++step) {
+    for (auto& s : field.named_parameter_slots()) s.slot->zero_grad();
+    Tensor loss = render_loss(render_rays(field_fn, rays, cfg), target);
+    loss.backward();
+    for (auto& s : field.named_parameter_slots()) {
+      s.slot->add_(s.slot->grad(), -0.05f);
+    }
+  }
+  EXPECT_LT(loss_value(), before);
+}
+
+TEST(RenderLoss, ZeroForIdenticalImages) {
+  RenderResult a{full({4, 3}, 0.3f), full({4}, 0.7f)};
+  RenderResult b{full({4, 3}, 0.3f), full({4}, 0.7f)};
+  EXPECT_NEAR(render_loss(a, b).item(), 0.0f, 1e-9);
+  RenderResult c{full({4, 3}, 0.4f), full({4}, 0.7f)};
+  EXPECT_GT(render_loss(a, c).item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace tx::render

@@ -1,0 +1,328 @@
+// Unit tests for the tensor library: shapes, broadcasting, op values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace tx {
+namespace {
+
+TEST(Shape, NumelAndStrides) {
+  EXPECT_EQ(numel_of({2, 3, 4}), 24);
+  EXPECT_EQ(numel_of({}), 1);
+  EXPECT_EQ(contiguous_strides({2, 3, 4}), (Shape{12, 4, 1}));
+}
+
+TEST(Shape, Broadcasting) {
+  EXPECT_TRUE(broadcastable({3, 1}, {1, 4}));
+  EXPECT_FALSE(broadcastable({3, 2}, {4, 2}));
+  EXPECT_EQ(broadcast_shapes({3, 1}, {4}), (Shape{3, 4}));
+  EXPECT_EQ(broadcast_shapes({}, {2, 2}), (Shape{2, 2}));
+  EXPECT_THROW(broadcast_shapes({3}, {4}), Error);
+}
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(-1), 3);
+  EXPECT_FLOAT_EQ(t.at(4), 1.5f);
+  t.at(4) = 2.0f;
+  EXPECT_FLOAT_EQ(t.at(4), 2.0f);
+  EXPECT_THROW(t.item(), Error);
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.0f).item(), 3.0f);
+}
+
+TEST(Tensor, HandleSemantics) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b = a;  // aliases
+  b.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 5.0f);
+  Tensor c = a.detach();  // copies
+  c.at(0) = 9.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 5.0f);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), Error);
+}
+
+TEST(Factories, Basic) {
+  EXPECT_FLOAT_EQ(zeros({3}).at(1), 0.0f);
+  EXPECT_FLOAT_EQ(ones({3}).at(1), 1.0f);
+  EXPECT_FLOAT_EQ(full({2}, 7.0f).at(0), 7.0f);
+  EXPECT_FLOAT_EQ(arange(5).at(3), 3.0f);
+  Tensor ls = linspace(0.0f, 1.0f, 5);
+  EXPECT_FLOAT_EQ(ls.at(2), 0.5f);
+  Tensor id = eye(3);
+  EXPECT_FLOAT_EQ(id.at(4), 1.0f);
+  EXPECT_FLOAT_EQ(id.at(1), 0.0f);
+}
+
+TEST(Factories, RandomReproducible) {
+  Generator g1(42), g2(42);
+  Tensor a = randn({16}, &g1);
+  Tensor b = randn({16}, &g2);
+  EXPECT_TRUE(allclose(a, b));
+  Tensor s = rand_sign({100}, &g1);
+  for (std::int64_t i = 0; i < s.numel(); ++i) {
+    EXPECT_TRUE(s.at(i) == 1.0f || s.at(i) == -1.0f);
+  }
+}
+
+TEST(Elementwise, AddBroadcast) {
+  Tensor a(Shape{2, 1}, {1.0f, 2.0f});
+  Tensor b(Shape{3}, {10.0f, 20.0f, 30.0f});
+  Tensor c = a + b;
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(5), 32.0f);
+}
+
+TEST(Elementwise, ScalarOperators) {
+  Tensor a(Shape{2}, {2.0f, 4.0f});
+  EXPECT_FLOAT_EQ((a * 2.0f).at(1), 8.0f);
+  EXPECT_FLOAT_EQ((1.0f / a).at(0), 0.5f);
+  EXPECT_FLOAT_EQ((a - 1.0f).at(0), 1.0f);
+  EXPECT_FLOAT_EQ((-a).at(1), -4.0f);
+}
+
+TEST(Elementwise, UnaryValues) {
+  Tensor x(Shape{3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(relu(x).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(relu(x).at(2), 2.0f);
+  EXPECT_NEAR(exp(x).at(2), std::exp(2.0f), 1e-5);
+  EXPECT_NEAR(tanh(x).at(0), std::tanh(-1.0f), 1e-6);
+  EXPECT_NEAR(sigmoid(x).at(1), 0.5f, 1e-6);
+  EXPECT_NEAR(softplus(Tensor::scalar(0.0f)).item(), std::log(2.0f), 1e-6);
+  EXPECT_NEAR(softplus(Tensor::scalar(30.0f)).item(), 30.0f, 1e-4);
+  EXPECT_NEAR(erf(Tensor::scalar(0.5f)).item(), std::erf(0.5f), 1e-6);
+  EXPECT_FLOAT_EQ(abs(x).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(square(x).at(2), 4.0f);
+}
+
+TEST(Elementwise, ClampAndExtremes) {
+  Tensor x(Shape{4}, {-2.0f, 0.5f, 1.5f, 3.0f});
+  Tensor c = clamp(x, 0.0f, 2.0f);
+  EXPECT_FLOAT_EQ(c.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(c.at(3), 2.0f);
+  EXPECT_FLOAT_EQ(clamp_max(x, 1.0f).at(3), 1.0f);
+  EXPECT_FLOAT_EQ(clamp_min(x, 0.0f).at(0), 0.0f);
+  Tensor a(Shape{2}, {1.0f, 5.0f});
+  Tensor b(Shape{2}, {3.0f, 2.0f});
+  EXPECT_FLOAT_EQ(maximum(a, b).at(0), 3.0f);
+  EXPECT_FLOAT_EQ(minimum(a, b).at(1), 2.0f);
+}
+
+TEST(Reduce, SumMean) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(sum(x).item(), 21.0f);
+  EXPECT_FLOAT_EQ(mean(x).item(), 3.5f);
+  Tensor s0 = sum(x, {0});
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0.at(0), 5.0f);
+  Tensor s1 = sum(x, {1}, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1.at(1), 15.0f);
+  Tensor m = mean(x, {0, 1});
+  EXPECT_FLOAT_EQ(m.item(), 3.5f);
+}
+
+TEST(Reduce, MaxMinArgmax) {
+  Tensor x(Shape{2, 3}, {1, 9, 3, 7, 5, 6});
+  Tensor mx = max(x, 1);
+  EXPECT_EQ(mx.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(mx.at(0), 9.0f);
+  EXPECT_FLOAT_EQ(mx.at(1), 7.0f);
+  EXPECT_FLOAT_EQ(min(x, 1).at(0), 1.0f);
+  Tensor am = argmax(x, 1);
+  EXPECT_FLOAT_EQ(am.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(am.at(1), 0.0f);
+}
+
+TEST(Reduce, LogSumExpStable) {
+  Tensor x(Shape{1, 2}, {1000.0f, 1000.0f});
+  Tensor lse = logsumexp(x, 1);
+  EXPECT_NEAR(lse.item(), 1000.0f + std::log(2.0f), 1e-3);
+}
+
+TEST(Reduce, SoftmaxNormalizes) {
+  Tensor x(Shape{2, 4}, {1, 2, 3, 4, -1, 0, 1, 2});
+  Tensor p = softmax(x, -1);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < 4; ++c) s += p.at(r * 4 + c);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+  Tensor lp = log_softmax(x, -1);
+  EXPECT_NEAR(lp.at(3), std::log(p.at(3)), 1e-5);
+}
+
+TEST(Reduce, Cumsum) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor c1 = cumsum(x, 1);
+  EXPECT_FLOAT_EQ(c1.at(2), 6.0f);
+  EXPECT_FLOAT_EQ(c1.at(5), 15.0f);
+  Tensor c0 = cumsum(x, 0);
+  EXPECT_FLOAT_EQ(c0.at(3), 5.0f);
+}
+
+TEST(ShapeOps, ReshapeWildcard) {
+  Tensor x(Shape{2, 6}, 1.0f);
+  Tensor r = reshape(x, {3, -1});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_THROW(reshape(x, {5, -1}), Error);
+  EXPECT_EQ(x.flatten().shape(), (Shape{12}));
+  EXPECT_EQ(x.flatten(1).shape(), (Shape{2, 6}));
+}
+
+TEST(ShapeOps, PermuteTranspose) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(x, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(1), 4.0f);  // t[0][1] == x[1][0]
+  Tensor y(Shape{2, 3, 4}, 0.0f);
+  EXPECT_EQ(permute(y, {2, 0, 1}).shape(), (Shape{4, 2, 3}));
+}
+
+TEST(ShapeOps, BroadcastToSumTo) {
+  Tensor x(Shape{1, 3}, {1, 2, 3});
+  Tensor b = broadcast_to(x, {2, 3});
+  EXPECT_FLOAT_EQ(b.at(5), 3.0f);
+  Tensor s = sum_to(b, {1, 3});
+  EXPECT_FLOAT_EQ(s.at(0), 2.0f);
+  Tensor full_sum = sum_to(b, {});
+  EXPECT_FLOAT_EQ(full_sum.item(), 12.0f);
+}
+
+TEST(ShapeOps, CatStackSlice) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{1, 2}, {5, 6});
+  Tensor c = cat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.at(4), 5.0f);
+  Tensor s = stack({a, a}, 0);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 2}));
+  Tensor sl = slice(c, 0, 1, 3);
+  EXPECT_EQ(sl.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(sl.at(0), 3.0f);
+  Tensor cols = cat({a, a}, 1);
+  EXPECT_EQ(cols.shape(), (Shape{2, 4}));
+  EXPECT_FLOAT_EQ(cols.at(2), 1.0f);
+}
+
+TEST(ShapeOps, IndexSelectGatherOneHot) {
+  Tensor a(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor sel = index_select(a, 0, {2, 0, 2});
+  EXPECT_EQ(sel.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(sel.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(sel.at(2), 1.0f);
+  Tensor idx(Shape{3}, {1.0f, 0.0f, 1.0f});
+  Tensor g = gather_last(a, idx);
+  EXPECT_EQ(g.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(g.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(1), 3.0f);
+  Tensor oh = one_hot(idx, 2);
+  EXPECT_EQ(oh.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(oh.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(oh.at(0), 0.0f);
+}
+
+TEST(Linalg, MatmulValues) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 154.0f);
+  EXPECT_THROW(matmul(a, a), Error);
+}
+
+TEST(Linalg, BmmValues) {
+  Tensor a(Shape{2, 1, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2, 1}, {5, 6, 7, 8});
+  Tensor c = bmm(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(c.at(0), 17.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 53.0f);
+}
+
+TEST(Linalg, LinearMatchesManual) {
+  Tensor x(Shape{2, 3}, {1, 0, -1, 2, 1, 0});
+  Tensor w(Shape{2, 3}, {1, 1, 1, 0, 1, 0});
+  Tensor b(Shape{2}, {0.5f, -0.5f});
+  Tensor y = linear(x, w, b);
+  EXPECT_EQ(y.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 0.5f);   // 1+0-1 + 0.5
+  EXPECT_FLOAT_EQ(y.at(1), -0.5f);  // 0 + -0.5
+  EXPECT_FLOAT_EQ(y.at(2), 3.5f);   // 3 + 0.5
+  // 3-D input: leading dims preserved.
+  Tensor x3(Shape{2, 2, 3}, 1.0f);
+  EXPECT_EQ(linear(x3, w, b).shape(), (Shape{2, 2, 2}));
+}
+
+TEST(Conv, IdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input channel.
+  Tensor x(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w(Shape{1, 1, 1, 1}, {1.0f});
+  Tensor y = conv2d(x, w, Tensor());
+  EXPECT_TRUE(allclose(y, x));
+}
+
+TEST(Conv, KnownValues) {
+  // 2x2 all-ones kernel sums each 2x2 patch.
+  Tensor x(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w(Shape{1, 1, 2, 2}, {1, 1, 1, 1});
+  Tensor y = conv2d(x, w, Tensor());
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 12.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 28.0f);
+  // Padding grows the output.
+  Tensor yp = conv2d(x, w, Tensor(), /*stride=*/1, /*padding=*/1);
+  EXPECT_EQ(yp.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(yp.at(0), 1.0f);
+  // Stride skips positions.
+  Tensor ys = conv2d(x, w, Tensor(), /*stride=*/2, /*padding=*/1);
+  EXPECT_EQ(ys.shape(), (Shape{1, 1, 2, 2}));
+}
+
+TEST(Conv, BiasBroadcasts) {
+  Tensor x(Shape{2, 1, 2, 2}, 0.0f);
+  Tensor w(Shape{3, 1, 1, 1}, {1, 1, 1});
+  Tensor b(Shape{3}, {1.0f, 2.0f, 3.0f});
+  Tensor y = conv2d(x, w, b);
+  EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(4), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(11), 3.0f);
+}
+
+TEST(Pool, MaxAndAvg) {
+  Tensor x(Shape{1, 1, 4, 4},
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  Tensor mp = max_pool2d(x, 2, 2);
+  EXPECT_EQ(mp.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(mp.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(mp.at(3), 16.0f);
+  Tensor ap = avg_pool2d(x, 2, 2);
+  EXPECT_FLOAT_EQ(ap.at(0), 3.5f);
+  EXPECT_FLOAT_EQ(ap.at(3), 13.5f);
+}
+
+TEST(Misc, AllClose) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f, 2.000001f});
+  EXPECT_TRUE(allclose(a, b));
+  EXPECT_FALSE(allclose(a, Tensor(Shape{2}, {1.0f, 3.0f})));
+  EXPECT_FALSE(allclose(a, Tensor(Shape{1, 2}, {1.0f, 2.0f})));
+}
+
+TEST(Misc, ToString) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  EXPECT_NE(to_string(a).find("1"), std::string::npos);
+  EXPECT_EQ(to_string(Tensor()), "Tensor(undefined)");
+}
+
+}  // namespace
+}  // namespace tx

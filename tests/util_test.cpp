@@ -1,0 +1,92 @@
+// Tests for the util library: error formatting, RNG reproducibility, table
+// rendering, run statistics.
+#include <gtest/gtest.h>
+
+#include "util/common.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tx {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    TX_CHECK(1 == 2, "expected ", 1, " got ", 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("expected 1 got 2"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Join, FormatsContainers) {
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}), "");
+  EXPECT_EQ(join(std::vector<int>{7}, "-"), "7");
+}
+
+TEST(Random, SeedsReproduceStreams) {
+  Generator a(123), b(123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.normal(), b.normal());
+  }
+  a.seed(7);
+  b.seed(7);
+  EXPECT_EQ(a.randint(0, 1000), b.randint(0, 1000));
+}
+
+TEST(Random, RangesRespected) {
+  Generator g(5);
+  for (int i = 0; i < 200; ++i) {
+    const double u = g.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+    const auto r = g.randint(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += g.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 2000.0, 0.25, 0.03);
+}
+
+TEST(Random, GlobalGeneratorManualSeed) {
+  manual_seed(99);
+  const double first = global_generator().normal();
+  manual_seed(99);
+  EXPECT_EQ(global_generator().normal(), first);
+}
+
+TEST(Table, AlignsAndValidates) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"longer-name", "2.50"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present; all rows share the same width.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(Stats, MeanVarianceStderr) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean_of(xs), 2.5, 1e-12);
+  EXPECT_NEAR(variance_of(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stderr_of(xs), std::sqrt(5.0 / 3.0 / 4.0), 1e-12);
+  EXPECT_NEAR(two_stderr_of(xs), 2.0 * stderr_of(xs), 1e-12);
+  EXPECT_THROW(mean_of({}), Error);
+  EXPECT_THROW(variance_of({1.0}), Error);
+}
+
+}  // namespace
+}  // namespace tx
