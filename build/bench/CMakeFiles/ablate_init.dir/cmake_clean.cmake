@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_init.dir/ablate_init.cpp.o"
+  "CMakeFiles/ablate_init.dir/ablate_init.cpp.o.d"
+  "ablate_init"
+  "ablate_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_kl_scaling.dir/ablate_kl_scaling.cpp.o"
+  "CMakeFiles/ablate_kl_scaling.dir/ablate_kl_scaling.cpp.o.d"
+  "ablate_kl_scaling"
+  "ablate_kl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_kl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_local_reparam.dir/ablate_local_reparam.cpp.o"
+  "CMakeFiles/ablate_local_reparam.dir/ablate_local_reparam.cpp.o.d"
+  "ablate_local_reparam"
+  "ablate_local_reparam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_local_reparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

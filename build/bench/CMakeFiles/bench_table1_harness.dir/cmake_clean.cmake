@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_harness.dir/table1_harness.cpp.o"
+  "CMakeFiles/bench_table1_harness.dir/table1_harness.cpp.o.d"
+  "libbench_table1_harness.a"
+  "libbench_table1_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

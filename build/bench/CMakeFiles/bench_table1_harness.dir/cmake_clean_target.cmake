@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbench_table1_harness.a"
+)

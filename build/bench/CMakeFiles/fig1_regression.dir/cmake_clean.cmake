@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_regression.dir/fig1_regression.cpp.o"
+  "CMakeFiles/fig1_regression.dir/fig1_regression.cpp.o.d"
+  "fig1_regression"
+  "fig1_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

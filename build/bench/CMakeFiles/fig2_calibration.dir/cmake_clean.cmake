@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_calibration.dir/fig2_calibration.cpp.o"
+  "CMakeFiles/fig2_calibration.dir/fig2_calibration.cpp.o.d"
+  "fig2_calibration"
+  "fig2_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nerf.dir/fig3_nerf.cpp.o"
+  "CMakeFiles/fig3_nerf.dir/fig3_nerf.cpp.o.d"
+  "fig3_nerf"
+  "fig3_nerf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nerf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vcl.dir/fig4_vcl.cpp.o"
+  "CMakeFiles/fig4_vcl.dir/fig4_vcl.cpp.o.d"
+  "fig4_vcl"
+  "fig4_vcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_resnet.dir/table1_resnet.cpp.o"
+  "CMakeFiles/table1_resnet.dir/table1_resnet.cpp.o.d"
+  "table1_resnet"
+  "table1_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gnn.dir/table2_gnn.cpp.o"
+  "CMakeFiles/table2_gnn.dir/table2_gnn.cpp.o.d"
+  "table2_gnn"
+  "table2_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

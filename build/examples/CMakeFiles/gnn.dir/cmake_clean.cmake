@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn.dir/gnn.cpp.o"
+  "CMakeFiles/gnn.dir/gnn.cpp.o.d"
+  "gnn"
+  "gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

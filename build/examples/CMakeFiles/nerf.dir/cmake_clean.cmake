@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerf.dir/nerf.cpp.o"
+  "CMakeFiles/nerf.dir/nerf.cpp.o.d"
+  "nerf"
+  "nerf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

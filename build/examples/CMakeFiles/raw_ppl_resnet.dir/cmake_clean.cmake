@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_ppl_resnet.dir/raw_ppl_resnet.cpp.o"
+  "CMakeFiles/raw_ppl_resnet.dir/raw_ppl_resnet.cpp.o.d"
+  "raw_ppl_resnet"
+  "raw_ppl_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_ppl_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet.dir/resnet.cpp.o"
+  "CMakeFiles/resnet.dir/resnet.cpp.o.d"
+  "resnet"
+  "resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

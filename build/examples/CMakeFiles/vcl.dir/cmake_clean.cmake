@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl.dir/vcl.cpp.o"
+  "CMakeFiles/vcl.dir/vcl.cpp.o.d"
+  "vcl"
+  "vcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bnn.cpp" "src/core/CMakeFiles/tyxe_core.dir/bnn.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/bnn.cpp.o.d"
+  "/root/repo/src/core/guides.cpp" "src/core/CMakeFiles/tyxe_core.dir/guides.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/guides.cpp.o.d"
+  "/root/repo/src/core/likelihoods.cpp" "src/core/CMakeFiles/tyxe_core.dir/likelihoods.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/likelihoods.cpp.o.d"
+  "/root/repo/src/core/poutine.cpp" "src/core/CMakeFiles/tyxe_core.dir/poutine.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/poutine.cpp.o.d"
+  "/root/repo/src/core/priors.cpp" "src/core/CMakeFiles/tyxe_core.dir/priors.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/priors.cpp.o.d"
+  "/root/repo/src/core/vcl.cpp" "src/core/CMakeFiles/tyxe_core.dir/vcl.cpp.o" "gcc" "src/core/CMakeFiles/tyxe_core.dir/vcl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/tx_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppl/CMakeFiles/tx_ppl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tx_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

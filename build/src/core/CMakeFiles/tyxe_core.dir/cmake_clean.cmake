@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tyxe_core.dir/bnn.cpp.o"
+  "CMakeFiles/tyxe_core.dir/bnn.cpp.o.d"
+  "CMakeFiles/tyxe_core.dir/guides.cpp.o"
+  "CMakeFiles/tyxe_core.dir/guides.cpp.o.d"
+  "CMakeFiles/tyxe_core.dir/likelihoods.cpp.o"
+  "CMakeFiles/tyxe_core.dir/likelihoods.cpp.o.d"
+  "CMakeFiles/tyxe_core.dir/poutine.cpp.o"
+  "CMakeFiles/tyxe_core.dir/poutine.cpp.o.d"
+  "CMakeFiles/tyxe_core.dir/priors.cpp.o"
+  "CMakeFiles/tyxe_core.dir/priors.cpp.o.d"
+  "CMakeFiles/tyxe_core.dir/vcl.cpp.o"
+  "CMakeFiles/tyxe_core.dir/vcl.cpp.o.d"
+  "libtyxe_core.a"
+  "libtyxe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tyxe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

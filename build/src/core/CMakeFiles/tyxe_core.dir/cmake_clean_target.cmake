@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtyxe_core.a"
+)

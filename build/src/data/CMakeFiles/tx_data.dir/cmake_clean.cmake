@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_data.dir/datasets.cpp.o"
+  "CMakeFiles/tx_data.dir/datasets.cpp.o.d"
+  "libtx_data.a"
+  "libtx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/discrete.cpp" "src/dist/CMakeFiles/tx_dist.dir/discrete.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/discrete.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/tx_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/kl.cpp" "src/dist/CMakeFiles/tx_dist.dir/kl.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/kl.cpp.o.d"
+  "/root/repo/src/dist/lowrank_normal.cpp" "src/dist/CMakeFiles/tx_dist.dir/lowrank_normal.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/lowrank_normal.cpp.o.d"
+  "/root/repo/src/dist/mixture.cpp" "src/dist/CMakeFiles/tx_dist.dir/mixture.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/mixture.cpp.o.d"
+  "/root/repo/src/dist/normal.cpp" "src/dist/CMakeFiles/tx_dist.dir/normal.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/normal.cpp.o.d"
+  "/root/repo/src/dist/poisson.cpp" "src/dist/CMakeFiles/tx_dist.dir/poisson.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/poisson.cpp.o.d"
+  "/root/repo/src/dist/uniform.cpp" "src/dist/CMakeFiles/tx_dist.dir/uniform.cpp.o" "gcc" "src/dist/CMakeFiles/tx_dist.dir/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

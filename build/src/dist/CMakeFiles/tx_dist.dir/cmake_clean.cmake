@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_dist.dir/discrete.cpp.o"
+  "CMakeFiles/tx_dist.dir/discrete.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/distribution.cpp.o"
+  "CMakeFiles/tx_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/kl.cpp.o"
+  "CMakeFiles/tx_dist.dir/kl.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/lowrank_normal.cpp.o"
+  "CMakeFiles/tx_dist.dir/lowrank_normal.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/mixture.cpp.o"
+  "CMakeFiles/tx_dist.dir/mixture.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/normal.cpp.o"
+  "CMakeFiles/tx_dist.dir/normal.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/poisson.cpp.o"
+  "CMakeFiles/tx_dist.dir/poisson.cpp.o.d"
+  "CMakeFiles/tx_dist.dir/uniform.cpp.o"
+  "CMakeFiles/tx_dist.dir/uniform.cpp.o.d"
+  "libtx_dist.a"
+  "libtx_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_graph.dir/gcn.cpp.o"
+  "CMakeFiles/tx_graph.dir/gcn.cpp.o.d"
+  "CMakeFiles/tx_graph.dir/graph.cpp.o"
+  "CMakeFiles/tx_graph.dir/graph.cpp.o.d"
+  "libtx_graph.a"
+  "libtx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

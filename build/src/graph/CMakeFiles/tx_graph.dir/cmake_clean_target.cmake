@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtx_graph.a"
+)

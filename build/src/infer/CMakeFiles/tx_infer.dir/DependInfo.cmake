@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/autoguide.cpp" "src/infer/CMakeFiles/tx_infer.dir/autoguide.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/autoguide.cpp.o.d"
+  "/root/repo/src/infer/diagnostics.cpp" "src/infer/CMakeFiles/tx_infer.dir/diagnostics.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/infer/elbo.cpp" "src/infer/CMakeFiles/tx_infer.dir/elbo.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/elbo.cpp.o.d"
+  "/root/repo/src/infer/hmc.cpp" "src/infer/CMakeFiles/tx_infer.dir/hmc.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/hmc.cpp.o.d"
+  "/root/repo/src/infer/mcmc.cpp" "src/infer/CMakeFiles/tx_infer.dir/mcmc.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/mcmc.cpp.o.d"
+  "/root/repo/src/infer/nuts.cpp" "src/infer/CMakeFiles/tx_infer.dir/nuts.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/nuts.cpp.o.d"
+  "/root/repo/src/infer/optim.cpp" "src/infer/CMakeFiles/tx_infer.dir/optim.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/optim.cpp.o.d"
+  "/root/repo/src/infer/predictive.cpp" "src/infer/CMakeFiles/tx_infer.dir/predictive.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/predictive.cpp.o.d"
+  "/root/repo/src/infer/sgld.cpp" "src/infer/CMakeFiles/tx_infer.dir/sgld.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/sgld.cpp.o.d"
+  "/root/repo/src/infer/svi.cpp" "src/infer/CMakeFiles/tx_infer.dir/svi.cpp.o" "gcc" "src/infer/CMakeFiles/tx_infer.dir/svi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppl/CMakeFiles/tx_ppl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tx_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_infer.dir/autoguide.cpp.o"
+  "CMakeFiles/tx_infer.dir/autoguide.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/diagnostics.cpp.o"
+  "CMakeFiles/tx_infer.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/elbo.cpp.o"
+  "CMakeFiles/tx_infer.dir/elbo.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/hmc.cpp.o"
+  "CMakeFiles/tx_infer.dir/hmc.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/mcmc.cpp.o"
+  "CMakeFiles/tx_infer.dir/mcmc.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/nuts.cpp.o"
+  "CMakeFiles/tx_infer.dir/nuts.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/optim.cpp.o"
+  "CMakeFiles/tx_infer.dir/optim.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/predictive.cpp.o"
+  "CMakeFiles/tx_infer.dir/predictive.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/sgld.cpp.o"
+  "CMakeFiles/tx_infer.dir/sgld.cpp.o.d"
+  "CMakeFiles/tx_infer.dir/svi.cpp.o"
+  "CMakeFiles/tx_infer.dir/svi.cpp.o.d"
+  "libtx_infer.a"
+  "libtx_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/tx_metrics.dir/metrics.cpp.o.d"
+  "libtx_metrics.a"
+  "libtx_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

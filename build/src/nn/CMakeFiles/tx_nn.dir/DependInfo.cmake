@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/tx_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/functional.cpp" "src/nn/CMakeFiles/tx_nn.dir/functional.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/functional.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/tx_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/tx_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/tx_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/multihead.cpp" "src/nn/CMakeFiles/tx_nn.dir/multihead.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/multihead.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "src/nn/CMakeFiles/tx_nn.dir/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/tx_nn.dir/resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppl/CMakeFiles/tx_ppl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tx_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

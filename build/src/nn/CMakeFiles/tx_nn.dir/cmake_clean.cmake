@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/tx_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/functional.cpp.o"
+  "CMakeFiles/tx_nn.dir/functional.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/init.cpp.o"
+  "CMakeFiles/tx_nn.dir/init.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/layers.cpp.o"
+  "CMakeFiles/tx_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/module.cpp.o"
+  "CMakeFiles/tx_nn.dir/module.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/multihead.cpp.o"
+  "CMakeFiles/tx_nn.dir/multihead.cpp.o.d"
+  "CMakeFiles/tx_nn.dir/resnet.cpp.o"
+  "CMakeFiles/tx_nn.dir/resnet.cpp.o.d"
+  "libtx_nn.a"
+  "libtx_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

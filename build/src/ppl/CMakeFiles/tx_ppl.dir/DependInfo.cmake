@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppl/handlers.cpp" "src/ppl/CMakeFiles/tx_ppl.dir/handlers.cpp.o" "gcc" "src/ppl/CMakeFiles/tx_ppl.dir/handlers.cpp.o.d"
+  "/root/repo/src/ppl/messenger.cpp" "src/ppl/CMakeFiles/tx_ppl.dir/messenger.cpp.o" "gcc" "src/ppl/CMakeFiles/tx_ppl.dir/messenger.cpp.o.d"
+  "/root/repo/src/ppl/param_store.cpp" "src/ppl/CMakeFiles/tx_ppl.dir/param_store.cpp.o" "gcc" "src/ppl/CMakeFiles/tx_ppl.dir/param_store.cpp.o.d"
+  "/root/repo/src/ppl/trace.cpp" "src/ppl/CMakeFiles/tx_ppl.dir/trace.cpp.o" "gcc" "src/ppl/CMakeFiles/tx_ppl.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/tx_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_ppl.dir/handlers.cpp.o"
+  "CMakeFiles/tx_ppl.dir/handlers.cpp.o.d"
+  "CMakeFiles/tx_ppl.dir/messenger.cpp.o"
+  "CMakeFiles/tx_ppl.dir/messenger.cpp.o.d"
+  "CMakeFiles/tx_ppl.dir/param_store.cpp.o"
+  "CMakeFiles/tx_ppl.dir/param_store.cpp.o.d"
+  "CMakeFiles/tx_ppl.dir/trace.cpp.o"
+  "CMakeFiles/tx_ppl.dir/trace.cpp.o.d"
+  "libtx_ppl.a"
+  "libtx_ppl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_ppl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

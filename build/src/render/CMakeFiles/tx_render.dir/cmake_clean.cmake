@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_render.dir/camera.cpp.o"
+  "CMakeFiles/tx_render.dir/camera.cpp.o.d"
+  "CMakeFiles/tx_render.dir/volume.cpp.o"
+  "CMakeFiles/tx_render.dir/volume.cpp.o.d"
+  "libtx_render.a"
+  "libtx_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/grad_check.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/grad_check.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/grad_check.cpp.o.d"
+  "/root/repo/src/tensor/ops_conv.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_conv.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_elementwise.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_elementwise.cpp.o.d"
+  "/root/repo/src/tensor/ops_linalg.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_linalg.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_linalg.cpp.o.d"
+  "/root/repo/src/tensor/ops_reduce.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_reduce.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_reduce.cpp.o.d"
+  "/root/repo/src/tensor/ops_shape.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_shape.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_shape.cpp.o.d"
+  "/root/repo/src/tensor/ops_spd.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/ops_spd.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/ops_spd.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/serialize.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/tx_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/tx_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_tensor.dir/grad_check.cpp.o"
+  "CMakeFiles/tx_tensor.dir/grad_check.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_conv.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_elementwise.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_elementwise.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_linalg.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_linalg.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_reduce.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_reduce.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_shape.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_shape.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/ops_spd.cpp.o"
+  "CMakeFiles/tx_tensor.dir/ops_spd.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/tx_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/shape.cpp.o"
+  "CMakeFiles/tx_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/tx_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tx_tensor.dir/tensor.cpp.o.d"
+  "libtx_tensor.a"
+  "libtx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_util.dir/random.cpp.o"
+  "CMakeFiles/tx_util.dir/random.cpp.o.d"
+  "CMakeFiles/tx_util.dir/table.cpp.o"
+  "CMakeFiles/tx_util.dir/table.cpp.o.d"
+  "libtx_util.a"
+  "libtx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

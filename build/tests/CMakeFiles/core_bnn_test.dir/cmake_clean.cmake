@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bnn_test.dir/core_bnn_test.cpp.o"
+  "CMakeFiles/core_bnn_test.dir/core_bnn_test.cpp.o.d"
+  "core_bnn_test"
+  "core_bnn_test.pdb"
+  "core_bnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

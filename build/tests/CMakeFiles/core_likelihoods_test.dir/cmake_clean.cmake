@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_likelihoods_test.dir/core_likelihoods_test.cpp.o"
+  "CMakeFiles/core_likelihoods_test.dir/core_likelihoods_test.cpp.o.d"
+  "core_likelihoods_test"
+  "core_likelihoods_test.pdb"
+  "core_likelihoods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_likelihoods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_poutine_test.dir/core_poutine_test.cpp.o"
+  "CMakeFiles/core_poutine_test.dir/core_poutine_test.cpp.o.d"
+  "core_poutine_test"
+  "core_poutine_test.pdb"
+  "core_poutine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_poutine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

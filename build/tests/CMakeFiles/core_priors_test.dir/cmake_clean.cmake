@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_priors_test.dir/core_priors_test.cpp.o"
+  "CMakeFiles/core_priors_test.dir/core_priors_test.cpp.o.d"
+  "core_priors_test"
+  "core_priors_test.pdb"
+  "core_priors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_priors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/likelihood_integration_test.dir/likelihood_integration_test.cpp.o"
+  "CMakeFiles/likelihood_integration_test.dir/likelihood_integration_test.cpp.o.d"
+  "likelihood_integration_test"
+  "likelihood_integration_test.pdb"
+  "likelihood_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/likelihood_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppl_test.dir/ppl_test.cpp.o"
+  "CMakeFiles/ppl_test.dir/ppl_test.cpp.o.d"
+  "ppl_test"
+  "ppl_test.pdb"
+  "ppl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
