@@ -9,6 +9,7 @@
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
+#include "obs/obs.h"
 
 using tx::Tensor;
 
@@ -51,6 +52,12 @@ int main() {
   std::printf("Figure 1 reproduction (seed %llu)\n",
               static_cast<unsigned long long>(seed));
 
+  // Observability: per-step VI losses and per-transition HMC acceptance
+  // stream as JSONL; the registry snapshot (loss series + timing histograms)
+  // is written as BENCH_fig1_regression.json at the end.
+  tx::obs::EventSink sink("BENCH_fig1_regression.jsonl");
+  std::vector<double> vi_losses, hmc_accepts;
+
   const std::int64_t n = 64;
   auto data = tx::data::make_foong_regression(n, gen);
   Tensor grid = tx::linspace(-1.5f, 1.5f, 41).reshape({41, 1});
@@ -68,7 +75,18 @@ int main() {
 
   // (a) mean-field VI trained with local reparameterization.
   auto [bnn, lik] = make_bnn(gen);
+  bnn->set_step_callback([&](const tx::infer::SVIStepInfo& s) {
+    vi_losses.push_back(s.loss);
+    tx::obs::Event e;
+    e.set("phase", "vi")
+        .set("step", s.step)
+        .set("loss", s.loss)
+        .set("grad_norm", s.grad_norm)
+        .set("seconds", s.seconds);
+    sink.emit(e);
+  });
   {
+    tx::obs::ScopedTimer span("fig1.vi_fit");
     tyxe::poutine::LocalReparameterization lr;
     auto optim = std::make_shared<tx::infer::Adam>(1e-2);
     bnn->fit({{{data.x}, data.y}}, optim, 2000);
@@ -92,7 +110,21 @@ int main() {
       hmc_net,
       std::make_shared<tyxe::IIDPrior>(std::make_shared<tx::dist::Normal>(0.0f, 1.0f)),
       hmc_lik, [] { return std::make_shared<tx::infer::HMC>(5e-4, 30); });
-  hmc_bnn.fit({data.x}, data.y, /*num_samples=*/200, /*warmup=*/200, &hmc_gen);
+  {
+    tx::obs::ScopedTimer span("fig1.hmc_fit");
+    hmc_bnn.fit({data.x}, data.y, /*num_samples=*/200, /*warmup=*/200,
+                &hmc_gen, [&](const tx::infer::MCMCProgress& p) {
+                  hmc_accepts.push_back(p.accept_prob);
+                  tx::obs::Event e;
+                  e.set("phase", p.warmup ? "hmc_warmup" : "hmc_sampling")
+                      .set("step", p.step)
+                      .set("accept_prob", p.accept_prob)
+                      .set("mean_accept_prob", p.mean_accept_prob)
+                      .set("divergences", p.divergences)
+                      .set("seconds", p.seconds);
+                  sink.emit(e);
+                });
+  }
   Band hmc_band = band_from(hmc_bnn.predict(grid, 64, false), *hmc_lik);
 
   std::printf("\n%8s | %9s %9s | %9s %9s | %9s %9s\n", "x", "LR mean",
@@ -120,5 +152,23 @@ int main() {
   std::printf("  HMC acceptance %.2f\n", hmc_bnn.mcmc().mean_accept_prob());
   std::printf("  paper shape: both inflate uncertainty off-data; HMC's "
               "in-between band is widest.\n");
+
+  {
+    tx::obs::Event e;
+    e.set("event", "summary")
+        .set("vi_gap_std", lr_gap)
+        .set("vi_data_std", lr_data)
+        .set("hmc_gap_std", hmc_gap)
+        .set("hmc_data_std", hmc_data)
+        .set("hmc_mean_accept", hmc_bnn.mcmc().mean_accept_prob())
+        .set("hmc_divergences", hmc_bnn.mcmc().divergence_count());
+    sink.emit(e);
+  }
+  tx::obs::EventSink::write_snapshot(
+      "BENCH_fig1_regression.json", "fig1_regression", tx::obs::registry(),
+      {{"vi_loss", vi_losses}, {"hmc_accept_prob", hmc_accepts}});
+  std::printf("  events:  %s (%lld lines)\n", sink.path().c_str(),
+              static_cast<long long>(sink.events_written()));
+  std::printf("  metrics: BENCH_fig1_regression.json\n");
   return 0;
 }

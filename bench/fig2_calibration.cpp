@@ -11,6 +11,8 @@ int main() {
   // A slightly lighter run than Table 1: the curves need the probability
   // tables, not tight estimates of scalar metrics.
   cfg.num_pred_samples = 8;
+  cfg.metrics_path = "BENCH_fig2_calibration.json";
+  cfg.events_path = "BENCH_fig2_calibration.jsonl";
   std::printf("Figure 2 reproduction (seed %llu)\n",
               static_cast<unsigned long long>(cfg.seed));
   auto run = bench::run_table1(cfg);

@@ -1,14 +1,17 @@
 #include "table1_harness.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "metrics/metrics.h"
+#include "obs/obs.h"
 
 namespace bench {
 
 namespace {
 
 namespace nd = tx::dist;
+namespace obs = tx::obs;
 using tx::Tensor;
 using tyxe::guides::AutoNormalConfig;
 
@@ -94,7 +97,8 @@ StrategyResult run_bayesian(const std::string& name, const Table1Config& cfg,
                             const tyxe::HideExpose& filter,
                             const tyxe::guides::GuideFactory& guide_factory,
                             int epochs, bool freeze_hidden,
-                            bool use_local_reparam) {
+                            bool use_local_reparam, obs::EventSink* sink,
+                            std::map<std::string, std::vector<double>>* series) {
   auto net = tx::nn::make_resnet8(cfg.num_classes, cfg.base_width, 3, &gen);
   net->load_state_dict(pretrained_state);
   auto prior = std::make_shared<tyxe::IIDPrior>(
@@ -115,12 +119,29 @@ StrategyResult run_bayesian(const std::string& name, const Table1Config& cfg,
   tx::data::DataLoader loader(data.train.images, data.train.labels,
                               cfg.batch_size);
   net->train();
-  if (use_local_reparam) {
-    tyxe::poutine::LocalReparameterization lr;
-    bnn.fit([&] { return loader.batches(&gen); }, optim, epochs);
-  } else {
-    bnn.fit([&] { return loader.batches(&gen); }, optim, epochs);
+  std::vector<double> losses;
+  bnn.set_step_callback([&](const tx::infer::SVIStepInfo& s) {
+    losses.push_back(s.loss);
+    if (sink) {
+      obs::Event e;
+      e.set("strategy", name)
+          .set("step", s.step)
+          .set("loss", s.loss)
+          .set("grad_norm", s.grad_norm)
+          .set("seconds", s.seconds);
+      sink->emit(e);
+    }
+  });
+  {
+    obs::ScopedTimer span("table1.fit");
+    if (use_local_reparam) {
+      tyxe::poutine::LocalReparameterization lr;
+      bnn.fit([&] { return loader.batches(&gen); }, optim, epochs);
+    } else {
+      bnn.fit([&] { return loader.batches(&gen); }, optim, epochs);
+    }
   }
+  if (series) (*series)["loss." + name] = std::move(losses);
   net->eval();
   Tensor test_probs = bnn.predict(data.test.images, cfg.num_pred_samples);
   Tensor ood_probs = bnn.predict(data.ood.images, cfg.num_pred_samples);
@@ -137,8 +158,20 @@ Table1Run run_table1(const Table1Config& cfg) {
   Table1Run run;
   run.test_labels = data.test.labels;
 
+  // Observability: every strategy streams its per-step loss through one JSONL
+  // sink, and the final registry snapshot (timing histograms + loss series)
+  // goes to cfg.metrics_path.
+  std::unique_ptr<obs::EventSink> sink;
+  if (!cfg.events_path.empty()) {
+    sink = std::make_unique<obs::EventSink>(cfg.events_path);
+  }
+  std::map<std::string, std::vector<double>> series;
+
   // --- ML: the deterministic baseline and the pretrained initialization.
-  auto ml_net = train_ml(cfg, data, gen);
+  auto ml_net = [&] {
+    obs::ScopedTimer span("table1.train_ml");
+    return train_ml(cfg, data, gen);
+  }();
   const auto pretrained_state = ml_net->state_dict();
   run.strategies.push_back(finish("ML", ml_probs(*ml_net, data.test.images),
                                   ml_probs(*ml_net, data.ood.images),
@@ -161,7 +194,8 @@ Table1Run run_table1(const Table1Config& cfg) {
   run.strategies.push_back(run_bayesian(
       "MAP", cfg, data, gen, pretrained_state, hide_bn,
       tyxe::guides::auto_delta_factory(pretrained_init), cfg.map_epochs,
-      /*freeze_hidden=*/false, /*use_local_reparam=*/false));
+      /*freeze_hidden=*/false, /*use_local_reparam=*/false, sink.get(),
+      &series));
   std::printf("  [done] MAP\n");
 
   // --- MF (sd only): means pinned to pretrained weights, fit variances.
@@ -173,7 +207,8 @@ Table1Run run_table1(const Table1Config& cfg) {
     g.train_loc = false;
     run.strategies.push_back(run_bayesian(
         "MF (sd only)", cfg, data, gen, pretrained_state, hide_bn,
-        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, false, true));
+        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, false, true,
+        sink.get(), &series));
     std::printf("  [done] MF (sd only)\n");
   }
 
@@ -185,7 +220,8 @@ Table1Run run_table1(const Table1Config& cfg) {
     g.max_scale = 0.1f;
     run.strategies.push_back(run_bayesian(
         "MF", cfg, data, gen, pretrained_state, hide_bn,
-        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, false, true));
+        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, false, true,
+        sink.get(), &series));
     std::printf("  [done] MF\n");
   }
 
@@ -198,15 +234,36 @@ Table1Run run_table1(const Table1Config& cfg) {
     g.init_scale = 1e-4f;
     run.strategies.push_back(run_bayesian(
         "LL MF", cfg, data, gen, pretrained_state, expose_fc,
-        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, true, true));
+        tyxe::guides::auto_normal_factory(g), cfg.vi_epochs, true, true,
+        sink.get(), &series));
     std::printf("  [done] LL MF\n");
   }
   {
     run.strategies.push_back(run_bayesian(
         "LL low rank", cfg, data, gen, pretrained_state, expose_fc,
         tyxe::guides::auto_lowrank_factory(10, 1e-2f, pretrained_init),
-        cfg.vi_epochs, true, false));
+        cfg.vi_epochs, true, false, sink.get(), &series));
     std::printf("  [done] LL low rank\n");
+  }
+
+  if (sink) {
+    for (const auto& r : run.strategies) {
+      obs::Event e;
+      e.set("event", "strategy_result")
+          .set("strategy", r.name)
+          .set("nll", r.nll)
+          .set("accuracy", r.accuracy)
+          .set("ece", r.ece)
+          .set("ood_auroc", r.ood_auroc);
+      sink->emit(e);
+    }
+    std::printf("  events:  %s (%lld lines)\n", sink->path().c_str(),
+                static_cast<long long>(sink->events_written()));
+  }
+  if (!cfg.metrics_path.empty()) {
+    obs::EventSink::write_snapshot(cfg.metrics_path, "table1_harness",
+                                   obs::registry(), series);
+    std::printf("  metrics: %s\n", cfg.metrics_path.c_str());
   }
 
   return run;

@@ -26,6 +26,11 @@ struct Table1Config {
   int num_pred_samples = 16;
   std::int64_t batch_size = 64;
   std::uint64_t seed = 0;
+  // Observability output: per-step loss events stream to `events_path`
+  // (JSONL) and the final registry snapshot (timing histograms + per-strategy
+  // loss series) lands in `metrics_path`. Empty strings disable either.
+  std::string metrics_path = "BENCH_table1_harness.json";
+  std::string events_path = "BENCH_table1_harness.jsonl";
 };
 
 struct StrategyResult {

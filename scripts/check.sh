@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the observability tests.
+#
+#   scripts/check.sh          # build + full ctest + ASan/UBSan obs_test
+#   SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# --- tier-1: the exact command ROADMAP.md pins.
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+# --- sanitizer pass: the obs registry/timer code is the only lock-free
+# atomics in the tree; run its test binary under ASan+UBSan.
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  cmake -B build-asan -S . -DTYXE_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target obs_test
+  ./build-asan/tests/obs_test
+fi
+
+echo "check.sh: all green"

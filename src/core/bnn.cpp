@@ -199,18 +199,23 @@ double VariationalBNN::fit(const std::function<std::vector<Batch>()>& data,
                            std::shared_ptr<tx::infer::Optimizer> optimizer,
                            int epochs, const FitCallback& callback) {
   TX_CHECK(optimizer != nullptr, "fit: null optimizer");
+  // One SVI driver for the whole fit; the model program reads the current
+  // batch through these pointers so each step scores fresh data while the
+  // driver keeps its step counter / instrumentation across epochs.
+  const std::vector<Tensor>* cur_inputs = nullptr;
+  const Tensor* cur_targets = nullptr;
+  tx::infer::SVI svi([&] { model(*cur_inputs, *cur_targets); },
+                     [this] { guide_program(); }, std::move(optimizer), elbo_,
+                     &store_, generator_);
+  if (step_callback_) svi.set_step_callback(step_callback_);
   double mean_elbo = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     double epoch_loss = 0.0;
     std::int64_t batches = 0;
     for (const auto& [inputs, targets] : data()) {
-      for (auto& [pname, p] : store_.items()) p.zero_grad();
-      Tensor loss = elbo_->differentiable_loss(
-          [&] { model(inputs, targets); }, [this] { guide_program(); });
-      loss.backward();
-      for (auto& [pname, p] : store_.items()) optimizer->add_param(p);
-      optimizer->step();
-      epoch_loss += static_cast<double>(loss.item());
+      cur_inputs = &inputs;
+      cur_targets = &targets;
+      epoch_loss += svi.step();
       ++batches;
     }
     mean_elbo = -epoch_loss / static_cast<double>(std::max<std::int64_t>(batches, 1));
@@ -250,7 +255,8 @@ MCMC_BNN::MCMC_BNN(tx::nn::ModulePtr net, PriorPtr prior,
 }
 
 void MCMC_BNN::fit(const std::vector<Tensor>& inputs, const Tensor& targets,
-                   int num_samples, int warmup_steps, tx::Generator* gen) {
+                   int num_samples, int warmup_steps, tx::Generator* gen,
+                   const tx::infer::ProgressCallback& progress) {
   mcmc_ = std::make_unique<tx::infer::MCMC>(kernel_factory_(), num_samples,
                                             warmup_steps);
   mcmc_->run(
@@ -258,7 +264,7 @@ void MCMC_BNN::fit(const std::vector<Tensor>& inputs, const Tensor& targets,
         Tensor predictions = sampled_forward(inputs);
         likelihood_->data_program(predictions, targets);
       },
-      gen);
+      gen, progress);
 }
 
 Tensor MCMC_BNN::predict(const std::vector<Tensor>& inputs,

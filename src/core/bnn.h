@@ -182,12 +182,23 @@ class VariationalBNN : public SupervisedBNN {
   /// Swap the ELBO estimator (default TraceELBO with one particle).
   void set_elbo(std::shared_ptr<tx::infer::ELBO> elbo) { elbo_ = std::move(elbo); }
 
+  /// Per-SVI-step instrumentation (loss / grad-norm / wall-time) forwarded
+  /// to the SVI driver that fit() builds.
+  void set_step_callback(tx::infer::StepCallback cb) {
+    step_callback_ = std::move(cb);
+  }
+  /// Seed control: with a generator set, every sample drawn during fit()
+  /// comes from it, so instrumented runs replay exactly.
+  void set_generator(tx::Generator* gen) { generator_ = gen; }
+
   /// Full guide program (net guide + likelihood guide if present).
   void guide_program();
 
  private:
   guides::GuidePtr likelihood_guide_;
   std::shared_ptr<tx::infer::ELBO> elbo_;
+  tx::infer::StepCallback step_callback_;
+  tx::Generator* generator_ = nullptr;
 };
 
 /// MCMC-based BNN with the same predict interface; fit runs the kernel on
@@ -202,9 +213,11 @@ class MCMC_BNN : public BNNBase {
 
   Likelihood& likelihood() { return *likelihood_; }
 
-  /// Run the chain on the full dataset.
+  /// Run the chain on the full dataset. `progress` (if set) fires after
+  /// every warmup/sampling transition with accept-prob and divergences.
   void fit(const std::vector<Tensor>& inputs, const Tensor& targets,
-           int num_samples, int warmup_steps, tx::Generator* gen = nullptr);
+           int num_samples, int warmup_steps, tx::Generator* gen = nullptr,
+           const tx::infer::ProgressCallback& progress = nullptr);
 
   /// Predictions using stored posterior samples (cycled when
   /// num_predictions exceeds the stored draws).

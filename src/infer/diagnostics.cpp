@@ -46,7 +46,8 @@ double effective_sample_size(const std::vector<double>& chain) {
     if (pair <= 0.0) break;
     tau += 2.0 * pair;
   }
-  return static_cast<double>(n) / std::max(tau, 1e-12);
+  // tau >= 1 by construction, so this also caps ESS at the chain length.
+  return static_cast<double>(n) / std::max(tau, 1.0);
 }
 
 double split_r_hat(const std::vector<double>& chain) {

@@ -1,15 +1,22 @@
 #include "infer/elbo.h"
 
 #include "dist/kl.h"
+#include "obs/timer.h"
 
 namespace tx::infer {
 
 std::pair<ppl::Trace, ppl::Trace> trace_model_guide(const Program& model,
                                                     const Program& guide) {
-  ppl::Trace guide_trace = ppl::trace_fn(guide);
+  // Guide vs. model wall-time per trace, the split the ProfilingMessenger
+  // also reports ("span.elbo.guide" / "span.elbo.model" histograms).
+  ppl::Trace guide_trace = [&] {
+    obs::ScopedTimer span("elbo.guide");
+    return ppl::trace_fn(guide);
+  }();
   ppl::ReplayMessenger replay(guide_trace);
   ppl::TraceMessenger model_tracer;
   {
+    obs::ScopedTimer span("elbo.model");
     ppl::HandlerScope r(replay);
     ppl::HandlerScope t(model_tracer);
     model();

@@ -4,6 +4,10 @@
 
 namespace tx::infer {
 
+namespace {
+constexpr double kDivergenceThreshold = 1000.0;  // Stan/Pyro's delta_max
+}  // namespace
+
 Potential::Potential(Program model) : model_(std::move(model)) {
   NoGradGuard ng;
   ppl::Trace tr = ppl::trace_fn(model_);
@@ -195,8 +199,10 @@ std::vector<double> HMC::step(const std::vector<double>& q0, bool warmup) {
 
   double accept_prob = std::exp(std::min(0.0, h0 - h1));
   if (!std::isfinite(h1)) accept_prob = 0.0;
+  if (!std::isfinite(h1) || h1 - h0 > kDivergenceThreshold) ++divergences_;
   accept_stat_ += accept_prob;
   ++accept_count_;
+  last_accept_prob_ = accept_prob;
   if (warmup && adapt_) averager_.update(accept_prob);
 
   std::vector<double> result = g.uniform() < accept_prob ? q : q0;

@@ -57,12 +57,19 @@ class MCMCKernel {
   double mean_accept_prob() const {
     return accept_count_ > 0 ? accept_stat_ / accept_count_ : 0.0;
   }
+  /// Accept probability of the most recent transition.
+  double last_accept_prob() const { return last_accept_prob_; }
+  /// Transitions whose energy error exceeded the divergence threshold
+  /// (or went non-finite) — the classic silent-failure signal for BNN HMC.
+  std::int64_t divergence_count() const { return divergences_; }
 
  protected:
   std::shared_ptr<Potential> potential_;
   Generator* gen_ = nullptr;
   double accept_stat_ = 0.0;
   std::int64_t accept_count_ = 0;
+  double last_accept_prob_ = 0.0;
+  std::int64_t divergences_ = 0;
 };
 
 /// Dual-averaging adaptation of the leapfrog step size.

@@ -1,6 +1,41 @@
 #include "infer/mcmc.h"
 
+#include "obs/obs.h"
+
 namespace tx::infer {
+
+namespace {
+
+/// One kernel transition with progress emission shared by both phases.
+std::vector<double> instrumented_step(MCMCKernel& kernel,
+                                      const std::vector<double>& q,
+                                      bool warmup, std::int64_t step,
+                                      std::int64_t total,
+                                      const ProgressCallback& progress) {
+  const bool instrument = obs::enabled() || progress;
+  const double t0 = instrument ? obs::now_seconds() : 0.0;
+  std::vector<double> next = kernel.step(q, warmup);
+  if (!instrument) return next;
+
+  MCMCProgress p;
+  p.warmup = warmup;
+  p.step = step;
+  p.total = total;
+  p.accept_prob = kernel.last_accept_prob();
+  p.mean_accept_prob = kernel.mean_accept_prob();
+  p.divergences = kernel.divergence_count();
+  p.seconds = obs::now_seconds() - t0;
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter(warmup ? "mcmc.warmup_steps" : "mcmc.samples").add(1);
+    reg.gauge("mcmc.accept_prob").set(p.mean_accept_prob);
+    reg.histogram("mcmc.step_seconds").record(p.seconds);
+  }
+  if (progress) progress(p);
+  return next;
+}
+
+}  // namespace
 
 MCMC::MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples,
            int warmup_steps)
@@ -11,15 +46,26 @@ MCMC::MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples,
   TX_CHECK(num_samples >= 1 && warmup_steps >= 0, "MCMC: bad sample counts");
 }
 
-void MCMC::run(Program model, Generator* gen) {
+void MCMC::run(Program model, Generator* gen,
+               const ProgressCallback& progress) {
+  obs::ScopedTimer span("mcmc.run");
   kernel_->setup(std::move(model), gen);
+  const std::int64_t divergences_before = kernel_->divergence_count();
   std::vector<double> q = kernel_->initial_position();
-  for (int i = 0; i < warmup_; ++i) q = kernel_->step(q, /*warmup=*/true);
+  for (int i = 0; i < warmup_; ++i) {
+    q = instrumented_step(*kernel_, q, /*warmup=*/true, i, warmup_, progress);
+  }
   draws_.clear();
   draws_.reserve(static_cast<std::size_t>(num_samples_));
   for (int i = 0; i < num_samples_; ++i) {
-    q = kernel_->step(q, /*warmup=*/false);
+    q = instrumented_step(*kernel_, q, /*warmup=*/false, i, num_samples_,
+                          progress);
     draws_.push_back(q);
+  }
+  if (obs::enabled()) {
+    obs::registry()
+        .counter("mcmc.divergences")
+        .add(kernel_->divergence_count() - divergences_before);
   }
 }
 

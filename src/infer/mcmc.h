@@ -6,12 +6,29 @@
 
 namespace tx::infer {
 
+/// Per-transition progress record handed to the MCMC callback and mirrored
+/// into the obs registry ("mcmc.warmup_steps", "mcmc.samples",
+/// "mcmc.divergences", "mcmc.accept_prob", "mcmc.step_seconds").
+struct MCMCProgress {
+  bool warmup = false;
+  std::int64_t step = 0;         // 0-based within the phase
+  std::int64_t total = 0;        // steps in this phase
+  double accept_prob = 0.0;      // this transition's acceptance statistic
+  double mean_accept_prob = 0.0; // running mean over the whole run
+  std::int64_t divergences = 0;  // cumulative divergent transitions
+  double seconds = 0.0;          // wall time of this transition
+};
+
+using ProgressCallback = std::function<void(const MCMCProgress&)>;
+
 class MCMC {
  public:
   MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples, int warmup_steps);
 
-  /// Run the chain on the given model.
-  void run(Program model, Generator* gen = nullptr);
+  /// Run the chain on the given model. `progress` (if set) fires after every
+  /// warmup and sampling transition.
+  void run(Program model, Generator* gen = nullptr,
+           const ProgressCallback& progress = nullptr);
 
   std::size_t num_samples() const { return draws_.size(); }
   /// Values of one site across all kept draws.
@@ -19,6 +36,7 @@ class MCMC {
   /// All site values for one kept draw.
   std::map<std::string, Tensor> sample_at(std::size_t i) const;
   double mean_accept_prob() const { return kernel_->mean_accept_prob(); }
+  std::int64_t divergence_count() const { return kernel_->divergence_count(); }
   /// Scalar chain of one coordinate (for diagnostics).
   std::vector<double> coordinate_chain(std::size_t coord) const;
 

@@ -47,6 +47,7 @@ NUTS::Tree NUTS::build_tree(const std::vector<double>& q,
     t.grad_minus = t.grad_plus = grad1;
     t.n = (std::isfinite(h1) && log_u <= -h1) ? 1 : 0;
     t.valid = std::isfinite(h1) && (log_u < kDeltaMax - h1);
+    if (!t.valid) ++divergences_;  // leaf invalidity is exactly a divergence
     t.alpha = std::isfinite(h1) ? std::min(1.0, std::exp(h0 - h1)) : 0.0;
     t.n_alpha = 1;
     return t;
@@ -148,6 +149,7 @@ std::vector<double> NUTS::step(const std::vector<double>& q0, bool warmup) {
       n_alpha_sum > 0 ? alpha_sum / static_cast<double>(n_alpha_sum) : 0.0;
   accept_stat_ += mean_alpha;
   ++accept_count_;
+  last_accept_prob_ = mean_alpha;
   if (warmup && adapt_) averager_.update(mean_alpha);
   return state.q_proposal;
 }

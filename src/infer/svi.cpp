@@ -1,19 +1,31 @@
 #include "infer/svi.h"
 
+#include <cmath>
+#include <optional>
+
+#include "obs/obs.h"
+
 namespace tx::infer {
 
 SVI::SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
-         std::shared_ptr<ELBO> loss, ppl::ParamStore* store)
+         std::shared_ptr<ELBO> loss, ppl::ParamStore* store, Generator* gen)
     : model_(std::move(model)),
       guide_(std::move(guide)),
       optimizer_(std::move(optimizer)),
       loss_(std::move(loss)),
-      store_(store ? store : &ppl::param_store()) {
+      store_(store ? store : &ppl::param_store()),
+      gen_(gen) {
   TX_CHECK(optimizer_ != nullptr && loss_ != nullptr,
            "SVI: optimizer and loss must be non-null");
 }
 
 double SVI::step() {
+  const bool instrument = obs::enabled() || callback_;
+  const double t0 = instrument ? obs::now_seconds() : 0.0;
+
+  std::optional<ppl::GeneratorScope> seed;
+  if (gen_ != nullptr) seed.emplace(gen_);
+
   // Zero stale gradients on everything currently registered.
   for (auto& [name, p] : store_->items()) p.zero_grad();
   Tensor loss = loss_->differentiable_loss(model_, guide_);
@@ -21,10 +33,39 @@ double SVI::step() {
   // Lazily created params now exist; register and update.
   for (auto& [name, p] : store_->items()) optimizer_->add_param(p);
   optimizer_->step();
-  return static_cast<double>(loss.item());
+  const double loss_value = static_cast<double>(loss.item());
+  const std::int64_t step_index = steps_++;
+
+  if (instrument) {
+    double grad_sq = 0.0;
+    {
+      NoGradGuard ng;
+      for (const auto& [name, p] : store_->items()) {
+        const Tensor g = p.grad();
+        if (!g.defined()) continue;
+        grad_sq += static_cast<double>(sum(square(g)).item());
+      }
+    }
+    SVIStepInfo info;
+    info.step = step_index;
+    info.loss = loss_value;
+    info.grad_norm = std::sqrt(grad_sq);
+    info.seconds = obs::now_seconds() - t0;
+    if (obs::enabled()) {
+      auto& reg = obs::registry();
+      reg.counter("svi.steps").add(1);
+      reg.gauge("svi.loss").set(info.loss);
+      reg.gauge("svi.grad_norm").set(info.grad_norm);
+      reg.histogram("svi.step_seconds").record(info.seconds);
+    }
+    if (callback_) callback_(info);
+  }
+  return loss_value;
 }
 
 double SVI::evaluate_loss() {
+  std::optional<ppl::GeneratorScope> seed;
+  if (gen_ != nullptr) seed.emplace(gen_);
   NoGradGuard ng;
   return static_cast<double>(
       loss_->differentiable_loss(model_, guide_).item());

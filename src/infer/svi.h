@@ -8,18 +8,40 @@
 
 namespace tx::infer {
 
+/// Per-step instrumentation record handed to the step callback and mirrored
+/// into the obs registry ("svi.steps", "svi.loss", "svi.grad_norm",
+/// "svi.step_seconds").
+struct SVIStepInfo {
+  std::int64_t step = 0;    // 0-based index of the completed step
+  double loss = 0.0;        // -ELBO estimate
+  double grad_norm = 0.0;   // global L2 norm over all store parameters
+  double seconds = 0.0;     // wall time of this step
+};
+
+using StepCallback = std::function<void(const SVIStepInfo&)>;
+
 class SVI {
  public:
   /// Parameters are gathered from `store` after each loss evaluation, so
-  /// lazily-initialized guides work without pre-registration.
+  /// lazily-initialized guides work without pre-registration. With `gen`
+  /// non-null every sample drawn during step()/evaluate_loss() comes from
+  /// that generator (matching MCMC::run), so runs are reproducible.
   SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
-      std::shared_ptr<ELBO> loss, ppl::ParamStore* store = nullptr);
+      std::shared_ptr<ELBO> loss, ppl::ParamStore* store = nullptr,
+      Generator* gen = nullptr);
 
   /// One optimization step; returns the loss value (-ELBO estimate).
   double step();
 
-  /// Loss without an update (validation).
+  /// Loss without an update (validation). Uses the same generator as step(),
+  /// so seeded evaluations replay exactly.
   double evaluate_loss();
+
+  /// Invoked after every step with loss / grad-norm / timing.
+  void set_step_callback(StepCallback cb) { callback_ = std::move(cb); }
+  void set_generator(Generator* gen) { gen_ = gen; }
+
+  std::int64_t steps_taken() const { return steps_; }
 
   Optimizer& optimizer() { return *optimizer_; }
 
@@ -28,6 +50,9 @@ class SVI {
   std::shared_ptr<Optimizer> optimizer_;
   std::shared_ptr<ELBO> loss_;
   ppl::ParamStore* store_;
+  Generator* gen_;
+  StepCallback callback_;
+  std::int64_t steps_ = 0;
 };
 
 }  // namespace tx::infer

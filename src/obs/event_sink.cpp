@@ -1,0 +1,162 @@
+#include "obs/event_sink.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tx::obs {
+
+namespace {
+
+std::string render_number(double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literals; emit null like most telemetry pipelines.
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string render_series(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += render_number(xs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Event& Event::set(const std::string& key, double v) {
+  fields_.emplace_back(key, render_number(v));
+  return *this;
+}
+
+Event& Event::set(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+Event& Event::set(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, "\"" + escape_json(v) + "\"");
+  return *this;
+}
+
+Event& Event::set(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+  return *this;
+}
+
+std::string Event::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + escape_json(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+EventSink::EventSink(const std::string& path, bool append)
+    : path_(path),
+      out_(path, append ? std::ios::app : std::ios::trunc) {
+  TX_CHECK(out_.is_open(), "EventSink: cannot open '", path, "'");
+}
+
+void EventSink::emit(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << e.to_json() << '\n';
+  out_.flush();
+  ++events_written_;
+}
+
+void EventSink::write_snapshot(
+    const std::string& path, const std::string& bench_name,
+    const MetricsRegistry& reg,
+    const std::map<std::string, std::vector<double>>& series) {
+  std::ofstream out(path, std::ios::trunc);
+  TX_CHECK(out.is_open(), "write_snapshot: cannot open '", path, "'");
+
+  out << "{\n";
+  out << "  \"bench\": \"" << escape_json(bench_name) << "\",\n";
+  out << "  \"schema\": \"tx.obs.v1\",\n";
+
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
+        << "\": " << render_number(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name) << "\": {";
+    out << "\"count\": " << h.count << ", \"sum\": " << render_number(h.sum)
+        << ", \"mean\": " << render_number(h.mean())
+        << ", \"min\": " << render_number(h.min)
+        << ", \"max\": " << render_number(h.max)
+        << ", \"p50\": " << render_number(h.quantile(0.5))
+        << ", \"p90\": " << render_number(h.quantile(0.9))
+        << ", \"p99\": " << render_number(h.quantile(0.99))
+        << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": "
+          << (i < h.bounds.size() ? render_number(h.bounds[i])
+                                  : std::string("\"inf\""))
+          << ", \"count\": " << h.bucket_counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"series\": {";
+  first = true;
+  for (const auto& [name, values] : series) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
+        << "\": " << render_series(values);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n";
+  out << "}\n";
+}
+
+}  // namespace tx::obs

@@ -1,0 +1,71 @@
+// Structured JSONL event stream + BENCH_*.json snapshot writer.
+//
+// A sink appends one JSON object per line to a file (step, loss, grad-norm,
+// accept-prob, wall-time, ... — whatever fields the caller sets); at the end
+// of a run EventSink::write_snapshot dumps the metrics registry plus any
+// per-step series into the single-document schema the committed BENCH_*.json
+// files use (see docs/observability.md for both schemas).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace tx::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string escape_json(const std::string& s);
+
+/// One structured record: ordered key/value pairs rendered as a JSON object.
+/// Values are stored pre-rendered (numbers round-trip via %.17g).
+class Event {
+ public:
+  Event& set(const std::string& key, double v);
+  Event& set(const std::string& key, std::int64_t v);
+  Event& set(const std::string& key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  Event& set(const std::string& key, const std::string& v);
+  Event& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  Event& set(const std::string& key, bool v);
+
+  std::size_t size() const { return fields_.size(); }
+  std::string to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> rendered
+};
+
+/// Append-only JSONL file writer. Thread-safe; each emit writes (and flushes)
+/// one line so a crashed run still leaves a readable prefix.
+class EventSink {
+ public:
+  explicit EventSink(const std::string& path, bool append = false);
+
+  void emit(const Event& e);
+  std::int64_t events_written() const { return events_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Dump a registry snapshot (counters, gauges, histogram summaries with
+  /// quantiles from util quantile_of/median_of) plus named per-step series
+  /// as one JSON document — the BENCH_*.json schema.
+  static void write_snapshot(
+      const std::string& path, const std::string& bench_name,
+      const MetricsRegistry& reg = registry(),
+      const std::map<std::string, std::vector<double>>& series = {});
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mu_;
+  std::int64_t events_written_ = 0;
+};
+
+}  // namespace tx::obs

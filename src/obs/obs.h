@@ -1,0 +1,8 @@
+// Umbrella header for tx::obs — the observability substrate: metrics
+// registry, RAII span timers, and the JSONL event sink / BENCH snapshot
+// writer. See docs/observability.md.
+#pragma once
+
+#include "obs/event_sink.h"
+#include "obs/registry.h"
+#include "obs/timer.h"

@@ -1,0 +1,37 @@
+#include "obs/timer.h"
+
+#include <vector>
+
+namespace tx::obs {
+
+namespace {
+thread_local std::vector<const std::string*> g_spans;
+}  // namespace
+
+std::size_t span_depth() { return g_spans.size(); }
+
+#ifndef TX_OBS_DISABLED
+
+ScopedTimer::ScopedTimer(std::string name) : armed_(enabled()) {
+  if (!armed_) return;
+  if (g_spans.empty()) {
+    path_ = std::move(name);
+  } else {
+    path_ = *g_spans.back() + "/" + name;
+  }
+  g_spans.push_back(&path_);
+  start_ = now_seconds();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!armed_) return;
+  const double seconds = now_seconds() - start_;
+  TX_CHECK(!g_spans.empty() && g_spans.back() == &path_,
+           "span stack corrupted (unbalanced ScopedTimer scopes)");
+  g_spans.pop_back();
+  registry().histogram("span." + path_).record(seconds);
+}
+
+#endif
+
+}  // namespace tx::obs

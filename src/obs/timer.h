@@ -1,0 +1,59 @@
+// RAII wall-clock spans feeding the metrics registry.
+//
+//   {
+//     obs::ScopedTimer fit("fit");
+//     ...
+//     { obs::ScopedTimer step("step"); ... }   // records "span.fit/step"
+//   }                                          // records "span.fit"
+//
+// Span names nest via a thread-local stack, so the histogram key encodes the
+// call path. Cost when disabled: one relaxed atomic load (runtime switch) or
+// literally nothing (-DTX_OBS_DISABLED compiles the body away).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace tx::obs {
+
+/// Monotonic wall-clock in seconds (steady_clock).
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#ifndef TX_OBS_DISABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (live reading, also works when disabled).
+  double elapsed() const { return armed_ ? now_seconds() - start_ : 0.0; }
+
+ private:
+  bool armed_;
+  std::string path_;  // full nested span path, "outer/inner"
+  double start_ = 0.0;
+};
+
+#else  // TX_OBS_DISABLED: compile-time no-op.
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string&) {}
+  double elapsed() const { return 0.0; }
+};
+
+#endif
+
+/// Depth of the active span stack on this thread (tests).
+std::size_t span_depth();
+
+}  // namespace tx::obs

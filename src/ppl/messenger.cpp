@@ -4,7 +4,16 @@ namespace tx::ppl {
 
 namespace {
 thread_local std::vector<Messenger*> g_stack;
+thread_local Generator* g_generator = nullptr;
 }  // namespace
+
+GeneratorScope::GeneratorScope(Generator* gen) : prev_(g_generator) {
+  g_generator = gen;
+}
+
+GeneratorScope::~GeneratorScope() { g_generator = prev_; }
+
+Generator* current_generator() { return g_generator; }
 
 HandlerScope::HandlerScope(Messenger& m) : messenger_(&m) {
   g_stack.push_back(messenger_);
@@ -31,8 +40,8 @@ void apply_stack(SampleMsg& msg) {
       TX_CHECK(msg.distribution != nullptr, "sample site '", msg.name,
                "' has no distribution and no value");
       msg.value = (grad_enabled() && msg.distribution->has_rsample())
-                      ? msg.distribution->rsample()
-                      : msg.distribution->sample();
+                      ? msg.distribution->rsample(g_generator)
+                      : msg.distribution->sample(g_generator);
     }
     msg.done = true;
   }

@@ -56,6 +56,24 @@ class HandlerScope {
 /// Current stack depth (for tests).
 std::size_t handler_depth();
 
+/// RAII redirection of the default sampler's randomness to an explicit
+/// Generator (thread-local, nestable). SVI and MCMC install one when given a
+/// generator so instrumented runs replay bit-for-bit.
+class GeneratorScope {
+ public:
+  explicit GeneratorScope(Generator* gen);
+  ~GeneratorScope();
+  GeneratorScope(const GeneratorScope&) = delete;
+  GeneratorScope& operator=(const GeneratorScope&) = delete;
+
+ private:
+  Generator* prev_;
+};
+
+/// Generator installed by the innermost GeneratorScope on this thread, or
+/// nullptr (= fall back to the global generator).
+Generator* current_generator();
+
 /// The sample primitive: draw (or look up) the value of the named random
 /// variable. With `obs` defined the site is observed and the value is fixed.
 Tensor sample(const std::string& name, dist::DistPtr distribution,

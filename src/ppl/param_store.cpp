@@ -1,8 +1,11 @@
 #include "ppl/param_store.h"
 
+#include "ppl/profiling.h"
+
 namespace tx::ppl {
 
 Tensor ParamStore::get_or_create(const std::string& name, const Tensor& init) {
+  detail::notify_param_site(name);
   auto it = params_.find(name);
   if (it != params_.end()) return it->second;
   TX_CHECK(init.defined(), "param '", name, "' does not exist and init is undefined");
@@ -15,8 +18,11 @@ Tensor ParamStore::get_or_create(const std::string& name, const Tensor& init) {
 Tensor ParamStore::get_or_create(const std::string& name,
                                  const std::function<Tensor()>& init) {
   auto it = params_.find(name);
-  if (it != params_.end()) return it->second;
-  return get_or_create(name, init());
+  if (it != params_.end()) {
+    detail::notify_param_site(name);
+    return it->second;
+  }
+  return get_or_create(name, init());  // notifies on the create path
 }
 
 bool ParamStore::contains(const std::string& name) const {

@@ -4,4 +4,5 @@
 #include "ppl/handlers.h"
 #include "ppl/messenger.h"
 #include "ppl/param_store.h"
+#include "ppl/profiling.h"
 #include "ppl/trace.h"

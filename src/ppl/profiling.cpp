@@ -1,0 +1,70 @@
+#include "ppl/profiling.h"
+
+#include "obs/registry.h"
+#include "obs/timer.h"
+
+namespace tx::ppl {
+
+namespace {
+thread_local ProfilingMessenger* g_active_profiler = nullptr;
+}  // namespace
+
+ProfilingScope::ProfilingScope(ProfilingMessenger& p)
+    : handler_scope_(p), prev_(g_active_profiler) {
+  g_active_profiler = &p;
+}
+
+ProfilingScope::~ProfilingScope() { g_active_profiler = prev_; }
+
+void ProfilingMessenger::process_message(SampleMsg& msg) {
+  if (msg.is_observed) {
+    ++observe_count_;
+  } else {
+    ++sample_count_;
+  }
+  ++site_counts_[msg.name];
+}
+
+void ProfilingMessenger::run(const std::string& section,
+                             const std::function<void()>& fn) {
+  ProfilingScope scope(*this);
+  const double t0 = obs::now_seconds();
+  fn();
+  SectionStats& stats = sections_[section];
+  ++stats.calls;
+  stats.seconds += obs::now_seconds() - t0;
+}
+
+void ProfilingMessenger::count_param(const std::string& name) {
+  ++param_count_;
+  (void)name;
+}
+
+void ProfilingMessenger::reset() {
+  sample_count_ = observe_count_ = param_count_ = 0;
+  site_counts_.clear();
+  sections_.clear();
+}
+
+void ProfilingMessenger::publish(const std::string& prefix) const {
+  auto& reg = obs::registry();
+  reg.counter(prefix + ".sample_sites").add(sample_count_);
+  reg.counter(prefix + ".observe_sites").add(observe_count_);
+  reg.counter(prefix + ".param_sites").add(param_count_);
+  for (const auto& [section, stats] : sections_) {
+    reg.counter(prefix + "." + section + "_calls").add(stats.calls);
+    reg.histogram(prefix + "." + section + "_seconds")
+        .record(stats.calls > 0 ? stats.seconds / static_cast<double>(stats.calls)
+                                : 0.0);
+  }
+}
+
+namespace detail {
+
+void notify_param_site(const std::string& name) {
+  if (g_active_profiler != nullptr) g_active_profiler->count_param(name);
+}
+
+}  // namespace detail
+
+}  // namespace tx::ppl

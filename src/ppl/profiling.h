@@ -1,0 +1,87 @@
+// Observability as an effect handler (the paper's thesis applied to
+// instrumentation): ProfilingMessenger rides the same messenger stack as
+// trace/replay/local-reparameterization and counts every sample / observe /
+// param site the wrapped program touches, plus wall-clock per named section
+// (model vs. guide). Model code stays untouched — attach the profiler around
+// any program exactly like any other poutine.
+//
+//   ProfilingMessenger prof;
+//   prof.run("guide", guide);
+//   prof.run("model", model);
+//   prof.publish("svi");   // mirror totals into the global obs registry
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ppl/messenger.h"
+
+namespace tx::ppl {
+
+class ProfilingMessenger;
+
+/// RAII activation: registers on the handler stack *and* as the thread's
+/// param-site watcher (param() bypasses the messenger stack, so counting it
+/// needs this side channel).
+class ProfilingScope {
+ public:
+  explicit ProfilingScope(ProfilingMessenger& p);
+  ~ProfilingScope();
+  ProfilingScope(const ProfilingScope&) = delete;
+  ProfilingScope& operator=(const ProfilingScope&) = delete;
+
+ private:
+  HandlerScope handler_scope_;
+  ProfilingMessenger* prev_;
+};
+
+struct SectionStats {
+  std::int64_t calls = 0;
+  double seconds = 0.0;
+};
+
+class ProfilingMessenger : public Messenger {
+ public:
+  /// Counting happens in process_message (profilers sit innermost, so they
+  /// see sites even when an outer block would hide them).
+  void process_message(SampleMsg& msg) override;
+
+  /// Execute `fn` under this profiler, timing it as `section`.
+  void run(const std::string& section, const std::function<void()>& fn);
+
+  std::int64_t sample_count() const { return sample_count_; }
+  std::int64_t observe_count() const { return observe_count_; }
+  std::int64_t param_count() const { return param_count_; }
+  /// Per-site-name invocation counts (sample sites only).
+  const std::map<std::string, std::int64_t>& site_counts() const {
+    return site_counts_;
+  }
+  const std::map<std::string, SectionStats>& sections() const {
+    return sections_;
+  }
+
+  void reset();
+
+  /// Mirror the accumulated totals into the global obs registry under
+  /// `prefix` ("<prefix>.sample_sites", "<prefix>.<section>_seconds", ...).
+  void publish(const std::string& prefix = "ppl") const;
+
+  /// Entry point for the param-store hook (detail::notify_param_site).
+  void count_param(const std::string& name);
+
+ private:
+  std::int64_t sample_count_ = 0;
+  std::int64_t observe_count_ = 0;
+  std::int64_t param_count_ = 0;
+  std::map<std::string, std::int64_t> site_counts_;
+  std::map<std::string, SectionStats> sections_;
+};
+
+namespace detail {
+/// Called by param() for every param-store access; forwards to the active
+/// ProfilingScope's messenger, if any.
+void notify_param_site(const std::string& name);
+}  // namespace detail
+
+}  // namespace tx::ppl

@@ -2,6 +2,7 @@
 // error) the way the paper reports "mean and two standard errors over 5 runs".
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -32,6 +33,23 @@ inline double stderr_of(const std::vector<double>& xs) {
 /// Two standard errors, the interval the paper's tables report.
 inline double two_stderr_of(const std::vector<double>& xs) {
   return 2.0 * stderr_of(xs);
+}
+
+/// q-quantile (q in [0, 1]) with linear interpolation between order
+/// statistics (numpy's default). Takes a copy so callers keep their order.
+inline double quantile_of(std::vector<double> xs, double q) {
+  TX_CHECK(!xs.empty(), "quantile of empty vector");
+  TX_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1], got ", q);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+inline double median_of(const std::vector<double>& xs) {
+  return quantile_of(xs, 0.5);
 }
 
 }  // namespace tx

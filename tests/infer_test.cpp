@@ -422,5 +422,85 @@ TEST(Diagnostics, DriftingChainHasHighRhat) {
   EXPECT_GT(split_r_hat(chain), 1.5);
 }
 
+TEST(Diagnostics, ConstantChainIsDefined) {
+  // Zero variance: ESS falls back to the chain length and split-R̂ to 1
+  // (within-chain variance is 0, the convention Gelman et al. adopt).
+  const std::vector<double> chain(64, 3.25);
+  EXPECT_DOUBLE_EQ(effective_sample_size(chain), 64.0);
+  EXPECT_DOUBLE_EQ(split_r_hat(chain), 1.0);
+}
+
+TEST(Diagnostics, ShortChainsThrow) {
+  const std::vector<double> three{1.0, 2.0, 3.0};
+  EXPECT_THROW(effective_sample_size(three), Error);
+  EXPECT_THROW(effective_sample_size({}), Error);
+  const std::vector<double> seven{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(split_r_hat(seven), Error);
+  // The shortest admissible inputs work.
+  const std::vector<double> four{1.0, 2.0, 1.5, 2.5};
+  EXPECT_GT(effective_sample_size(four), 0.0);
+  const std::vector<double> eight{1, 2, 1, 2, 1, 2, 1, 2};
+  EXPECT_GE(split_r_hat(eight), 0.0);
+}
+
+TEST(Diagnostics, EssNeverExceedsChainLength) {
+  Generator gen(117);
+  // iid, sticky, drifting and anti-correlated chains all respect ESS <= n.
+  std::vector<std::vector<double>> chains(4, std::vector<double>(256));
+  double x = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    chains[0][i] = gen.normal();
+    x = 0.9 * x + gen.normal();
+    chains[1][i] = x;
+    chains[2][i] = static_cast<double>(i);
+    chains[3][i] = (i % 2 == 0) ? gen.normal() : -chains[3][i - 1];
+  }
+  for (const auto& chain : chains) {
+    EXPECT_LE(effective_sample_size(chain),
+              static_cast<double>(chain.size()) + 1e-9);
+  }
+}
+
+TEST(SVI, SeededGeneratorMakesRunsReproducible) {
+  auto run_losses = [](std::uint64_t seed) {
+    manual_seed(7);  // pin the global stream so only `gen` distinguishes runs
+    Generator gen(seed);
+    ppl::ParamStore store;
+    auto model = make_conjugate();
+    auto guide = std::make_shared<AutoNormal>([model] { model(); },
+                                              AutoNormalConfig{}, "g", &store);
+    SVI svi([model] { model(); }, [guide] { (*guide)(); },
+            std::make_shared<Adam>(0.05), std::make_shared<TraceELBO>(1),
+            &store, &gen);
+    std::vector<double> losses;
+    for (int i = 0; i < 20; ++i) losses.push_back(svi.step());
+    losses.push_back(svi.evaluate_loss());
+    return losses;
+  };
+  // Same seed: bit-for-bit identical loss trajectory, including the
+  // no-update evaluate_loss() at the end. Different seed: diverges.
+  const auto a = run_losses(42), b = run_losses(42), c = run_losses(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MCMC, EmitsProgressAndDivergenceCounters) {
+  Generator gen(118);
+  auto model = make_conjugate();
+  MCMC mcmc(std::make_shared<HMC>(0.1, 5), /*num_samples=*/20,
+            /*warmup_steps=*/10);
+  std::vector<MCMCProgress> seen;
+  mcmc.run([model] { model(); }, &gen,
+           [&](const MCMCProgress& p) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 30u);
+  EXPECT_TRUE(seen.front().warmup);
+  EXPECT_FALSE(seen.back().warmup);
+  EXPECT_EQ(seen.back().step, 19);
+  EXPECT_EQ(seen.back().total, 20);
+  EXPECT_GT(seen.back().mean_accept_prob, 0.0);
+  EXPECT_GE(seen.back().divergences, 0);
+  EXPECT_EQ(mcmc.divergence_count(), seen.back().divergences);
+}
+
 }  // namespace
 }  // namespace tx::infer

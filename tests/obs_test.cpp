@@ -1,0 +1,291 @@
+// Tests for tx::obs (metrics registry, scoped timers, JSONL event sink) and
+// the ProfilingMessenger poutine, including the disabled-overhead bound the
+// subsystem promises.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "dist/distributions.h"
+#include "infer/infer.h"
+#include "obs/obs.h"
+#include "ppl/ppl.h"
+
+namespace tx {
+namespace {
+
+/// Fresh registry state + obs enabled for every test in this file.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::registry().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(true);
+    obs::registry().clear();
+    ppl::clear_param_store();
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST_F(ObsTest, CounterGaugeBasics) {
+  auto& c = obs::registry().counter("test.count");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same metric object.
+  EXPECT_EQ(&obs::registry().counter("test.count"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+
+  auto& g = obs::registry().gauge("test.gauge");
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+  g.set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST_F(ObsTest, CounterIsThreadSafe) {
+  auto& c = obs::registry().counter("test.mt");
+  constexpr int kThreads = 8, kAdds = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndSummary) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);
+  h.record(5.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.bucket_counts[0], 1);
+  EXPECT_EQ(snap.bucket_counts[1], 2);
+  EXPECT_EQ(snap.bucket_counts[2], 1);
+  EXPECT_EQ(snap.bucket_counts[3], 1);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 560.5);
+  EXPECT_DOUBLE_EQ(snap.mean(), 112.1);
+  // Quantiles come from the raw-value reservoir via util quantile_of.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 500.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({3.0, 1.0}), Error);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(0.0, 2.0, 4), Error);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsNestedSpans) {
+  {
+    obs::ScopedTimer outer("outer");
+    EXPECT_EQ(obs::span_depth(), 1u);
+    {
+      obs::ScopedTimer inner("inner");
+      EXPECT_EQ(obs::span_depth(), 2u);
+    }
+  }
+  EXPECT_EQ(obs::span_depth(), 0u);
+  const auto hists = obs::registry().histograms();
+  ASSERT_TRUE(hists.count("span.outer"));
+  ASSERT_TRUE(hists.count("span.outer/inner"));
+  EXPECT_EQ(hists.at("span.outer").count, 1);
+  EXPECT_EQ(hists.at("span.outer/inner").count, 1);
+  EXPECT_GE(hists.at("span.outer").sum, hists.at("span.outer/inner").sum);
+}
+
+TEST_F(ObsTest, ScopedTimerDisabledRecordsNothing) {
+  obs::set_enabled(false);
+  {
+    obs::ScopedTimer t("ghost");
+    EXPECT_EQ(obs::span_depth(), 0u);
+  }
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::registry().histograms().count("span.ghost"), 0u);
+}
+
+TEST_F(ObsTest, EventJsonRendering) {
+  obs::Event e;
+  e.set("step", std::int64_t{3})
+      .set("loss", 1.5)
+      .set("phase", "warm\"up\n")
+      .set("ok", true)
+      .set("bad", std::nan(""));
+  EXPECT_EQ(e.to_json(),
+            "{\"step\": 3, \"loss\": 1.5, \"phase\": \"warm\\\"up\\n\", "
+            "\"ok\": true, \"bad\": null}");
+}
+
+TEST_F(ObsTest, EventSinkJsonlRoundTrip) {
+  const std::string path = temp_path("obs_events.jsonl");
+  {
+    obs::EventSink sink(path);
+    for (int i = 0; i < 3; ++i) {
+      obs::Event e;
+      e.set("step", i).set("loss", 10.0 - i);
+      sink.emit(e);
+    }
+    EXPECT_EQ(sink.events_written(), 3);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"step\": " + std::to_string(lines)),
+              std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, SnapshotWritesBenchSchema) {
+  obs::registry().counter("unit.count").add(7);
+  obs::registry().gauge("unit.gauge").set(0.25);
+  obs::registry().histogram("unit.hist", {1.0, 2.0}).record(1.5);
+  const std::string path = temp_path("obs_snapshot.json");
+  obs::EventSink::write_snapshot(path, "unit_bench", obs::registry(),
+                                 {{"loss", {3.0, 2.0, 1.0}}});
+  const std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"bench\": \"unit_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"tx.obs.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"unit.count\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("\"unit.gauge\": 0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"p50\": 1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"le\": \"inf\""), std::string::npos);
+  EXPECT_NE(doc.find("\"loss\": [3, 2, 1]"), std::string::npos);
+  // Braces balance, i.e. the document is at least structurally JSON.
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  std::remove(path.c_str());
+}
+
+/// Toy program: three latent sites, one observed site, one param.
+void toy_model() {
+  auto normal = std::make_shared<dist::Normal>(0.0f, 1.0f);
+  ppl::sample("a", normal);
+  ppl::sample("b", normal);
+  ppl::sample("c", normal);
+  ppl::param("theta", Tensor::scalar(1.0f));
+  ppl::sample("obs", normal, Tensor::scalar(0.5f));
+}
+
+TEST_F(ObsTest, ProfilingMessengerCountsSites) {
+  ppl::ProfilingMessenger prof;
+  prof.run("model", toy_model);
+  prof.run("model", toy_model);
+  EXPECT_EQ(prof.sample_count(), 6);
+  EXPECT_EQ(prof.observe_count(), 2);
+  EXPECT_EQ(prof.param_count(), 2);
+  EXPECT_EQ(prof.site_counts().at("a"), 2);
+  EXPECT_EQ(prof.site_counts().at("obs"), 2);
+  ASSERT_TRUE(prof.sections().count("model"));
+  EXPECT_EQ(prof.sections().at("model").calls, 2);
+  EXPECT_GE(prof.sections().at("model").seconds, 0.0);
+
+  prof.publish("toy");
+  EXPECT_EQ(obs::registry().counters().at("toy.sample_sites"), 6);
+  EXPECT_EQ(obs::registry().counters().at("toy.observe_sites"), 2);
+  EXPECT_EQ(obs::registry().counters().at("toy.param_sites"), 2);
+
+  prof.reset();
+  EXPECT_EQ(prof.sample_count(), 0);
+  EXPECT_TRUE(prof.site_counts().empty());
+}
+
+TEST_F(ObsTest, ProfilingMessengerSeesNothingOutsideScope) {
+  ppl::ProfilingMessenger prof;
+  toy_model();  // not under the profiler
+  EXPECT_EQ(prof.sample_count(), 0);
+  EXPECT_EQ(prof.param_count(), 0);
+}
+
+/// The acceptance bound: with the runtime switch off, running a model under
+/// full instrumentation (timer span + profiler attached) costs < 5% over the
+/// bare model. Best-of-N timing on both sides to shake scheduler noise.
+TEST_F(ObsTest, DisabledInstrumentationOverheadUnderFivePercent) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "timing bound is for plain builds; sanitizers dilate it";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "timing bound is for plain builds; sanitizers dilate it";
+#endif
+#endif
+  constexpr int kIters = 300, kRepeats = 7;
+  auto time_best_of = [&](const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < kRepeats; ++r) {
+      const double t0 = obs::now_seconds();
+      for (int i = 0; i < kIters; ++i) fn();
+      best = std::min(best, obs::now_seconds() - t0);
+    }
+    return best;
+  };
+
+  obs::set_enabled(false);
+  ppl::ProfilingMessenger prof;
+  const double bare = time_best_of([] { toy_model(); });
+  const double instrumented = time_best_of([&] {
+    obs::ScopedTimer span("overhead.model");
+    ppl::ProfilingScope scope(prof);
+    toy_model();
+  });
+  obs::set_enabled(true);
+
+  // 5% relative plus a 50us absolute floor so a sub-microsecond toy model on
+  // a noisy machine cannot flake the suite.
+  EXPECT_LT(instrumented, bare * 1.05 + 50e-6)
+      << "bare=" << bare << "s instrumented=" << instrumented << "s";
+}
+
+TEST_F(ObsTest, SviEmitsMetricsAndCallback) {
+  ppl::clear_param_store();
+  auto model = [] {
+    ppl::sample("z", std::make_shared<dist::Normal>(0.0f, 1.0f),
+                Tensor::scalar(0.3f));
+  };
+  auto guide = [] {};
+  auto svi = infer::SVI(model, guide,
+                        std::make_shared<infer::Adam>(1e-2),
+                        std::make_shared<infer::TraceELBO>());
+  std::vector<infer::SVIStepInfo> seen;
+  svi.set_step_callback([&](const infer::SVIStepInfo& s) { seen.push_back(s); });
+  for (int i = 0; i < 3; ++i) svi.step();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].step, 0);
+  EXPECT_EQ(seen[2].step, 2);
+  EXPECT_GT(seen[0].seconds, 0.0);
+  EXPECT_EQ(obs::registry().counters().at("svi.steps"), 3);
+  EXPECT_EQ(obs::registry().histograms().at("svi.step_seconds").count, 3);
+  EXPECT_DOUBLE_EQ(obs::registry().gauges().at("svi.loss"), seen[2].loss);
+}
+
+}  // namespace
+}  // namespace tx

@@ -78,6 +78,24 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
 }
 
+TEST(Stats, QuantileAndMedian) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_of(odd), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(odd, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(odd, 1.0), 5.0);
+  // Even length interpolates between the middle order statistics.
+  const std::vector<double> even{4.0, 2.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_of(even, 0.25), 1.75);
+  // Input order is preserved (quantile_of copies).
+  EXPECT_DOUBLE_EQ(odd[0], 5.0);
+  // Single element: every quantile is that element.
+  EXPECT_DOUBLE_EQ(quantile_of({7.0}, 0.9), 7.0);
+  EXPECT_THROW(quantile_of({}, 0.5), Error);
+  EXPECT_THROW(quantile_of({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile_of({1.0}, 1.5), Error);
+}
+
 TEST(Stats, MeanVarianceStderr) {
   std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   EXPECT_NEAR(mean_of(xs), 2.5, 1e-12);
