@@ -5,6 +5,7 @@
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
+#include "par/par.h"
 
 using tx::Tensor;
 namespace nd = tx::dist;
@@ -123,6 +124,58 @@ void BM_PredictPosteriorSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictPosteriorSample);
+
+// --- tx::par thread-scaling variants: the argument is the pool size, so one
+// run shows how each hot path scales (results are bitwise-identical across
+// arguments by the tx::par determinism contract).
+
+void BM_MatMulThreads(benchmark::State& state) {
+  tx::par::set_num_threads(static_cast<int>(state.range(0)));
+  tx::Generator gen(0);
+  Tensor a = tx::randn({512, 512}, &gen);
+  Tensor b = tx::randn({512, 512}, &gen);
+  tx::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+  tx::par::set_num_threads(1);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  tx::par::set_num_threads(static_cast<int>(state.range(0)));
+  tx::Generator gen(0);
+  Tensor x = tx::randn({8, 16, 16, 16}, &gen);
+  Tensor w = tx::randn({16, 16, 3, 3}, &gen);
+  tx::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx::conv2d(x, w, Tensor(), 1, 1));
+  }
+  tx::par::set_num_threads(1);
+}
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MultiParticleElboThreads(benchmark::State& state) {
+  tx::par::set_num_threads(static_cast<int>(state.range(0)));
+  tx::manual_seed(0);
+  tx::ppl::ParamStore store;
+  Tensor data = tx::randn({32}, nullptr);
+  tx::infer::Program model = [data] {
+    Tensor z = tx::ppl::sample("z", std::make_shared<nd::Normal>(0.0f, 1.0f));
+    tx::ppl::sample("obs", std::make_shared<nd::Normal>(z, Tensor::scalar(0.5f)),
+                    data);
+  };
+  auto guide = std::make_shared<tx::infer::AutoNormal>(
+      model, tx::infer::AutoNormalConfig{}, "g", &store);
+  tx::infer::TraceELBO elbo(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        elbo.differentiable_loss(model, [guide] { (*guide)(); }));
+  }
+  tx::par::set_num_threads(1);
+}
+BENCHMARK(BM_MultiParticleElboThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

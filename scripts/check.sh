@@ -1,24 +1,45 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the observability tests.
+# Tier-1 verification plus a sanitizer pass over the concurrency-sensitive
+# test binaries.
 #
-#   scripts/check.sh          # build + full ctest + ASan/UBSan obs_test
-#   SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh                   # build + full ctest + ASan/UBSan pass
+#   SKIP_ASAN=1 scripts/check.sh       # tier-1 only
+#   BUILD_DIR=out scripts/check.sh     # use a different build tree
+#   SANITIZE=thread scripts/check.sh   # TSan instead of ASan for the san pass
+#
+# An existing CMake cache in ${BUILD_DIR} is reused as-is (no reconfigure),
+# so repeated runs — and CI with a restored cache — skip configure entirely.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+BUILD_DIR="${BUILD_DIR:-build}"
+SANITIZE="${SANITIZE:-address}"
 
 # --- tier-1: the exact command ROADMAP.md pins.
-cmake -B build -S .
-cmake --build build -j "${JOBS}"
-(cd build && ctest --output-on-failure -j "${JOBS}")
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
 
-# --- sanitizer pass: the obs registry/timer code is the only lock-free
-# atomics in the tree; run its test binary under ASan+UBSan.
+# --- sanitizer pass: the obs registry/timer code and the tx::par pool are
+# the concurrent parts of the tree; run their test binaries sanitized.
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  cmake -B build-asan -S . -DTYXE_SANITIZE=address
-  cmake --build build-asan -j "${JOBS}" --target obs_test
-  ./build-asan/tests/obs_test
+  case "${SANITIZE}" in
+    address) SAN_DIR="${BUILD_DIR}-asan" ;;
+    thread)  SAN_DIR="${BUILD_DIR}-tsan" ;;
+    *) echo "check.sh: unknown SANITIZE='${SANITIZE}'" >&2; exit 1 ;;
+  esac
+  if [[ ! -f "${SAN_DIR}/CMakeCache.txt" ]]; then
+    cmake -B "${SAN_DIR}" -S . -DTYXE_SANITIZE="${SANITIZE}"
+  fi
+  # Separate invocations: on a stale cache, one make run loads the Makefile
+  # from before CMake regenerates it and can miss newly added targets.
+  cmake --build "${SAN_DIR}" -j "${JOBS}" --target obs_test
+  cmake --build "${SAN_DIR}" -j "${JOBS}" --target par_test
+  ./"${SAN_DIR}"/tests/obs_test
+  TYXE_NUM_THREADS=4 ./"${SAN_DIR}"/tests/par_test
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json snapshots against the tx.obs.v1 shape.
+
+Usage: scripts/validate_bench.py BENCH_a.json [BENCH_b.json ...]
+
+Checks the structural contract EventSink::write_snapshot promises (see
+docs/observability.md): top-level schema/bench strings, integer counters,
+numeric (or "inf"-free) gauges, histogram summaries with the required numeric
+fields and a well-formed bucket list, and numeric series arrays. Exits
+non-zero with one line per violation, so CI can gate on it.
+"""
+import json
+import sys
+
+REQUIRED_TOP = ["bench", "schema", "counters", "gauges", "histograms", "series"]
+REQUIRED_HIST = ["count", "sum", "mean", "min", "max", "p50", "p90", "p99", "buckets"]
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON ({e})"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema"] != "tx.obs.v1":
+        err(f"schema is {doc['schema']!r}, expected 'tx.obs.v1'")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        err("'bench' must be a non-empty string")
+
+    if not isinstance(doc["counters"], dict):
+        err("'counters' must be an object")
+    else:
+        for name, v in doc["counters"].items():
+            if not isinstance(v, int) or isinstance(v, bool):
+                err(f"counter '{name}' is not an integer: {v!r}")
+
+    if not isinstance(doc["gauges"], dict):
+        err("'gauges' must be an object")
+    else:
+        for name, v in doc["gauges"].items():
+            if not is_number(v):
+                err(f"gauge '{name}' is not a number: {v!r}")
+
+    if not isinstance(doc["histograms"], dict):
+        err("'histograms' must be an object")
+    else:
+        for name, h in doc["histograms"].items():
+            if not isinstance(h, dict):
+                err(f"histogram '{name}' is not an object")
+                continue
+            for field in REQUIRED_HIST:
+                if field not in h:
+                    err(f"histogram '{name}' missing field '{field}'")
+            if not isinstance(h.get("count"), int):
+                err(f"histogram '{name}' count is not an integer")
+            for field in ("sum", "mean", "min", "max", "p50", "p90", "p99"):
+                if field in h and not is_number(h[field]):
+                    err(f"histogram '{name}' field '{field}' is not a number")
+            buckets = h.get("buckets")
+            if not isinstance(buckets, list):
+                err(f"histogram '{name}' buckets is not a list")
+            else:
+                for i, b in enumerate(buckets):
+                    if not isinstance(b, dict) or "le" not in b or "count" not in b:
+                        err(f"histogram '{name}' bucket {i} malformed: {b!r}")
+                        continue
+                    if not (is_number(b["le"]) or b["le"] == "inf"):
+                        err(f"histogram '{name}' bucket {i} 'le' invalid: {b['le']!r}")
+                    if not isinstance(b["count"], int):
+                        err(f"histogram '{name}' bucket {i} 'count' not an integer")
+
+    if not isinstance(doc["series"], dict):
+        err("'series' must be an object")
+    else:
+        for name, values in doc["series"].items():
+            if not isinstance(values, list):
+                err(f"series '{name}' is not a list")
+            elif not all(is_number(v) for v in values):
+                err(f"series '{name}' has non-numeric entries")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        errs = validate(path)
+        if errs:
+            all_errors.extend(errs)
+        else:
+            print(f"{path}: OK (tx.obs.v1)")
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -50,6 +50,13 @@ double effective_sample_size(const std::vector<double>& chain) {
   return static_cast<double>(n) / std::max(tau, 1.0);
 }
 
+double effective_sample_size(const std::vector<std::vector<double>>& chains) {
+  TX_CHECK(!chains.empty(), "effective_sample_size: no chains");
+  double total = 0.0;
+  for (const auto& chain : chains) total += effective_sample_size(chain);
+  return total;
+}
+
 double split_r_hat(const std::vector<double>& chain) {
   const std::size_t n = chain.size();
   TX_CHECK(n >= 8, "split_r_hat: chain too short");
@@ -66,6 +73,44 @@ double split_r_hat(const std::vector<double>& chain) {
   const double var_plus =
       (static_cast<double>(half - 1) / static_cast<double>(half)) * within +
       between / static_cast<double>(half);
+  return std::sqrt(var_plus / within);
+}
+
+double split_r_hat(const std::vector<std::vector<double>>& chains) {
+  TX_CHECK(!chains.empty(), "split_r_hat: no chains");
+  if (chains.size() == 1) return split_r_hat(chains[0]);
+  const std::size_t len = chains[0].size();
+  TX_CHECK(len >= 8, "split_r_hat: chains too short");
+  const std::size_t half = len / 2;
+  std::vector<std::vector<double>> halves;
+  halves.reserve(2 * chains.size());
+  for (const auto& chain : chains) {
+    TX_CHECK(chain.size() == len, "split_r_hat: unequal chain lengths");
+    halves.emplace_back(chain.begin(),
+                        chain.begin() + static_cast<std::ptrdiff_t>(half));
+    halves.emplace_back(chain.begin() + static_cast<std::ptrdiff_t>(half),
+                        chain.begin() + static_cast<std::ptrdiff_t>(2 * half));
+  }
+  const auto m = static_cast<double>(halves.size());
+  const auto n = static_cast<double>(half);
+  std::vector<double> means;
+  means.reserve(halves.size());
+  double grand = 0.0;
+  double within = 0.0;
+  for (const auto& h : halves) {
+    means.push_back(mean_of(h));
+    grand += means.back();
+    within += var_of(h);
+  }
+  grand /= m;
+  within /= m;
+  if (within <= 0.0) return 1.0;
+  double between_over_n = 0.0;  // B/n = sum (mean_j - grand)^2 / (m - 1)
+  for (const double mj : means) {
+    between_over_n += (mj - grand) * (mj - grand);
+  }
+  between_over_n /= (m - 1.0);
+  const double var_plus = ((n - 1.0) / n) * within + between_over_n;
   return std::sqrt(var_plus / within);
 }
 

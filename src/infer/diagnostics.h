@@ -9,8 +9,17 @@ namespace tx::infer {
 /// autocorrelation estimator (Geyer, 1992).
 double effective_sample_size(const std::vector<double>& chain);
 
+/// Multi-chain ESS: sum of the per-chain estimates (chains are independent,
+/// e.g. MCMC::coordinate_chain(coord, c) for each chain c).
+double effective_sample_size(const std::vector<std::vector<double>>& chains);
+
 /// Split-R̂ of a scalar chain (Gelman et al.): the chain is split in half and
 /// treated as two chains. Values near 1 indicate convergence.
 double split_r_hat(const std::vector<double>& chain);
+
+/// Multi-chain split-R̂: every chain is split in half and the potential scale
+/// reduction factor is computed over all 2M half-chains. Chains must have
+/// equal length >= 8.
+double split_r_hat(const std::vector<std::vector<double>>& chains);
 
 }  // namespace tx::infer

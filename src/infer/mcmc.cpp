@@ -1,17 +1,25 @@
 #include "infer/mcmc.h"
 
+#include <mutex>
+
 #include "obs/obs.h"
+#include "par/pool.h"
+#include "ppl/messenger.h"
 
 namespace tx::infer {
 
 namespace {
 
-/// One kernel transition with progress emission shared by both phases.
+/// One kernel transition with progress emission shared by both phases. When
+/// `sync` is set (multi-chain runs) metric emission and the callback are
+/// serialized across chains.
 std::vector<double> instrumented_step(MCMCKernel& kernel,
                                       const std::vector<double>& q,
                                       bool warmup, std::int64_t step,
                                       std::int64_t total,
-                                      const ProgressCallback& progress) {
+                                      const ProgressCallback& progress,
+                                      std::int64_t chain = 0,
+                                      std::mutex* sync = nullptr) {
   const bool instrument = obs::enabled() || progress;
   const double t0 = instrument ? obs::now_seconds() : 0.0;
   std::vector<double> next = kernel.step(q, warmup);
@@ -21,17 +29,26 @@ std::vector<double> instrumented_step(MCMCKernel& kernel,
   p.warmup = warmup;
   p.step = step;
   p.total = total;
+  p.chain = chain;
   p.accept_prob = kernel.last_accept_prob();
   p.mean_accept_prob = kernel.mean_accept_prob();
   p.divergences = kernel.divergence_count();
   p.seconds = obs::now_seconds() - t0;
-  if (obs::enabled()) {
-    auto& reg = obs::registry();
-    reg.counter(warmup ? "mcmc.warmup_steps" : "mcmc.samples").add(1);
-    reg.gauge("mcmc.accept_prob").set(p.mean_accept_prob);
-    reg.histogram("mcmc.step_seconds").record(p.seconds);
+  const auto emit = [&] {
+    if (obs::enabled()) {
+      auto& reg = obs::registry();
+      reg.counter(warmup ? "mcmc.warmup_steps" : "mcmc.samples").add(1);
+      reg.gauge("mcmc.accept_prob").set(p.mean_accept_prob);
+      reg.histogram("mcmc.step_seconds").record(p.seconds);
+    }
+    if (progress) progress(p);
+  };
+  if (sync) {
+    std::lock_guard<std::mutex> lock(*sync);
+    emit();
+  } else {
+    emit();
   }
-  if (progress) progress(p);
   return next;
 }
 
@@ -46,27 +63,113 @@ MCMC::MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples,
   TX_CHECK(num_samples >= 1 && warmup_steps >= 0, "MCMC: bad sample counts");
 }
 
+MCMC::MCMC(KernelFactory factory, int num_samples, int warmup_steps,
+           int num_chains)
+    : factory_(std::move(factory)),
+      num_samples_(num_samples),
+      warmup_(warmup_steps),
+      num_chains_(num_chains) {
+  TX_CHECK(factory_ != nullptr, "MCMC: null kernel factory");
+  TX_CHECK(num_samples >= 1 && warmup_steps >= 0, "MCMC: bad sample counts");
+  TX_CHECK(num_chains >= 1, "MCMC: num_chains must be >= 1");
+}
+
 void MCMC::run(Program model, Generator* gen,
                const ProgressCallback& progress) {
   obs::ScopedTimer span("mcmc.run");
-  kernel_->setup(std::move(model), gen);
-  const std::int64_t divergences_before = kernel_->divergence_count();
-  std::vector<double> q = kernel_->initial_position();
-  for (int i = 0; i < warmup_; ++i) {
-    q = instrumented_step(*kernel_, q, /*warmup=*/true, i, warmup_, progress);
+  if (num_chains_ == 1) {
+    if (!kernel_) kernel_ = factory_();
+    kernels_.assign(1, kernel_);
+    const std::int64_t divergences_before = kernel_->divergence_count();
+    kernel_->setup(std::move(model), gen);
+    std::vector<double> q = kernel_->initial_position();
+    for (int i = 0; i < warmup_; ++i) {
+      q = instrumented_step(*kernel_, q, /*warmup=*/true, i, warmup_,
+                            progress);
+    }
+    draws_.clear();
+    draws_.reserve(static_cast<std::size_t>(num_samples_));
+    for (int i = 0; i < num_samples_; ++i) {
+      q = instrumented_step(*kernel_, q, /*warmup=*/false, i, num_samples_,
+                            progress);
+      draws_.push_back(q);
+    }
+    if (obs::enabled()) {
+      obs::registry()
+          .counter("mcmc.divergences")
+          .add(kernel_->divergence_count() - divergences_before);
+    }
+    return;
   }
-  draws_.clear();
-  draws_.reserve(static_cast<std::size_t>(num_samples_));
-  for (int i = 0; i < num_samples_; ++i) {
-    q = instrumented_step(*kernel_, q, /*warmup=*/false, i, num_samples_,
-                          progress);
-    draws_.push_back(q);
+
+  // Multi-chain: fresh kernels and sequentially derived per-chain seeds, so
+  // every chain's trajectory is a pure function of the caller's generator
+  // state regardless of how the chains are scheduled across threads.
+  kernels_.clear();
+  for (int c = 0; c < num_chains_; ++c) kernels_.push_back(factory_());
+  Generator& ambient = gen ? *gen : global_generator();
+  chain_gens_.clear();
+  chain_gens_.reserve(static_cast<std::size_t>(num_chains_));
+  for (int c = 0; c < num_chains_; ++c) {
+    chain_gens_.emplace_back(Generator(ambient.engine()()));
   }
+  draws_.assign(static_cast<std::size_t>(num_chains_) *
+                    static_cast<std::size_t>(num_samples_),
+                {});
   if (obs::enabled()) {
-    obs::registry()
-        .counter("mcmc.divergences")
-        .add(kernel_->divergence_count() - divergences_before);
+    obs::registry().gauge("mcmc.chains").set(
+        static_cast<double>(num_chains_));
   }
+  std::mutex progress_mu;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_chains_));
+  for (int c = 0; c < num_chains_; ++c) {
+    tasks.push_back([&, c, model] {
+      Generator* cg = &chain_gens_[static_cast<std::size_t>(c)];
+      // Model code runs during setup (the Potential layout trace); it must
+      // draw from the chain generator, never the shared global one.
+      ppl::GeneratorScope gen_scope(cg);
+      MCMCKernel& kernel = *kernels_[static_cast<std::size_t>(c)];
+      kernel.setup(model, cg);
+      std::vector<double> q = kernel.initial_position();
+      for (int i = 0; i < warmup_; ++i) {
+        q = instrumented_step(kernel, q, /*warmup=*/true, i, warmup_,
+                              progress, c, &progress_mu);
+      }
+      for (int i = 0; i < num_samples_; ++i) {
+        q = instrumented_step(kernel, q, /*warmup=*/false, i, num_samples_,
+                              progress, c, &progress_mu);
+        draws_[static_cast<std::size_t>(c) *
+                   static_cast<std::size_t>(num_samples_) +
+               static_cast<std::size_t>(i)] = q;
+      }
+    });
+  }
+  par::run_tasks(tasks);
+  kernel_ = kernels_.front();  // unflatten / potential accessors
+  if (obs::enabled()) {
+    obs::registry().counter("mcmc.divergences").add(divergence_count());
+  }
+}
+
+double MCMC::mean_accept_prob() const {
+  if (kernels_.size() <= 1) {
+    TX_CHECK(kernel_ != nullptr, "MCMC: run() first");
+    return kernel_->mean_accept_prob();
+  }
+  double s = 0.0;
+  for (const auto& k : kernels_) s += k->mean_accept_prob();
+  return s / static_cast<double>(kernels_.size());
+}
+
+std::int64_t MCMC::divergence_count() const {
+  if (kernels_.size() <= 1) {
+    TX_CHECK(kernel_ != nullptr, "MCMC: run() first");
+    return kernel_->divergence_count();
+  }
+  std::int64_t total = 0;
+  for (const auto& k : kernels_) total += k->divergence_count();
+  return total;
 }
 
 std::vector<Tensor> MCMC::get_samples(const std::string& site) const {
@@ -95,6 +198,25 @@ std::vector<double> MCMC::coordinate_chain(std::size_t coord) const {
     chain.push_back(q[coord]);
   }
   return chain;
+}
+
+std::vector<double> MCMC::coordinate_chain(std::size_t coord,
+                                           int chain) const {
+  TX_CHECK(chain >= 0 && chain < num_chains_, "MCMC: chain out of range");
+  TX_CHECK(draws_.size() ==
+               static_cast<std::size_t>(num_chains_) *
+                   static_cast<std::size_t>(num_samples_),
+           "MCMC: no samples (run() first)");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_samples_));
+  const std::size_t base = static_cast<std::size_t>(chain) *
+                           static_cast<std::size_t>(num_samples_);
+  for (int i = 0; i < num_samples_; ++i) {
+    const auto& q = draws_[base + static_cast<std::size_t>(i)];
+    TX_CHECK(coord < q.size(), "MCMC: coordinate out of range");
+    out.push_back(q[coord]);
+  }
+  return out;
 }
 
 }  // namespace tx::infer

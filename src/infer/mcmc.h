@@ -13,36 +13,59 @@ struct MCMCProgress {
   bool warmup = false;
   std::int64_t step = 0;         // 0-based within the phase
   std::int64_t total = 0;        // steps in this phase
+  std::int64_t chain = 0;        // which chain made this transition
   double accept_prob = 0.0;      // this transition's acceptance statistic
-  double mean_accept_prob = 0.0; // running mean over the whole run
-  std::int64_t divergences = 0;  // cumulative divergent transitions
+  double mean_accept_prob = 0.0; // running mean over this chain's run
+  std::int64_t divergences = 0;  // cumulative divergences in this chain
   double seconds = 0.0;          // wall time of this transition
 };
 
 using ProgressCallback = std::function<void(const MCMCProgress&)>;
 
+/// Builds one independent kernel per chain for multi-chain runs.
+using KernelFactory = std::function<std::shared_ptr<MCMCKernel>()>;
+
 class MCMC {
  public:
   MCMC(std::shared_ptr<MCMCKernel> kernel, int num_samples, int warmup_steps);
 
-  /// Run the chain on the given model. `progress` (if set) fires after every
-  /// warmup and sampling transition.
+  /// Multi-chain constructor. Each chain gets a fresh kernel from `factory`
+  /// and its own Generator seeded sequentially from the caller's generator,
+  /// so per-chain draws depend only on the seed — chains run concurrently
+  /// via tx::par but results are identical at every TYXE_NUM_THREADS. Kept
+  /// draws are concatenated in chain order. The model must be safe to
+  /// evaluate concurrently (pure closures; no shared mutable module state).
+  MCMC(KernelFactory factory, int num_samples, int warmup_steps,
+       int num_chains = 1);
+
+  /// Run the chain(s) on the given model. `progress` (if set) fires after
+  /// every warmup and sampling transition, serialized across chains.
   void run(Program model, Generator* gen = nullptr,
            const ProgressCallback& progress = nullptr);
 
+  int num_chains() const { return num_chains_; }
+  /// Total kept draws across all chains.
   std::size_t num_samples() const { return draws_.size(); }
-  /// Values of one site across all kept draws.
+  /// Values of one site across all kept draws (chains concatenated).
   std::vector<Tensor> get_samples(const std::string& site) const;
   /// All site values for one kept draw.
   std::map<std::string, Tensor> sample_at(std::size_t i) const;
-  double mean_accept_prob() const { return kernel_->mean_accept_prob(); }
-  std::int64_t divergence_count() const { return kernel_->divergence_count(); }
-  /// Scalar chain of one coordinate (for diagnostics).
+  /// Mean over chains of each chain's mean acceptance statistic.
+  double mean_accept_prob() const;
+  /// Total divergent transitions across chains.
+  std::int64_t divergence_count() const;
+  /// Scalar chain of one coordinate over all kept draws (for diagnostics).
   std::vector<double> coordinate_chain(std::size_t coord) const;
+  /// Scalar chain of one coordinate restricted to one chain.
+  std::vector<double> coordinate_chain(std::size_t coord, int chain) const;
 
  private:
-  std::shared_ptr<MCMCKernel> kernel_;
+  std::shared_ptr<MCMCKernel> kernel_;  // single-chain kernel / first chain
+  KernelFactory factory_;
   int num_samples_, warmup_;
+  int num_chains_ = 1;
+  std::vector<std::shared_ptr<MCMCKernel>> kernels_;  // per chain, after run
+  std::vector<Generator> chain_gens_;  // outlive kernels_ (kernels keep ptrs)
   std::vector<std::vector<double>> draws_;
 };
 

@@ -2,12 +2,41 @@
 
 #include <vector>
 
+#include "par/pool.h"
+
 namespace tx::nn::functional {
 
 namespace {
 // Thread-local so parallel test runners don't interfere.
 thread_local std::vector<LinearOpInterceptor*> g_stack;
+
+// Propagate the caller's interceptor stack into tx::par worker tasks so
+// local-reparameterization/flipout poutines apply inside parallel bodies.
+const bool g_par_interceptors_registered = [] {
+  par::register_context_capture([]() -> par::ContextInstaller {
+    std::vector<LinearOpInterceptor*> snapshot = g_stack;
+    return [snapshot]() -> std::function<void()> {
+      auto* scope = new InterceptorStackScope(snapshot);
+      return [scope] { delete scope; };
+    };
+  });
+  return true;
+}();
 }  // namespace
+
+std::vector<LinearOpInterceptor*> interceptor_stack_snapshot() {
+  return g_stack;
+}
+
+InterceptorStackScope::InterceptorStackScope(
+    std::vector<LinearOpInterceptor*> stack)
+    : previous_(std::move(g_stack)) {
+  g_stack = std::move(stack);
+}
+
+InterceptorStackScope::~InterceptorStackScope() {
+  g_stack = std::move(previous_);
+}
 
 void push_interceptor(LinearOpInterceptor* interceptor) {
   TX_CHECK(interceptor != nullptr, "push_interceptor: null");

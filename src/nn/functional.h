@@ -29,6 +29,23 @@ void pop_interceptor(LinearOpInterceptor* interceptor);
 /// Number of active interceptors (for tests).
 std::size_t interceptor_depth();
 
+/// Snapshot of this thread's interceptor stack, newest last (for tx::par
+/// context propagation; the interceptors must outlive the scope).
+std::vector<LinearOpInterceptor*> interceptor_stack_snapshot();
+
+/// RAII wholesale replacement of this thread's interceptor stack with a
+/// snapshot; restores the previous stack on destruction.
+class InterceptorStackScope {
+ public:
+  explicit InterceptorStackScope(std::vector<LinearOpInterceptor*> stack);
+  ~InterceptorStackScope();
+  InterceptorStackScope(const InterceptorStackScope&) = delete;
+  InterceptorStackScope& operator=(const InterceptorStackScope&) = delete;
+
+ private:
+  std::vector<LinearOpInterceptor*> previous_;
+};
+
 /// The functional ops layers call. Identical contract to tx::linear /
 /// tx::conv2d but dispatched through the interceptor stack.
 Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias);

@@ -1,0 +1,6 @@
+// Umbrella header for tx::par — the deterministic CPU thread pool behind the
+// parallel tensor kernels and multi-chain / multi-particle inference. See
+// docs/parallelism.md for the determinism contract.
+#pragma once
+
+#include "par/pool.h"

@@ -1,0 +1,92 @@
+// Deterministic CPU thread pool (tx::par).
+//
+// Design contract (see docs/parallelism.md):
+//  * parallel_for(begin, end, grain, body) splits [begin, end) into chunks
+//    whose boundaries are a pure function of (range, grain, nthreads) —
+//    never of scheduling. Bodies write disjoint outputs, and every output
+//    element is computed by exactly the same sequential code as the legacy
+//    single-threaded kernel, so results are bitwise-identical for every
+//    thread count (TYXE_NUM_THREADS=1 runs the body inline, the exact
+//    legacy path).
+//  * parallel_reduce chunks purely by grain (independent of nthreads) and
+//    combines per-chunk partials with a left fold in ascending chunk order,
+//    so its result is also invariant across thread counts.
+//  * Worker tasks inherit the caller's thread-local execution context
+//    (ppl::messenger handler stack, nn::functional interceptor stack,
+//    autograd grad-mode flag) through the capture registry below.
+//  * The pool is observable through tx::obs: "par.jobs" / "par.chunks" /
+//    "par.tasks" counters, "par.threads" / "par.queue_depth" gauges.
+//
+// Thread count: set_num_threads(), seeded from TYXE_NUM_THREADS (default:
+// hardware concurrency). Nested parallel constructs run sequentially inline
+// on the worker they were issued from — no deadlock, no surprise fan-out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tx::par {
+
+/// Current configured thread count (>= 1). First call reads
+/// TYXE_NUM_THREADS; unset/invalid/0 falls back to hardware concurrency.
+int num_threads();
+
+/// Reconfigure the pool size (tests and benchmarks flip this at runtime).
+/// Must not be called from inside a pool task.
+void set_num_threads(int n);
+
+/// Thread count TYXE_NUM_THREADS/hardware would pick, ignoring overrides.
+int default_num_threads();
+
+/// True when executing inside a pool worker task (nested constructs inline).
+bool in_worker();
+
+// ---- deterministic chunking (pure functions, unit-tested directly) --------
+
+/// Number of chunks parallel_for uses: ceil(range/grain) capped at
+/// 4*nthreads, at least 1 (0 for an empty range).
+std::int64_t chunk_count(std::int64_t range, std::int64_t grain, int nthreads);
+
+/// Half-open bounds of chunk `index` out of `chunks` over [0, range):
+/// chunk size is ceil(range/chunks); the last chunk is short.
+std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t range,
+                                                   std::int64_t chunks,
+                                                   std::int64_t index);
+
+// ---- parallel primitives --------------------------------------------------
+
+/// Run body(chunk_begin, chunk_end) over a deterministic chunking of
+/// [begin, end). Blocks until every chunk completed; the caller participates.
+/// The first exception thrown by any chunk is rethrown here (remaining
+/// chunks are skipped).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Left-fold reduction with an nthreads-invariant chunk tree: partials are
+/// computed per grain-sized chunk and combined in ascending chunk order, so
+/// the result is bitwise-identical for every thread count (but may differ
+/// from a single flat accumulation loop's rounding).
+double parallel_reduce(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& chunk_fn);
+
+/// Run independent tasks concurrently (one chunk each); index i runs
+/// tasks[i]. Used for MCMC chains and ELBO particles.
+void run_tasks(const std::vector<std::function<void()>>& tasks);
+
+// ---- thread-local context propagation -------------------------------------
+
+/// Installer: runs on the worker before the task body, returns the restore
+/// action that runs after it.
+using ContextInstaller = std::function<std::function<void()>()>;
+/// Capture: runs on the caller at job-submission time and snapshots one
+/// piece of thread-local context into an installer.
+using ContextCapture = std::function<ContextInstaller()>;
+
+/// Register a context propagator for the process lifetime. Called at static
+/// initialization by ppl::messenger, nn::functional, and the autograd
+/// grad-mode flag; user code may add its own.
+void register_context_capture(ContextCapture capture);
+
+}  // namespace tx::par

@@ -1,11 +1,38 @@
 #include "ppl/messenger.h"
 
+#include "par/pool.h"
+
 namespace tx::ppl {
 
 namespace {
 thread_local std::vector<Messenger*> g_stack;
 thread_local Generator* g_generator = nullptr;
+
+// Propagate the caller's handler stack into tx::par worker tasks so effects
+// (tracing, conditioning, reparameterization poutines) entered on the caller
+// apply inside parallel bodies. The generator redirection is deliberately
+// NOT propagated: a single Generator is not safe to share across threads;
+// parallel inference drivers install a per-task GeneratorScope instead.
+const bool g_par_handlers_registered = [] {
+  par::register_context_capture([]() -> par::ContextInstaller {
+    std::vector<Messenger*> snapshot = g_stack;
+    return [snapshot]() -> std::function<void()> {
+      auto* scope = new HandlerStackScope(snapshot);
+      return [scope] { delete scope; };
+    };
+  });
+  return true;
+}();
 }  // namespace
+
+std::vector<Messenger*> handler_stack_snapshot() { return g_stack; }
+
+HandlerStackScope::HandlerStackScope(std::vector<Messenger*> stack)
+    : previous_(std::move(g_stack)) {
+  g_stack = std::move(stack);
+}
+
+HandlerStackScope::~HandlerStackScope() { g_stack = std::move(previous_); }
 
 GeneratorScope::GeneratorScope(Generator* gen) : prev_(g_generator) {
   g_generator = gen;

@@ -56,6 +56,26 @@ class HandlerScope {
 /// Current stack depth (for tests).
 std::size_t handler_depth();
 
+/// Snapshot of this thread's handler stack, innermost last (for propagating
+/// effect-handler context into tx::par worker tasks). The pointed-to
+/// messengers are owned by the capturing thread and must outlive the scope.
+std::vector<Messenger*> handler_stack_snapshot();
+
+/// RAII wholesale replacement of this thread's handler stack with a
+/// snapshot; the previous stack is restored on destruction. tx::par installs
+/// one on each worker task so poutine handlers entered on the caller are
+/// seen inside parallel bodies.
+class HandlerStackScope {
+ public:
+  explicit HandlerStackScope(std::vector<Messenger*> stack);
+  ~HandlerStackScope();
+  HandlerStackScope(const HandlerStackScope&) = delete;
+  HandlerStackScope& operator=(const HandlerStackScope&) = delete;
+
+ private:
+  std::vector<Messenger*> previous_;
+};
+
 /// RAII redirection of the default sampler's randomness to an explicit
 /// Generator (thread-local, nestable). SVI and MCMC install one when given a
 /// generator so instrumented runs replay bit-for-bit.

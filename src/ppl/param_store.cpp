@@ -6,6 +6,7 @@ namespace tx::ppl {
 
 Tensor ParamStore::get_or_create(const std::string& name, const Tensor& init) {
   detail::notify_param_site(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = params_.find(name);
   if (it != params_.end()) return it->second;
   TX_CHECK(init.defined(), "param '", name, "' does not exist and init is undefined");
@@ -17,19 +18,27 @@ Tensor ParamStore::get_or_create(const std::string& name, const Tensor& init) {
 
 Tensor ParamStore::get_or_create(const std::string& name,
                                  const std::function<Tensor()>& init) {
-  auto it = params_.find(name);
-  if (it != params_.end()) {
-    detail::notify_param_site(name);
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = params_.find(name);
+    if (it != params_.end()) {
+      detail::notify_param_site(name);
+      return it->second;
+    }
   }
+  // init() runs outside the lock (it may itself touch the store). If another
+  // thread created the param meanwhile, the create path below returns the
+  // existing tensor and this init value is discarded.
   return get_or_create(name, init());  // notifies on the create path
 }
 
 bool ParamStore::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return params_.count(name) > 0;
 }
 
 Tensor ParamStore::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = params_.find(name);
   TX_CHECK(it != params_.end(), "no param named '", name, "'");
   return it->second;
@@ -41,19 +50,33 @@ void ParamStore::set(const std::string& name, Tensor value) {
     value = value.detach();
     value.set_requires_grad(true);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   params_[name] = std::move(value);
 }
 
-void ParamStore::erase(const std::string& name) { params_.erase(name); }
+void ParamStore::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  params_.erase(name);
+}
 
-void ParamStore::clear() { params_.clear(); }
+void ParamStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  params_.clear();
+}
+
+std::size_t ParamStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return params_.size();
+}
 
 std::vector<std::pair<std::string, Tensor>> ParamStore::items() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return {params_.begin(), params_.end()};
 }
 
 std::vector<std::pair<std::string, Tensor>> ParamStore::items_with_prefix(
     const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, Tensor>> out;
   for (const auto& [name, t] : params_) {
     if (name.rfind(prefix, 0) == 0) out.emplace_back(name, t);
@@ -62,6 +85,7 @@ std::vector<std::pair<std::string, Tensor>> ParamStore::items_with_prefix(
 }
 
 std::map<std::string, Tensor> ParamStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, Tensor> snap;
   for (const auto& [name, t] : params_) snap.emplace(name, t.detach());
   return snap;

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,11 @@
 
 namespace tx::ppl {
 
+/// Thread-safe for concurrent lookups and lazy creation (tx::par runs ELBO
+/// particles in parallel and every particle's guide touches the store);
+/// per-method locking keeps the map consistent, while deterministic creation
+/// order is the parallel drivers' job (they run the first particle inline
+/// before fanning out).
 class ParamStore {
  public:
   /// Returns the stored parameter, creating it from `init` on first use. The
@@ -28,7 +34,7 @@ class ParamStore {
   void erase(const std::string& name);
   /// Remove every parameter (pyro.clear_param_store()).
   void clear();
-  std::size_t size() const { return params_.size(); }
+  std::size_t size() const;
 
   /// All (name, tensor) pairs, sorted by name.
   std::vector<std::pair<std::string, Tensor>> items() const;
@@ -42,6 +48,7 @@ class ParamStore {
   void restore(const std::map<std::string, Tensor>& snap);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Tensor> params_;
 };
 

@@ -1,14 +1,28 @@
 // NCHW convolution and pooling, implemented as self-contained autograd ops
 // with hand-written im2col / col2im so the backward pass needs no view
 // gymnastics.
+//
+// conv2d fans out over images via tx::par above a flop threshold. The image
+// decomposition writes disjoint output (and gx) ranges; the weight gradient
+// uses per-image partial buffers folded in image order, which reproduces the
+// sequential accumulation bit-for-bit (each image contributes exactly one
+// float per gw cell), so results match at every TYXE_NUM_THREADS.
 #include <algorithm>
 #include <limits>
 
+#include "obs/timer.h"
+#include "par/pool.h"
 #include "tensor/tensor.h"
 
 namespace tx {
 
 namespace {
+
+/// Flops (n * patch * spatial * oc) above which conv2d fans out.
+constexpr std::int64_t kConvParThreshold = std::int64_t{1} << 16;
+/// Per-image gw partials are skipped above this many floats (n * |W|): the
+/// gate is a pure function of shapes, so determinism is unaffected.
+constexpr std::int64_t kConvPartialCap = std::int64_t{1} << 22;
 
 struct ConvDims {
   std::int64_t n, ic, ih, iw;      // input
@@ -138,12 +152,19 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const std::int64_t patch = d.ic * d.kh * d.kw;
   const std::int64_t spatial = d.oh * d.ow;
   std::vector<float> out(static_cast<std::size_t>(d.n * d.oc * spatial), 0.0f);
-  std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
-  for (std::int64_t img = 0; img < d.n; ++img) {
-    im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
-    // weight (oc, patch) * cols (patch, spatial) -> out (oc, spatial)
-    gemm_acc(weight.data(), cols.data(), out.data() + img * d.oc * spatial,
-             d.oc, patch, spatial);
+  {
+    obs::ScopedTimer span("par.conv2d");
+    const std::int64_t flops = d.n * patch * spatial * d.oc;
+    const std::int64_t grain = flops < kConvParThreshold ? d.n : 1;
+    par::parallel_for(0, d.n, grain, [&](std::int64_t i0, std::int64_t i1) {
+      std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+      for (std::int64_t img = i0; img < i1; ++img) {
+        im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+        // weight (oc, patch) * cols (patch, spatial) -> out (oc, spatial)
+        gemm_acc(weight.data(), cols.data(), out.data() + img * d.oc * spatial,
+                 d.oc, patch, spatial);
+      }
+    });
   }
   if (bias.defined()) {
     TX_CHECK(bias.rank() == 1 && bias.dim(0) == d.oc, "conv2d: bias mismatch");
@@ -163,17 +184,48 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       [x, weight, d, patch, spatial, has_bias](const Tensor& g) {
         Tensor gx = zeros(x.shape());
         Tensor gw = zeros(weight.shape());
-        std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
-        std::vector<float> gcols(static_cast<std::size_t>(patch * spatial));
-        for (std::int64_t img = 0; img < d.n; ++img) {
-          const float* gout = g.data() + img * d.oc * spatial;
-          // dW (oc, patch) += gout (oc, spatial) * cols (patch, spatial)^T
-          im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
-          gemm_bt_acc(gout, cols.data(), gw.data(), d.oc, spatial, patch);
-          // dcols (patch, spatial) = W (oc, patch)^T * gout (oc, spatial)
-          std::fill(gcols.begin(), gcols.end(), 0.0f);
-          gemm_at_acc(weight.data(), gout, gcols.data(), d.oc, patch, spatial);
-          col2im(gcols.data(), d, gx.data() + img * d.ic * d.ih * d.iw);
+        const std::int64_t wsize = weight.numel();
+        const std::int64_t flops = d.n * patch * spatial * d.oc;
+        const bool fan_out = d.n > 1 && flops >= kConvParThreshold &&
+                             d.n * wsize <= kConvPartialCap;
+        if (fan_out) {
+          // Disjoint per-image gx plus per-image gw partials; the fold below
+          // replays the sequential per-image accumulation order exactly.
+          std::vector<float> gw_parts(
+              static_cast<std::size_t>(d.n * wsize), 0.0f);
+          par::parallel_for(0, d.n, 1, [&](std::int64_t i0, std::int64_t i1) {
+            std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+            std::vector<float> gcols(static_cast<std::size_t>(patch * spatial));
+            for (std::int64_t img = i0; img < i1; ++img) {
+              const float* gout = g.data() + img * d.oc * spatial;
+              im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+              gemm_bt_acc(gout, cols.data(), gw_parts.data() + img * wsize,
+                          d.oc, spatial, patch);
+              std::fill(gcols.begin(), gcols.end(), 0.0f);
+              gemm_at_acc(weight.data(), gout, gcols.data(), d.oc, patch,
+                          spatial);
+              col2im(gcols.data(), d, gx.data() + img * d.ic * d.ih * d.iw);
+            }
+          });
+          float* pw = gw.data();
+          for (std::int64_t img = 0; img < d.n; ++img) {
+            const float* part = gw_parts.data() + img * wsize;
+            for (std::int64_t i = 0; i < wsize; ++i) pw[i] += part[i];
+          }
+        } else {
+          std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+          std::vector<float> gcols(static_cast<std::size_t>(patch * spatial));
+          for (std::int64_t img = 0; img < d.n; ++img) {
+            const float* gout = g.data() + img * d.oc * spatial;
+            // dW (oc, patch) += gout (oc, spatial) * cols (patch, spatial)^T
+            im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+            gemm_bt_acc(gout, cols.data(), gw.data(), d.oc, spatial, patch);
+            // dcols (patch, spatial) = W (oc, patch)^T * gout (oc, spatial)
+            std::fill(gcols.begin(), gcols.end(), 0.0f);
+            gemm_at_acc(weight.data(), gout, gcols.data(), d.oc, patch,
+                        spatial);
+            col2im(gcols.data(), d, gx.data() + img * d.ic * d.ih * d.iw);
+          }
         }
         std::vector<Tensor> grads{gx, gw};
         if (has_bias) {

@@ -1,11 +1,22 @@
 // Elementwise binary ops with NumPy broadcasting and unary math ops.
+//
+// The same-shape binary fast path and the unary maps fan out over flat index
+// ranges via tx::par above kElemParThreshold elements. Each output element
+// is a pure function of its inputs, so results are bitwise-identical at
+// every TYXE_NUM_THREADS. The generic broadcast path stays sequential.
 #include <cmath>
 
+#include "par/pool.h"
 #include "tensor/tensor.h"
 
 namespace tx {
 
 namespace {
+
+/// Elements above which elementwise loops fan out.
+constexpr std::int64_t kElemParThreshold = std::int64_t{1} << 15;
+/// Minimum elements per chunk.
+constexpr std::int64_t kElemGrain = std::int64_t{1} << 12;
 
 /// Applies `fn(av, bv)` over the broadcast of a and b.
 template <typename Fn>
@@ -18,8 +29,18 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
   const float* pa = a.data();
   const float* pb = b.data();
   if (a.shape() == b.shape()) {  // fast path: no index arithmetic
-    for (std::int64_t i = 0; i < n; ++i) {
-      out[static_cast<std::size_t>(i)] = fn(pa[i], pb[i]);
+    if (n >= kElemParThreshold) {
+      float* po = out.data();
+      par::parallel_for(0, n, kElemGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            po[i] = fn(pa[i], pb[i]);
+                          }
+                        });
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] = fn(pa[i], pb[i]);
+      }
     }
   } else {
     const std::size_t rank = out_shape.size();
@@ -41,10 +62,18 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
 template <typename Fwd, typename Bwd>
 Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
   TX_CHECK(a.defined(), name, " on undefined tensor");
-  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const std::int64_t n = a.numel();
+  std::vector<float> out(static_cast<std::size_t>(n));
   const float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    out[static_cast<std::size_t>(i)] = fwd(pa[i]);
+  if (n >= kElemParThreshold) {
+    float* po = out.data();
+    par::parallel_for(0, n, kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
+    });
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = fwd(pa[i]);
+    }
   }
   Tensor result(a.shape(), std::move(out));
   Tensor y = result.detach();

@@ -1,10 +1,22 @@
 // Matrix products. Kernels use the i-k-j loop order so the inner loop streams
 // contiguously through both the B matrix and the output row.
+//
+// Above kParFlopThreshold flops the kernels split over output rows via
+// tx::par. Every output element is computed by the same sequential code in
+// the same accumulation order as the single-threaded path, so results are
+// bitwise-identical for every TYXE_NUM_THREADS.
+#include "obs/timer.h"
+#include "par/pool.h"
 #include "tensor/tensor.h"
 
 namespace tx {
 
 namespace {
+
+/// Flop count (m*k*n) above which a product is worth fanning out.
+constexpr std::int64_t kParFlopThreshold = std::int64_t{1} << 16;
+/// Minimum output rows per chunk.
+constexpr std::int64_t kRowGrain = 4;
 
 /// C(M,N) += A(M,K) * B(K,N) over raw buffers.
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
@@ -51,6 +63,60 @@ void gemm_at_accumulate(const float* a, const float* b, float* c,
   }
 }
 
+/// gemm_at restricted to output rows [p0, p1). Per cell the accumulation
+/// order over i is ascending, exactly as in gemm_at_accumulate, so the two
+/// are bitwise-interchangeable; this variant has disjoint output rows and is
+/// safe to run chunked in parallel.
+void gemm_at_rows(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, std::int64_t p0,
+                  std::int64_t p1) {
+  for (std::int64_t p = p0; p < p1; ++p) {
+    float* crow = c + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Row-parallel C(M,N) += A(M,K) * B(K,N) above the flop threshold.
+void gemm_dispatch(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  if (m * k * n < kParFlopThreshold) {
+    gemm_accumulate(a, b, c, m, k, n);
+    return;
+  }
+  par::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    gemm_accumulate(a + i0 * k, b, c + i0 * n, i1 - i0, k, n);
+  });
+}
+
+/// Row-parallel C(M,N) += A(M,K) * B(N,K)^T above the flop threshold.
+void gemm_bt_dispatch(const float* a, const float* b, float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n) {
+  if (m * k * n < kParFlopThreshold) {
+    gemm_bt_accumulate(a, b, c, m, k, n);
+    return;
+  }
+  par::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    gemm_bt_accumulate(a + i0 * k, b, c + i0 * n, i1 - i0, k, n);
+  });
+}
+
+/// Output-row-parallel C(K,N) += A(M,K)^T * B(M,N) above the flop threshold.
+void gemm_at_dispatch(const float* a, const float* b, float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n) {
+  if (m * k * n < kParFlopThreshold) {
+    gemm_at_accumulate(a, b, c, m, k, n);
+    return;
+  }
+  par::parallel_for(0, k, kRowGrain, [&](std::int64_t p0, std::int64_t p1) {
+    gemm_at_rows(a, b, c, m, k, n, p0, p1);
+  });
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -59,15 +125,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   TX_CHECK(k == k2, "matmul inner dims mismatch: ", k, " vs ", k2);
   std::vector<float> out(static_cast<std::size_t>(m * n), 0.0f);
-  gemm_accumulate(a.data(), b.data(), out.data(), m, k, n);
+  {
+    obs::ScopedTimer span("par.matmul");
+    gemm_dispatch(a.data(), b.data(), out.data(), m, k, n);
+  }
   return make_tensor_from_op(
       "matmul", Shape{m, n}, std::move(out), {a, b},
       [a, b, m, k, n](const Tensor& g) {
         // dA = g * B^T, dB = A^T * g.
         Tensor ga = zeros(Shape{m, k});
         Tensor gb = zeros(Shape{k, n});
-        gemm_bt_accumulate(g.data(), b.data(), ga.data(), m, n, k);
-        gemm_at_accumulate(a.data(), g.data(), gb.data(), m, k, n);
+        gemm_bt_dispatch(g.data(), b.data(), ga.data(), m, n, k);
+        gemm_at_dispatch(a.data(), g.data(), gb.data(), m, k, n);
         return std::vector<Tensor>{ga, gb};
       });
 }
@@ -79,21 +148,35 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
            join(a.shape()), "] x [", join(b.shape()), "]");
   const std::int64_t n = b.dim(2);
   std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
-  for (std::int64_t i = 0; i < batch; ++i) {
-    gemm_accumulate(a.data() + i * m * k, b.data() + i * k * n,
-                    out.data() + i * m * n, m, k, n);
+  {
+    obs::ScopedTimer span("par.bmm");
+    // Batch entries are independent; below the threshold parallel_for
+    // collapses to one inline call, the legacy loop.
+    const std::int64_t grain =
+        batch * m * k * n < kParFlopThreshold ? batch : 1;
+    par::parallel_for(0, batch, grain, [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t i = b0; i < b1; ++i) {
+        gemm_accumulate(a.data() + i * m * k, b.data() + i * k * n,
+                        out.data() + i * m * n, m, k, n);
+      }
+    });
   }
   return make_tensor_from_op(
       "bmm", Shape{batch, m, n}, std::move(out), {a, b},
       [a, b, batch, m, k, n](const Tensor& g) {
         Tensor ga = zeros(Shape{batch, m, k});
         Tensor gb = zeros(Shape{batch, k, n});
-        for (std::int64_t i = 0; i < batch; ++i) {
-          gemm_bt_accumulate(g.data() + i * m * n, b.data() + i * k * n,
-                             ga.data() + i * m * k, m, n, k);
-          gemm_at_accumulate(a.data() + i * m * k, g.data() + i * m * n,
-                             gb.data() + i * k * n, m, k, n);
-        }
+        const std::int64_t grain =
+            batch * m * k * n < kParFlopThreshold ? batch : 1;
+        par::parallel_for(
+            0, batch, grain, [&](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t i = b0; i < b1; ++i) {
+                gemm_bt_accumulate(g.data() + i * m * n, b.data() + i * k * n,
+                                   ga.data() + i * m * k, m, n, k);
+                gemm_at_accumulate(a.data() + i * m * k, g.data() + i * m * n,
+                                   gb.data() + i * k * n, m, k, n);
+              }
+            });
         return std::vector<Tensor>{ga, gb};
       });
 }

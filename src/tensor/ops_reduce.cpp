@@ -1,13 +1,23 @@
 // Reductions: sum/mean over axis sets, max/min over a single axis,
 // logsumexp, softmax, log_softmax, cumsum, argmax.
+//
+// Axis sums above kReduceParThreshold elements fan out over output cells via
+// tx::par. Each cell folds its contributions in ascending input flat order —
+// exactly the per-cell order of the sequential input-order loop — so results
+// are bitwise-identical at every TYXE_NUM_THREADS. Full sums, extremum scans
+// and cumsum are order-sensitive across the whole buffer and stay sequential.
 #include <algorithm>
 #include <cmath>
 
+#include "par/pool.h"
 #include "tensor/tensor.h"
 
 namespace tx {
 
 namespace {
+
+/// Elements above which an axis reduction fans out.
+constexpr std::int64_t kReduceParThreshold = std::int64_t{1} << 15;
 
 /// Maps every flat input index to its flat output index for a keepdim
 /// reduction over `axes`.
@@ -58,11 +68,68 @@ Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
            bool keepdim) {
   TX_CHECK(!axes.empty(), "sum: empty axis list (use sum(a) for full sum)");
   const ReducePlan plan = make_reduce_plan(a.shape(), axes);
-  std::vector<float> out(static_cast<std::size_t>(numel_of(plan.keep_shape)),
-                         0.0f);
+  const std::int64_t out_n = numel_of(plan.keep_shape);
+  std::vector<float> out(static_cast<std::size_t>(out_n), 0.0f);
   const float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    out[static_cast<std::size_t>(plan.map[static_cast<std::size_t>(i)])] += pa[i];
+  const std::int64_t n = a.numel();
+  if (n >= kReduceParThreshold && out_n > 1) {
+    // Per-output-cell kernel with disjoint writes. An input flat index
+    // decomposes as base(cell) + offset(reduced coords); for a fixed cell,
+    // ascending offset order equals ascending input flat order, so folding
+    // each cell over ascending offsets reproduces the sequential loop's
+    // per-cell accumulation order bitwise.
+    const auto rank = static_cast<std::int64_t>(a.shape().size());
+    std::vector<bool> reduce(a.shape().size(), false);
+    for (auto ax : axes) {
+      reduce[static_cast<std::size_t>(normalize_axis(ax, rank))] = true;
+    }
+    const Shape in_strides = contiguous_strides(a.shape());
+    Shape red_shape;        // reduced dims only, original order
+    Shape red_strides;      // their input strides
+    for (std::size_t d = 0; d < a.shape().size(); ++d) {
+      if (reduce[d]) {
+        red_shape.push_back(a.shape()[d]);
+        red_strides.push_back(in_strides[d]);
+      }
+    }
+    // Lexicographic enumeration over the reduced dims yields strictly
+    // ascending flat offsets (mixed-radix carry argument).
+    std::vector<std::int64_t> offsets;
+    offsets.reserve(static_cast<std::size_t>(numel_of(red_shape)));
+    for_each_index(red_shape, [&](const std::vector<std::int64_t>& idx,
+                                  std::int64_t) {
+      std::int64_t off = 0;
+      for (std::size_t d = 0; d < red_shape.size(); ++d) {
+        off += idx[d] * red_strides[d];
+      }
+      offsets.push_back(off);
+    });
+    std::vector<std::int64_t> bases(static_cast<std::size_t>(out_n));
+    for_each_index(plan.keep_shape, [&](const std::vector<std::int64_t>& idx,
+                                        std::int64_t flat) {
+      std::int64_t base = 0;
+      for (std::size_t d = 0; d < plan.keep_shape.size(); ++d) {
+        if (!reduce[d]) base += idx[d] * in_strides[d];
+      }
+      bases[static_cast<std::size_t>(flat)] = base;
+    });
+    const auto r = static_cast<std::int64_t>(offsets.size());
+    const std::int64_t grain = std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, r));
+    float* po = out.data();
+    par::parallel_for(0, out_n, grain, [&](std::int64_t o0, std::int64_t o1) {
+      for (std::int64_t o = o0; o < o1; ++o) {
+        const std::int64_t base = bases[static_cast<std::size_t>(o)];
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < r; ++j) {
+          acc += pa[base + offsets[static_cast<std::size_t>(j)]];
+        }
+        po[o] = acc;
+      }
+    });
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(plan.map[static_cast<std::size_t>(i)])] += pa[i];
+    }
   }
   const Shape final_shape =
       keepdim ? plan.keep_shape : reduced_shape(a.shape(), axes, false);

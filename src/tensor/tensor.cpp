@@ -1,6 +1,8 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+
+#include "par/pool.h"
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
@@ -10,12 +12,33 @@ namespace tx {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+
+// Propagate the caller's grad mode into tx::par worker tasks: without this a
+// NoGradGuard on the caller would leave workers recording tape (and sampling
+// through rsample instead of sample), breaking cross-thread-count bitwise
+// determinism.
+const bool g_par_grad_mode_registered = [] {
+  par::register_context_capture([]() -> par::ContextInstaller {
+    const bool enabled = g_grad_enabled;
+    return [enabled]() -> std::function<void()> {
+      const bool prev = g_grad_enabled;
+      g_grad_enabled = enabled;
+      return [prev] { g_grad_enabled = prev; };
+    };
+  });
+  return true;
+}();
 }  // namespace
 
 bool grad_enabled() { return g_grad_enabled; }
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+GradModeScope::GradModeScope(bool enabled) : previous_(g_grad_enabled) {
+  g_grad_enabled = enabled;
+}
+GradModeScope::~GradModeScope() { g_grad_enabled = previous_; }
 
 Tensor::Tensor(Shape shape, float fill) {
   const std::int64_t n = numel_of(shape);

@@ -60,6 +60,20 @@ class NoGradGuard {
   bool previous_;
 };
 
+/// RAII override of the thread-local grad-recording flag to an explicit
+/// value (either direction). tx::par uses this to propagate the caller's
+/// grad mode into pool worker tasks.
+class GradModeScope {
+ public:
+  explicit GradModeScope(bool enabled);
+  ~GradModeScope();
+  GradModeScope(const GradModeScope&) = delete;
+  GradModeScope& operator=(const GradModeScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 class Tensor {
  public:
   /// Undefined tensor (null handle). defined() is false.

@@ -433,7 +433,7 @@ TEST(Diagnostics, ConstantChainIsDefined) {
 TEST(Diagnostics, ShortChainsThrow) {
   const std::vector<double> three{1.0, 2.0, 3.0};
   EXPECT_THROW(effective_sample_size(three), Error);
-  EXPECT_THROW(effective_sample_size({}), Error);
+  EXPECT_THROW(effective_sample_size(std::vector<double>{}), Error);
   const std::vector<double> seven{1, 2, 3, 4, 5, 6, 7};
   EXPECT_THROW(split_r_hat(seven), Error);
   // The shortest admissible inputs work.

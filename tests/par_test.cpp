@@ -1,0 +1,436 @@
+// tx::par tests: chunking purity, coverage, exception propagation, nested
+// parallelism, thread-local context propagation into workers, and the
+// bitwise-determinism contract — matmul/conv/elementwise/reduction kernels,
+// multi-particle ELBO, and multi-chain MCMC must produce identical bits at
+// TYXE_NUM_THREADS 1, 2, and 8.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dist/distributions.h"
+#include "infer/infer.h"
+#include "nn/functional.h"
+#include "par/par.h"
+#include "ppl/ppl.h"
+
+namespace tx {
+namespace {
+
+using dist::Normal;
+using infer::HMC;
+using infer::MCMC;
+using infer::Program;
+using infer::TraceELBO;
+
+/// Runs `fn` (returning a flat float/double vector) at several thread counts
+/// and checks the results are bitwise identical.
+template <typename Fn>
+void expect_same_bits_across_threads(Fn fn) {
+  par::set_num_threads(1);
+  const auto reference = fn();
+  for (int n : {2, 8}) {
+    par::set_num_threads(n);
+    const auto got = fn();
+    ASSERT_EQ(got.size(), reference.size()) << "at " << n << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], reference[i])
+          << "element " << i << " differs at " << n << " threads";
+    }
+  }
+  par::set_num_threads(1);
+}
+
+TEST(ParPool, ChunkBoundsPartitionTheRange) {
+  for (std::int64_t range : {1, 2, 7, 64, 1000}) {
+    for (std::int64_t chunks : {1, 2, 3, 8, 32}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_end = 0;
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const auto [b, e] = par::chunk_bounds(range, chunks, c);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(b, e);
+        EXPECT_LE(e, range);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, range);
+      EXPECT_EQ(prev_end, range);
+    }
+  }
+}
+
+TEST(ParPool, ChunkCountIsPureAndCapped) {
+  // ceil(range/grain) below the cap, 4*nthreads above it, never < 1.
+  EXPECT_EQ(par::chunk_count(100, 10, 8), 10);
+  EXPECT_EQ(par::chunk_count(101, 10, 8), 11);
+  EXPECT_EQ(par::chunk_count(100000, 1, 8), 32);
+  EXPECT_EQ(par::chunk_count(100000, 1, 2), 8);
+  EXPECT_EQ(par::chunk_count(5, 100, 8), 1);
+  EXPECT_EQ(par::chunk_count(0, 1, 8), 0);
+  // Same inputs, same answer — scheduling never enters the function.
+  EXPECT_EQ(par::chunk_count(12345, 7, 4), par::chunk_count(12345, 7, 4));
+}
+
+TEST(ParPool, ParallelForCoversEveryIndexOnce) {
+  par::set_num_threads(8);
+  const std::int64_t n = 1000;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  par::parallel_for(0, n, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  par::set_num_threads(1);
+}
+
+TEST(ParPool, OffsetRangesKeepAbsoluteIndices) {
+  par::set_num_threads(4);
+  std::vector<int> hits(10, 0);
+  par::parallel_for(90, 100, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      ASSERT_GE(i, 90);
+      ASSERT_LT(i, 100);
+      hits[static_cast<std::size_t>(i - 90)]++;
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  par::set_num_threads(1);
+}
+
+TEST(ParPool, ExceptionsPropagateToCaller) {
+  par::set_num_threads(4);
+  EXPECT_THROW(
+      par::parallel_for(0, 100, 1,
+                        [&](std::int64_t b, std::int64_t) {
+                          if (b >= 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<std::int64_t> total{0};
+  par::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 64);
+  par::set_num_threads(1);
+}
+
+TEST(ParPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  par::set_num_threads(4);
+  std::vector<int> hits(64 * 64, 0);
+  par::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      par::parallel_for(0, 64, 1, [&, i](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t j = ib; j < ie; ++j) {
+          hits[static_cast<std::size_t>(i * 64 + j)]++;
+        }
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  par::set_num_threads(1);
+}
+
+TEST(ParPool, SingleThreadRunsInlineOnCaller) {
+  par::set_num_threads(1);
+  int calls = 0;
+  par::parallel_for(0, 1000, 1, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1000);
+    EXPECT_FALSE(par::in_worker());
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParPool, ParallelReduceIsThreadCountInvariant) {
+  expect_same_bits_across_threads([] {
+    const double total = par::parallel_reduce(
+        0, 100000, 256, [](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i) {
+            s += std::sin(static_cast<double>(i)) * 1e-3;
+          }
+          return s;
+        });
+    return std::vector<double>{total};
+  });
+}
+
+TEST(ParPool, RunTasksRunsEveryTaskOnce) {
+  par::set_num_threads(4);
+  std::vector<int> ran(16, 0);
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 16; ++t) {
+    tasks.push_back([&ran, t] { ran[static_cast<std::size_t>(t)]++; });
+  }
+  par::run_tasks(tasks);
+  for (int r : ran) EXPECT_EQ(r, 1);
+  par::set_num_threads(1);
+}
+
+/// Spin until both of a two-chunk job's bodies have started, so at least one
+/// provably runs on a pool worker while the caller is busy in the other.
+struct TwoChunkBarrier {
+  std::atomic<int> started{0};
+  void arrive_and_wait() {
+    started.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (started.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
+};
+
+TEST(ParContext, HandlerStackVisibleInsideWorkers) {
+  par::set_num_threads(4);
+  ppl::ScaleMessenger scale(2.0);
+  ppl::HandlerScope scope(scale);
+  ASSERT_EQ(ppl::handler_depth(), 1u);
+  TwoChunkBarrier barrier;
+  std::size_t depths[2] = {999, 999};
+  bool on_worker[2] = {false, false};
+  par::parallel_for(0, 2, 1, [&](std::int64_t b, std::int64_t) {
+    barrier.arrive_and_wait();
+    depths[b] = ppl::handler_depth();
+    on_worker[b] = par::in_worker();
+  });
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_TRUE(on_worker[0] || on_worker[1]);
+  // The worker's own stack is restored after the job.
+  EXPECT_EQ(ppl::handler_depth(), 1u);
+  par::set_num_threads(1);
+}
+
+TEST(ParContext, InterceptorStackVisibleInsideWorkers) {
+  struct Marker : nn::functional::LinearOpInterceptor {
+    Tensor linear(const Tensor&, const Tensor&, const Tensor&) override {
+      return Tensor();
+    }
+    Tensor conv2d(const Tensor&, const Tensor&, const Tensor&, std::int64_t,
+                  std::int64_t) override {
+      return Tensor();
+    }
+  };
+  par::set_num_threads(4);
+  Marker marker;
+  nn::functional::push_interceptor(&marker);
+  TwoChunkBarrier barrier;
+  std::size_t depths[2] = {999, 999};
+  par::parallel_for(0, 2, 1, [&](std::int64_t b, std::int64_t) {
+    barrier.arrive_and_wait();
+    depths[b] = nn::functional::interceptor_depth();
+  });
+  nn::functional::pop_interceptor(&marker);
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_EQ(nn::functional::interceptor_depth(), 0u);
+  par::set_num_threads(1);
+}
+
+TEST(ParContext, GradModeVisibleInsideWorkers) {
+  par::set_num_threads(4);
+  NoGradGuard ng;
+  ASSERT_FALSE(grad_enabled());
+  TwoChunkBarrier barrier;
+  bool grad_seen[2] = {true, true};
+  par::parallel_for(0, 2, 1, [&](std::int64_t b, std::int64_t) {
+    barrier.arrive_and_wait();
+    grad_seen[b] = grad_enabled();
+  });
+  EXPECT_FALSE(grad_seen[0]);
+  EXPECT_FALSE(grad_seen[1]);
+  par::set_num_threads(1);
+}
+
+TEST(ParDeterminism, MatmulForwardAndGradients) {
+  Generator gen(21);
+  const Tensor a0 = randn(Shape{96, 80}, &gen);
+  const Tensor b0 = randn(Shape{80, 72}, &gen);
+  expect_same_bits_across_threads([&] {
+    Tensor a = a0.detach().set_requires_grad(true);
+    Tensor b = b0.detach().set_requires_grad(true);
+    Tensor y = matmul(a, b);
+    sum(y).backward();
+    std::vector<float> out = y.to_vector();
+    const auto ga = a.grad().to_vector();
+    const auto gb = b.grad().to_vector();
+    out.insert(out.end(), ga.begin(), ga.end());
+    out.insert(out.end(), gb.begin(), gb.end());
+    return out;
+  });
+}
+
+TEST(ParDeterminism, BmmForwardAndGradients) {
+  Generator gen(22);
+  const Tensor a0 = randn(Shape{12, 24, 20}, &gen);
+  const Tensor b0 = randn(Shape{12, 20, 16}, &gen);
+  expect_same_bits_across_threads([&] {
+    Tensor a = a0.detach().set_requires_grad(true);
+    Tensor b = b0.detach().set_requires_grad(true);
+    Tensor y = bmm(a, b);
+    sum(y).backward();
+    std::vector<float> out = y.to_vector();
+    const auto ga = a.grad().to_vector();
+    const auto gb = b.grad().to_vector();
+    out.insert(out.end(), ga.begin(), ga.end());
+    out.insert(out.end(), gb.begin(), gb.end());
+    return out;
+  });
+}
+
+TEST(ParDeterminism, Conv2dForwardAndGradients) {
+  Generator gen(23);
+  const Tensor x0 = randn(Shape{4, 3, 12, 12}, &gen);
+  const Tensor w0 = randn(Shape{8, 3, 3, 3}, &gen);
+  const Tensor c0 = randn(Shape{8}, &gen);
+  expect_same_bits_across_threads([&] {
+    Tensor x = x0.detach().set_requires_grad(true);
+    Tensor w = w0.detach().set_requires_grad(true);
+    Tensor c = c0.detach().set_requires_grad(true);
+    Tensor y = conv2d(x, w, c, /*stride=*/1, /*padding=*/1);
+    sum(y).backward();
+    std::vector<float> out = y.to_vector();
+    for (const Tensor& t : {x.grad(), w.grad(), c.grad()}) {
+      const auto g = t.to_vector();
+      out.insert(out.end(), g.begin(), g.end());
+    }
+    return out;
+  });
+}
+
+TEST(ParDeterminism, ElementwiseOpsAboveThreshold) {
+  Generator gen(24);
+  const Tensor a0 = randn(Shape{200, 200}, &gen);  // 40k > 32k threshold
+  const Tensor b0 = randn(Shape{200, 200}, &gen);
+  expect_same_bits_across_threads([&] {
+    Tensor a = a0.detach().set_requires_grad(true);
+    Tensor y = mul(exp(mul(a, Tensor::scalar(0.1f))), add(a0, b0));
+    sum(y).backward();
+    std::vector<float> out = y.to_vector();
+    const auto g = a.grad().to_vector();
+    out.insert(out.end(), g.begin(), g.end());
+    return out;
+  });
+}
+
+TEST(ParDeterminism, AxisSumAboveThreshold) {
+  Generator gen(25);
+  const Tensor a0 = randn(Shape{64, 32, 32}, &gen);  // 65536 elements
+  expect_same_bits_across_threads([&] {
+    Tensor a = a0.detach().set_requires_grad(true);
+    Tensor mid = sum(a, {1}, /*keepdim=*/false);     // reduce the middle axis
+    Tensor tail = sum(a0, {1, 2}, /*keepdim=*/true); // multi-axis variant
+    sum(mid).backward();
+    std::vector<float> out = mid.to_vector();
+    const auto t = tail.to_vector();
+    const auto g = a.grad().to_vector();
+    out.insert(out.end(), t.begin(), t.end());
+    out.insert(out.end(), g.begin(), g.end());
+    return out;
+  });
+}
+
+TEST(ParDeterminism, MultiParticleElboLossAndGradients) {
+  Tensor data(Shape{6}, {1.2f, 0.8f, 1.1f, 0.9f, 1.3f, 1.0f});
+  Program model = [data] {
+    Tensor z = ppl::sample("z", std::make_shared<Normal>(0.0f, 1.0f));
+    ppl::sample("obs", std::make_shared<Normal>(z, Tensor::scalar(0.5f)),
+                data);
+  };
+  expect_same_bits_across_threads([&] {
+    manual_seed(7);
+    ppl::ParamStore store;
+    auto guide = std::make_shared<infer::AutoNormal>(
+        model, infer::AutoNormalConfig{}, "g", &store);
+    TraceELBO elbo(4);
+    Tensor loss = elbo.differentiable_loss(model, [guide] { (*guide)(); });
+    loss.backward();
+    std::vector<float> out{loss.item()};
+    for (const auto& [name, t] : store.items()) {
+      const auto g = t.grad().to_vector();
+      out.insert(out.end(), g.begin(), g.end());
+    }
+    return out;
+  });
+}
+
+TEST(ParDeterminism, MultiChainMcmcDraws) {
+  Program model = [] {
+    Tensor a = ppl::sample("a", std::make_shared<Normal>(0.0f, 1.0f));
+    ppl::sample("obs", std::make_shared<Normal>(a, Tensor::scalar(0.3f)),
+                Tensor::scalar(0.8f));
+  };
+  expect_same_bits_across_threads([&] {
+    Generator gen(99);
+    MCMC mcmc([] { return std::make_shared<HMC>(0.15, 8); },
+              /*num_samples=*/40, /*warmup_steps=*/30, /*num_chains=*/2);
+    mcmc.run(model, &gen);
+    std::vector<double> out = mcmc.coordinate_chain(0);
+    out.push_back(mcmc.mean_accept_prob());
+    out.push_back(static_cast<double>(mcmc.divergence_count()));
+    return out;
+  });
+}
+
+TEST(ParInfer, MultiChainAccessorsAndDiagnostics) {
+  par::set_num_threads(2);
+  Program model = [] {
+    ppl::sample("z", std::make_shared<Normal>(0.0f, 1.0f));
+  };
+  Generator gen(55);
+  MCMC mcmc([] { return std::make_shared<HMC>(0.2, 10); },
+            /*num_samples=*/100, /*warmup_steps=*/50, /*num_chains=*/2);
+  std::vector<std::int64_t> chains_seen;
+  std::mutex mu;
+  mcmc.run(model, &gen, [&](const infer::MCMCProgress& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    chains_seen.push_back(p.chain);
+  });
+  EXPECT_EQ(mcmc.num_chains(), 2);
+  EXPECT_EQ(mcmc.num_samples(), 200u);
+  // Both chains reported progress.
+  EXPECT_NE(std::count(chains_seen.begin(), chains_seen.end(), 0), 0);
+  EXPECT_NE(std::count(chains_seen.begin(), chains_seen.end(), 1), 0);
+  const auto c0 = mcmc.coordinate_chain(0, 0);
+  const auto c1 = mcmc.coordinate_chain(0, 1);
+  ASSERT_EQ(c0.size(), 100u);
+  ASSERT_EQ(c1.size(), 100u);
+  // Chains are independently seeded, not copies of each other.
+  EXPECT_NE(c0, c1);
+  // Concatenation order is chain 0 then chain 1.
+  const auto all = mcmc.coordinate_chain(0);
+  EXPECT_EQ(std::vector<double>(all.begin(), all.begin() + 100), c0);
+  EXPECT_EQ(std::vector<double>(all.begin() + 100, all.end()), c1);
+  // Multi-chain diagnostics accept the per-chain slices.
+  const double rhat = infer::split_r_hat({c0, c1});
+  EXPECT_GT(rhat, 0.8);
+  EXPECT_LT(rhat, 1.5);
+  EXPECT_GT(infer::effective_sample_size({c0, c1}), 0.0);
+  par::set_num_threads(1);
+}
+
+TEST(ParInfer, SingleChainPathUnchangedByFactoryCtor) {
+  Program model = [] {
+    ppl::sample("z", std::make_shared<Normal>(0.0f, 1.0f));
+  };
+  const auto run_with = [&](MCMC&& mcmc) {
+    Generator gen(77);
+    mcmc.run(model, &gen);
+    return mcmc.coordinate_chain(0);
+  };
+  auto kernel = std::make_shared<HMC>(0.2, 5);
+  const auto direct = run_with(MCMC(kernel, 20, 10));
+  const auto via_factory =
+      run_with(MCMC([] { return std::make_shared<HMC>(0.2, 5); }, 20, 10, 1));
+  EXPECT_EQ(direct, via_factory);
+}
+
+}  // namespace
+}  // namespace tx
