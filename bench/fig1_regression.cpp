@@ -4,12 +4,15 @@
 // (c) HMC. Prints the predictive mean and ±std band on a grid — the series
 // behind the three panels — plus the in-between-uncertainty summary that
 // distinguishes HMC from mean field (DESIGN.md, FIG1).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
 #include "obs/obs.h"
+#include "par/pool.h"
+#include "ppl/profiling.h"
 
 using tx::Tensor;
 
@@ -45,12 +48,40 @@ double mean_std_on(const Band& band, const Tensor& grid, double lo, double hi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t seed = 0;
   tx::manual_seed(seed);
   tx::Generator gen(seed);
   std::printf("Figure 1 reproduction (seed %llu)\n",
               static_cast<unsigned long long>(seed));
+
+  // --trace <path> (or TYXE_TRACE) records a Chrome-trace timeline of the
+  // whole run: tensor kernels, pool workers, SVI/HMC phases, ppl sites, and
+  // the live-tensor-bytes counter track. See docs/observability.md.
+  const std::string trace_path = tx::obs::trace_path_from_args(argc, argv);
+  if (!trace_path.empty()) {
+    tx::obs::set_trace_thread_name("main");
+    tx::obs::start_tracing();
+  }
+  // Every ppl sample/observe site becomes a timeline tick (no-op untraced).
+  tx::ppl::TracingMessenger site_tracer;
+  tx::ppl::HandlerScope site_scope(site_tracer);
+
+  if (!trace_path.empty()) {
+    // Fig 1's MLP (1-50-1, batch 64) sits below the kernel fan-out
+    // thresholds, so the model run alone would leave the per-worker tracks
+    // empty. Run one labeled big matmul forward+backward over 4 threads so
+    // the exported trace always demonstrates pool-worker attribution. A
+    // private generator keeps the bench's own numbers untouched.
+    tx::obs::ScopedTimer span("trace.kernel_preamble");
+    const int prev_threads = tx::par::num_threads();
+    tx::par::set_num_threads(std::max(4, prev_threads));
+    tx::Generator pre_gen(123);
+    Tensor a = tx::randn({256, 256}, &pre_gen).set_requires_grad(true);
+    Tensor b = tx::randn({256, 256}, &pre_gen);
+    tx::sum(tx::matmul(a, b)).backward();
+    tx::par::set_num_threads(prev_threads);
+  }
 
   // Observability: per-step VI losses and per-transition HMC acceptance
   // stream as JSONL; the registry snapshot (loss series + timing histograms)
@@ -170,5 +201,16 @@ int main() {
   std::printf("  events:  %s (%lld lines)\n", sink.path().c_str(),
               static_cast<long long>(sink.events_written()));
   std::printf("  metrics: BENCH_fig1_regression.json\n");
+  if (!trace_path.empty()) {
+    tx::obs::stop_tracing();
+    const bool ok = tx::obs::write_trace(trace_path);
+    std::printf("  trace:   %s (%lld events, %lld dropped, %lld ppl sites)%s\n",
+                trace_path.c_str(),
+                static_cast<long long>(tx::obs::trace_event_count()),
+                static_cast<long long>(tx::obs::trace_dropped_count()),
+                static_cast<long long>(site_tracer.sites_traced()),
+                ok ? "" : " [WRITE FAILED]");
+    if (!ok) return 1;
+  }
   return 0;
 }

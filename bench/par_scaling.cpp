@@ -50,9 +50,18 @@ std::vector<double> run_chains() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== par_scaling: tx::par hot paths at 1 vs 4 threads ==\n");
   auto& reg = tx::obs::registry();
+
+  // --trace <path> (or TYXE_TRACE) records the whole comparison as a Chrome
+  // trace: matmul slices with shape/FLOP args, par-worker chunk tracks, and
+  // per-chain mcmc.chain / mcmc.step slices.
+  const std::string trace_path = tx::obs::trace_path_from_args(argc, argv);
+  if (!trace_path.empty()) {
+    tx::obs::set_trace_thread_name("main");
+    tx::obs::start_tracing();
+  }
 
   // --- 512x512 matmul.
   tx::Generator gen(0);
@@ -94,5 +103,15 @@ int main() {
       "BENCH_par_scaling.json", "par_scaling", reg,
       {{"matmul_seconds", {mm_1t, mm_4t}}, {"mcmc_seconds", {mc_1t, mc_4t}}});
   std::printf("  metrics: BENCH_par_scaling.json\n");
+  if (!trace_path.empty()) {
+    tx::obs::stop_tracing();
+    const bool ok = tx::obs::write_trace(trace_path);
+    std::printf("  trace:   %s (%lld events, %lld dropped)%s\n",
+                trace_path.c_str(),
+                static_cast<long long>(tx::obs::trace_event_count()),
+                static_cast<long long>(tx::obs::trace_dropped_count()),
+                ok ? "" : " [WRITE FAILED]");
+    if (!ok) return 1;
+  }
   return (mm_same && mc_same) ? 0 : 1;
 }

@@ -1,13 +1,26 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json snapshots against the tx.obs.v1 shape.
+"""Validate BENCH_*.json snapshots and tx.trace.v1 Chrome-trace exports.
 
-Usage: scripts/validate_bench.py BENCH_a.json [BENCH_b.json ...]
+Usage: scripts/validate_bench.py [--trace] FILE [FILE ...]
 
-Checks the structural contract EventSink::write_snapshot promises (see
-docs/observability.md): top-level schema/bench strings, integer counters,
-numeric (or "inf"-free) gauges, histogram summaries with the required numeric
-fields and a well-formed bucket list, and numeric series arrays. Exits
-non-zero with one line per violation, so CI can gate on it.
+Two file kinds are understood, auto-detected by shape:
+
+* Metric snapshots (tx.obs.v1, written by EventSink::write_snapshot): checks
+  the structural contract documented in docs/observability.md — top-level
+  schema/bench strings, integer counters, numeric gauges, histogram summaries
+  with the required numeric fields and a well-formed bucket list, and numeric
+  series arrays.
+* Chrome traces (tx.trace.v1, written by obs::write_trace): checks the file
+  is well-formed JSON with a traceEvents list, that every event carries
+  ph/pid/tid (and a numeric ts for non-metadata phases), that timestamps are
+  monotone non-decreasing per (pid, tid) track, and that duration events are
+  balanced — every E closes the matching open B on its track and no B is
+  left open at end of file.
+
+`--trace` additionally *requires* each named file to be a trace, so a glob
+that accidentally matches a snapshot fails loudly instead of passing under
+the wrong checker. Exits non-zero with one line per violation, so CI can
+gate on it.
 """
 import json
 import sys
@@ -20,20 +33,12 @@ def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
-def validate(path):
+def validate_snapshot(path, doc):
     errors = []
 
     def err(msg):
         errors.append(f"{path}: {msg}")
 
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return [f"{path}: unreadable or invalid JSON ({e})"]
-
-    if not isinstance(doc, dict):
-        return [f"{path}: top level is not an object"]
     for key in REQUIRED_TOP:
         if key not in doc:
             err(f"missing top-level key '{key}'")
@@ -99,17 +104,100 @@ def validate(path):
     return errors
 
 
+def validate_trace(path, doc):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be a list"]
+    other = doc.get("otherData", {})
+    if isinstance(other, dict) and "schema" in other and other["schema"] != "tx.trace.v1":
+        err(f"otherData.schema is {other['schema']!r}, expected 'tx.trace.v1'")
+
+    last_ts = {}  # (pid, tid) -> last seen ts
+    open_spans = {}  # (pid, tid) -> stack of open B-event names
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            err(f"event {i} has invalid ph: {ph!r}")
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            err(f"event {i} (ph={ph}) missing pid/tid")
+            continue
+        if not isinstance(ev.get("name"), str):
+            err(f"event {i} (ph={ph}) missing string name")
+            continue
+        track = (ev["pid"], ev["tid"])
+        if ph == "M":  # metadata carries no timestamp
+            continue
+        ts = ev.get("ts")
+        if not is_number(ts):
+            err(f"event {i} ({ev['name']!r}) has non-numeric ts: {ts!r}")
+            continue
+        if track in last_ts and ts < last_ts[track]:
+            err(
+                f"event {i} ({ev['name']!r}) ts {ts} goes backwards on "
+                f"track {track} (previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            open_spans.setdefault(track, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_spans.get(track, [])
+            if not stack:
+                err(f"event {i}: E {ev['name']!r} on track {track} with no open B")
+            else:
+                if stack[-1] != ev["name"]:
+                    err(
+                        f"event {i}: E {ev['name']!r} does not match open B "
+                        f"{stack[-1]!r} on track {track}"
+                    )
+                stack.pop()
+    for track, stack in sorted(open_spans.items()):
+        if stack:
+            err(f"track {track} ends with unclosed B events: {stack}")
+
+    return errors
+
+
+def validate(path, require_trace=False):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: unreadable or invalid JSON ({e})"]
+
+    if not isinstance(doc, dict):
+        return None, [f"{path}: top level is not an object"]
+    if "traceEvents" in doc:
+        return "tx.trace.v1", validate_trace(path, doc)
+    if require_trace:
+        return None, [f"{path}: expected a Chrome trace (no 'traceEvents' key)"]
+    return "tx.obs.v1", validate_snapshot(path, doc)
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    require_trace = False
+    if args and args[0] == "--trace":
+        require_trace = True
+        args = args[1:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_errors = []
-    for path in argv[1:]:
-        errs = validate(path)
+    for path in args:
+        kind, errs = validate(path, require_trace=require_trace)
         if errs:
             all_errors.extend(errs)
         else:
-            print(f"{path}: OK (tx.obs.v1)")
+            print(f"{path}: OK ({kind})")
     for e in all_errors:
         print(e, file=sys.stderr)
     return 1 if all_errors else 0

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace tx::infer {
 
 namespace {
@@ -163,6 +165,13 @@ void HMC::accumulate_mass_sample(const std::vector<double>& q) {
 
 void HMC::leapfrog(std::vector<double>& q, std::vector<double>& p,
                    std::vector<double>& grad, double eps, int steps) const {
+  obs::ScopedTimer span(
+      "hmc.leapfrog",
+      obs::tracing() ? obs::Event()
+                           .set("steps", steps)
+                           .set("dim", static_cast<std::int64_t>(q.size()))
+                           .to_json()
+                     : std::string());
   // grad holds dU/dq at the current q on entry and on exit.
   for (int s = 0; s < steps; ++s) {
     for (std::size_t i = 0; i < p.size(); ++i) p[i] -= 0.5 * eps * grad[i];

@@ -22,7 +22,22 @@ std::vector<double> instrumented_step(MCMCKernel& kernel,
                                       std::mutex* sync = nullptr) {
   const bool instrument = obs::enabled() || progress;
   const double t0 = instrument ? obs::now_seconds() : 0.0;
+  const bool trace = obs::tracing();
+  if (trace) {
+    obs::trace_begin("mcmc.step", obs::Event()
+                                      .set("chain", chain)
+                                      .set("step", step)
+                                      .set("warmup", warmup)
+                                      .to_json());
+  }
   std::vector<double> next = kernel.step(q, warmup);
+  if (trace) {
+    obs::trace_end("mcmc.step",
+                   obs::Event()
+                       .set("accept_prob", kernel.last_accept_prob())
+                       .set("divergences", kernel.divergence_count())
+                       .to_json());
+  }
   if (!instrument) return next;
 
   MCMCProgress p;
@@ -125,6 +140,11 @@ void MCMC::run(Program model, Generator* gen,
   tasks.reserve(static_cast<std::size_t>(num_chains_));
   for (int c = 0; c < num_chains_; ++c) {
     tasks.push_back([&, c, model] {
+      obs::ScopedTimer chain_span(
+          "mcmc.chain",
+          obs::tracing()
+              ? obs::Event().set("chain", static_cast<std::int64_t>(c)).to_json()
+              : std::string());
       Generator* cg = &chain_gens_[static_cast<std::size_t>(c)];
       // Model code runs during setup (the Potential layout trace); it must
       // draw from the chain generator, never the shared global one.

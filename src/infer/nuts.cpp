@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace tx::infer {
 
 namespace {
@@ -118,8 +120,23 @@ std::vector<double> NUTS::step(const std::vector<double>& q0, bool warmup) {
 
   double alpha_sum = 0.0;
   std::int64_t n_alpha_sum = 0;
+  obs::ScopedTimer trajectory_span(
+      "nuts.trajectory",
+      obs::tracing() ? obs::Event()
+                           .set("dim", static_cast<std::int64_t>(q0.size()))
+                           .set("warmup", warmup)
+                           .to_json()
+                     : std::string());
   for (int depth = 0; depth < max_depth_ && state.valid; ++depth) {
     const int direction = g.bernoulli(0.5) ? 1 : -1;
+    // Trace-only: one slice per doubling, so the timeline shows how deep
+    // each trajectory grew (2^depth leapfrog steps per slice).
+    obs::TraceSpan tree_span(
+        "nuts.tree", obs::tracing() ? obs::Event()
+                                          .set("depth", depth)
+                                          .set("direction", direction)
+                                          .to_json()
+                                    : std::string());
     Tree sub = direction == 1
                    ? build_tree(state.q_plus, state.p_plus, state.grad_plus,
                                 log_u, direction, depth, eps, h0)

@@ -26,13 +26,23 @@ double SVI::step() {
   std::optional<ppl::GeneratorScope> seed;
   if (gen_ != nullptr) seed.emplace(gen_);
 
+  obs::ScopedTimer step_span(
+      "svi.step", obs::tracing()
+                      ? obs::Event().set("step", steps_).to_json()
+                      : std::string());
   // Zero stale gradients on everything currently registered.
   for (auto& [name, p] : store_->items()) p.zero_grad();
   Tensor loss = loss_->differentiable_loss(model_, guide_);
-  loss.backward();
-  // Lazily created params now exist; register and update.
-  for (auto& [name, p] : store_->items()) optimizer_->add_param(p);
-  optimizer_->step();
+  {
+    obs::ScopedTimer backward_span("svi.backward");
+    loss.backward();
+  }
+  {
+    obs::ScopedTimer opt_span("svi.optimizer");
+    // Lazily created params now exist; register and update.
+    for (auto& [name, p] : store_->items()) optimizer_->add_param(p);
+    optimizer_->step();
+  }
   const double loss_value = static_cast<double>(loss.item());
   const std::int64_t step_index = steps_++;
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/mem.h"
+
 namespace tx::obs {
 
 namespace {
@@ -85,22 +87,35 @@ std::string Event::to_json() const {
 EventSink::EventSink(const std::string& path, bool append)
     : path_(path),
       out_(path, append ? std::ios::app : std::ios::trunc) {
-  TX_CHECK(out_.is_open(), "EventSink: cannot open '", path, "'");
+  if (!out_.is_open()) {
+    ok_ = false;
+    registry().counter("obs.sink_errors").add(1);
+  }
 }
 
 void EventSink::emit(const Event& e) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) return;
   out_ << e.to_json() << '\n';
   out_.flush();
+  if (!out_.good()) {
+    ok_ = false;
+    registry().counter("obs.sink_errors").add(1);
+    return;
+  }
   ++events_written_;
 }
 
-void EventSink::write_snapshot(
+bool EventSink::write_snapshot(
     const std::string& path, const std::string& bench_name,
-    const MetricsRegistry& reg,
+    MetricsRegistry& reg,
     const std::map<std::string, std::vector<double>>& series) {
+  mem::publish(reg);
   std::ofstream out(path, std::ios::trunc);
-  TX_CHECK(out.is_open(), "write_snapshot: cannot open '", path, "'");
+  if (!out.is_open()) {
+    registry().counter("obs.sink_errors").add(1);
+    return false;
+  }
 
   out << "{\n";
   out << "  \"bench\": \"" << escape_json(bench_name) << "\",\n";
@@ -157,6 +172,12 @@ void EventSink::write_snapshot(
   }
   out << (first ? "" : "\n  ") << "}\n";
   out << "}\n";
+  out.flush();
+  if (!out.good()) {
+    registry().counter("obs.sink_errors").add(1);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tx::obs

@@ -45,9 +45,17 @@ class Event {
 
 /// Append-only JSONL file writer. Thread-safe; each emit writes (and flushes)
 /// one line so a crashed run still leaves a readable prefix.
+///
+/// I/O failures never throw: a sink that cannot open its file (or whose
+/// stream goes bad mid-run) reports ok() == false, drops further emits, and
+/// bumps the "obs.sink_errors" counter once per failure transition.
 class EventSink {
  public:
   explicit EventSink(const std::string& path, bool append = false);
+
+  /// False once the underlying stream failed (open or write). Check after
+  /// construction and after the last emit of a run.
+  bool ok() const { return ok_; }
 
   void emit(const Event& e);
   std::int64_t events_written() const { return events_written_; }
@@ -55,10 +63,13 @@ class EventSink {
 
   /// Dump a registry snapshot (counters, gauges, histogram summaries with
   /// quantiles from util quantile_of/median_of) plus named per-step series
-  /// as one JSON document — the BENCH_*.json schema.
-  static void write_snapshot(
+  /// as one JSON document — the BENCH_*.json schema. Memory-accounting
+  /// gauges (obs/mem.h) are published into `reg` first so every snapshot
+  /// carries them. Returns false (and counts obs.sink_errors) on I/O
+  /// failure instead of leaving a silently truncated file behind.
+  static bool write_snapshot(
       const std::string& path, const std::string& bench_name,
-      const MetricsRegistry& reg = registry(),
+      MetricsRegistry& reg = registry(),
       const std::map<std::string, std::vector<double>>& series = {});
 
  private:
@@ -66,6 +77,7 @@ class EventSink {
   std::ofstream out_;
   std::mutex mu_;
   std::int64_t events_written_ = 0;
+  bool ok_ = true;
 };
 
 }  // namespace tx::obs

@@ -1,8 +1,11 @@
 // Umbrella header for tx::obs — the observability substrate: metrics
-// registry, RAII span timers, and the JSONL event sink / BENCH snapshot
-// writer. See docs/observability.md.
+// registry, RAII span timers, the JSONL event sink / BENCH snapshot writer,
+// the Chrome-trace timeline recorder, and tensor memory accounting. See
+// docs/observability.md.
 #pragma once
 
 #include "obs/event_sink.h"
+#include "obs/mem.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "obs/trace.h"

@@ -8,7 +8,10 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/event_sink.h"
 #include "obs/registry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace tx::par {
@@ -16,6 +19,21 @@ namespace tx::par {
 namespace {
 
 thread_local bool t_in_worker = false;
+
+// Propagate the submitter's span path into pool workers: a ScopedTimer
+// opened inside a worker-side chunk then nests under the caller's path
+// (e.g. "svi.step/elbo.model/par.matmul/par.chunk") instead of starting a
+// fresh root, keeping span histograms and trace slices attributed.
+const bool g_span_capture_registered = [] {
+  register_context_capture([]() -> ContextInstaller {
+    std::string path = obs::current_span_path();
+    return [path]() -> std::function<void()> {
+      std::string prev = obs::detail::set_span_base(path);
+      return [prev]() mutable { obs::detail::set_span_base(std::move(prev)); };
+    };
+  });
+  return true;
+}();
 
 /// Registered thread-local context propagators (Meyer singleton so
 /// registration from other TUs' static initializers is order-safe).
@@ -61,6 +79,13 @@ struct Job {
       if (!failed.load(std::memory_order_acquire)) {
         try {
           const auto [b, e] = chunk_bounds(range, chunks, c);
+          obs::TraceSpan chunk_span(
+              "par.chunk", obs::tracing() ? obs::Event()
+                                                .set("chunk", c)
+                                                .set("begin", b)
+                                                .set("end", e)
+                                                .to_json()
+                                          : std::string());
           body(b, e);
         } catch (...) {
           bool expected = false;
@@ -144,7 +169,10 @@ class ThreadPool {
     stop_workers();
     stopping_ = false;
     for (int i = 0; i < wanted; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        obs::set_trace_thread_name("par-worker-" + std::to_string(i + 1));
+        worker_loop();
+      });
     }
   }
 

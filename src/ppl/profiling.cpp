@@ -1,7 +1,9 @@
 #include "ppl/profiling.h"
 
+#include "obs/event_sink.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace tx::ppl {
 
@@ -57,6 +59,16 @@ void ProfilingMessenger::publish(const std::string& prefix) const {
         .record(stats.calls > 0 ? stats.seconds / static_cast<double>(stats.calls)
                                 : 0.0);
   }
+}
+
+void TracingMessenger::postprocess_message(SampleMsg& msg) {
+  if (!obs::tracing()) return;
+  ++sites_traced_;
+  obs::Event args;
+  args.set("site", msg.name);
+  args.set("kind", msg.is_observed ? "observe" : "sample");
+  if (msg.value.defined()) args.set("numel", msg.value.numel());
+  obs::trace_instant("ppl." + msg.name, args.to_json());
 }
 
 namespace detail {

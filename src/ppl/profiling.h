@@ -78,6 +78,26 @@ class ProfilingMessenger : public Messenger {
   std::map<std::string, SectionStats> sections_;
 };
 
+/// Chrome-trace sibling of ProfilingMessenger: marks every sample / observe
+/// site the wrapped program touches as an instant event on the tracer's
+/// timeline (obs/trace.h), tagged with the site name, kind, and element
+/// count. No-op while tracing is off, so it can stay attached permanently:
+///
+///   TracingMessenger tracer;
+///   HandlerScope scope(tracer);
+///   svi.step();   // every ppl site now ticks the timeline
+class TracingMessenger : public Messenger {
+ public:
+  /// Sites mark in postprocess_message (outermost-last), after the value
+  /// exists, so the event can carry the realized shape.
+  void postprocess_message(SampleMsg& msg) override;
+
+  std::int64_t sites_traced() const { return sites_traced_; }
+
+ private:
+  std::int64_t sites_traced_ = 0;
+};
+
 namespace detail {
 /// Called by param() for every param-store access; forwards to the active
 /// ProfilingScope's messenger, if any.

@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/event_sink.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "par/pool.h"
 #include "tensor/tensor.h"
 
@@ -144,6 +146,16 @@ void gemm_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+/// Trace-slice args for a convolution (trace-mode-only cost).
+std::string conv_trace_args(const ConvDims& d) {
+  const std::int64_t patch = d.ic * d.kh * d.kw;
+  obs::Event e;
+  e.set("n", d.n).set("ic", d.ic).set("oc", d.oc);
+  e.set("kh", d.kh).set("kw", d.kw).set("oh", d.oh).set("ow", d.ow);
+  e.set("flops", 2 * d.n * patch * d.oh * d.ow * d.oc);
+  return e.to_json();
+}
+
 }  // namespace
 
 Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
@@ -153,7 +165,8 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const std::int64_t spatial = d.oh * d.ow;
   std::vector<float> out(static_cast<std::size_t>(d.n * d.oc * spatial), 0.0f);
   {
-    obs::ScopedTimer span("par.conv2d");
+    obs::ScopedTimer span("par.conv2d",
+                          obs::tracing() ? conv_trace_args(d) : std::string());
     const std::int64_t flops = d.n * patch * spatial * d.oc;
     const std::int64_t grain = flops < kConvParThreshold ? d.n : 1;
     par::parallel_for(0, d.n, grain, [&](std::int64_t i0, std::int64_t i1) {
@@ -184,6 +197,9 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       [x, weight, d, patch, spatial, has_bias](const Tensor& g) {
         Tensor gx = zeros(x.shape());
         Tensor gw = zeros(weight.shape());
+        obs::ScopedTimer span(
+            "par.conv2d_bwd",
+            obs::tracing() ? conv_trace_args(d) : std::string());
         const std::int64_t wsize = weight.numel();
         const std::int64_t flops = d.n * patch * spatial * d.oc;
         const bool fan_out = d.n > 1 && flops >= kConvParThreshold &&

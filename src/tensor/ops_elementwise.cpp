@@ -6,6 +6,8 @@
 // every TYXE_NUM_THREADS. The generic broadcast path stays sequential.
 #include <cmath>
 
+#include "obs/event_sink.h"
+#include "obs/trace.h"
 #include "par/pool.h"
 #include "tensor/tensor.h"
 
@@ -30,6 +32,11 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
   const float* pb = b.data();
   if (a.shape() == b.shape()) {  // fast path: no index arithmetic
     if (n >= kElemParThreshold) {
+      // Trace-only slice: elementwise ops are too hot for a per-call
+      // histogram, but fanned-out ones are worth seeing on the timeline.
+      obs::TraceSpan trace(
+          "par.elementwise",
+          obs::tracing() ? obs::Event().set("n", n).to_json() : std::string());
       float* po = out.data();
       par::parallel_for(0, n, kElemGrain,
                         [&](std::int64_t i0, std::int64_t i1) {
@@ -66,6 +73,10 @@ Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
   std::vector<float> out(static_cast<std::size_t>(n));
   const float* pa = a.data();
   if (n >= kElemParThreshold) {
+    obs::TraceSpan trace(
+        "par.unary", obs::tracing()
+                         ? obs::Event().set("op", name).set("n", n).to_json()
+                         : std::string());
     float* po = out.data();
     par::parallel_for(0, n, kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);

@@ -5,13 +5,25 @@
 // tx::par. Every output element is computed by the same sequential code in
 // the same accumulation order as the single-threaded path, so results are
 // bitwise-identical for every TYXE_NUM_THREADS.
+#include "obs/event_sink.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "par/pool.h"
 #include "tensor/tensor.h"
 
 namespace tx {
 
 namespace {
+
+/// Trace-slice args for a (possibly batched) matrix product. Only called
+/// behind obs::tracing() so the JSON cost is trace-mode-only.
+std::string gemm_trace_args(std::int64_t batch, std::int64_t m, std::int64_t k,
+                            std::int64_t n) {
+  obs::Event e;
+  if (batch > 1) e.set("batch", batch);
+  e.set("m", m).set("k", k).set("n", n).set("flops", 2 * batch * m * k * n);
+  return e.to_json();
+}
 
 /// Flop count (m*k*n) above which a product is worth fanning out.
 constexpr std::int64_t kParFlopThreshold = std::int64_t{1} << 16;
@@ -126,7 +138,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   TX_CHECK(k == k2, "matmul inner dims mismatch: ", k, " vs ", k2);
   std::vector<float> out(static_cast<std::size_t>(m * n), 0.0f);
   {
-    obs::ScopedTimer span("par.matmul");
+    obs::ScopedTimer span("par.matmul", obs::tracing()
+                                            ? gemm_trace_args(1, m, k, n)
+                                            : std::string());
     gemm_dispatch(a.data(), b.data(), out.data(), m, k, n);
   }
   return make_tensor_from_op(
@@ -135,6 +149,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         // dA = g * B^T, dB = A^T * g.
         Tensor ga = zeros(Shape{m, k});
         Tensor gb = zeros(Shape{k, n});
+        obs::ScopedTimer span("par.matmul_bwd", obs::tracing()
+                                                    ? gemm_trace_args(1, m, k, n)
+                                                    : std::string());
         gemm_bt_dispatch(g.data(), b.data(), ga.data(), m, n, k);
         gemm_at_dispatch(a.data(), g.data(), gb.data(), m, k, n);
         return std::vector<Tensor>{ga, gb};
@@ -149,7 +166,9 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   const std::int64_t n = b.dim(2);
   std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
   {
-    obs::ScopedTimer span("par.bmm");
+    obs::ScopedTimer span("par.bmm", obs::tracing()
+                                         ? gemm_trace_args(batch, m, k, n)
+                                         : std::string());
     // Batch entries are independent; below the threshold parallel_for
     // collapses to one inline call, the legacy loop.
     const std::int64_t grain =
@@ -166,6 +185,9 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
       [a, b, batch, m, k, n](const Tensor& g) {
         Tensor ga = zeros(Shape{batch, m, k});
         Tensor gb = zeros(Shape{batch, k, n});
+        obs::ScopedTimer span("par.bmm_bwd", obs::tracing()
+                                                 ? gemm_trace_args(batch, m, k, n)
+                                                 : std::string());
         const std::int64_t grain =
             batch * m * k * n < kParFlopThreshold ? batch : 1;
         par::parallel_for(

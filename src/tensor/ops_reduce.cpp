@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/event_sink.h"
+#include "obs/trace.h"
 #include "par/pool.h"
 #include "tensor/tensor.h"
 
@@ -73,6 +75,11 @@ Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
   const float* pa = a.data();
   const std::int64_t n = a.numel();
   if (n >= kReduceParThreshold && out_n > 1) {
+    obs::TraceSpan trace(
+        "par.reduce_sum",
+        obs::tracing()
+            ? obs::Event().set("n", n).set("out_n", out_n).to_json()
+            : std::string());
     // Per-output-cell kernel with disjoint writes. An input flat index
     // decomposes as base(cell) + offset(reduced coords); for a fixed cell,
     // ascending offset order equals ascending input flat order, so folding

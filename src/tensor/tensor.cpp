@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/mem.h"
 #include "par/pool.h"
 #include <cmath>
 #include <sstream>
@@ -9,6 +10,22 @@
 #include <unordered_set>
 
 namespace tx {
+
+TensorImpl::TensorImpl() { obs::mem::on_tensor_create(); }
+
+TensorImpl::~TensorImpl() {
+  if (accounted_bytes_ != 0) obs::mem::on_bytes_delta(-accounted_bytes_);
+  obs::mem::on_tensor_destroy();
+}
+
+void TensorImpl::account() {
+  const std::int64_t now = static_cast<std::int64_t>(
+      (data.capacity() + grad.capacity()) * sizeof(float));
+  if (now != accounted_bytes_) {
+    obs::mem::on_bytes_delta(now - accounted_bytes_);
+    accounted_bytes_ = now;
+  }
+}
 
 namespace {
 thread_local bool g_grad_enabled = true;
@@ -45,6 +62,7 @@ Tensor::Tensor(Shape shape, float fill) {
   impl_ = std::make_shared<TensorImpl>();
   impl_->shape = std::move(shape);
   impl_->data.assign(static_cast<std::size_t>(n), fill);
+  impl_->account();
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data) {
@@ -54,6 +72,7 @@ Tensor::Tensor(Shape shape, std::vector<float> data) {
   impl_ = std::make_shared<TensorImpl>();
   impl_->shape = std::move(shape);
   impl_->data = std::move(data);
+  impl_->account();
 }
 
 Tensor Tensor::from_vector(std::vector<float> values) {
@@ -139,7 +158,10 @@ const std::vector<float>& Tensor::grad_buffer() const {
 
 void Tensor::zero_grad() {
   TX_CHECK(defined(), "zero_grad() on undefined tensor");
-  impl_->grad.clear();
+  // Release the buffer (not just clear) so live-bytes accounting reflects
+  // the drop between backward passes.
+  std::vector<float>().swap(impl_->grad);
+  impl_->account();
 }
 
 Tensor Tensor::detach() const {
@@ -181,6 +203,7 @@ void Tensor::copy_(const Tensor& src) {
   TX_CHECK(is_leaf(), "in-place copy_ only allowed on leaf tensors");
   TX_CHECK(numel() == src.numel(), "copy_ numel mismatch");
   impl_->data = src.impl()->data;
+  impl_->account();
 }
 
 Tensor Tensor::reshape(Shape new_shape) const { return tx::reshape(*this, std::move(new_shape)); }
@@ -235,6 +258,7 @@ void accumulate_grad(const std::shared_ptr<TensorImpl>& impl, const Tensor& g) {
            "gradient numel ", g.numel(), " != tensor numel ", impl->data.size());
   if (impl->grad.empty()) {
     impl->grad = g.to_vector();
+    impl->account();
   } else {
     const float* src = g.data();
     for (std::size_t i = 0; i < impl->grad.size(); ++i) impl->grad[i] += src[i];

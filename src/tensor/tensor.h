@@ -38,11 +38,23 @@ struct GradNode {
 };
 
 struct TensorImpl {
+  TensorImpl();
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   Shape shape;
   std::vector<float> data;
   std::vector<float> grad;  // empty until a gradient is accumulated
   bool requires_grad = false;
   std::shared_ptr<GradNode> grad_fn;  // null for leaves
+
+  /// Re-sync tx::obs::mem accounting with the current data/grad capacity.
+  /// Every code path that resizes either buffer calls this afterwards.
+  void account();
+
+ private:
+  std::int64_t accounted_bytes_ = 0;
 };
 
 /// Is gradient recording currently enabled (thread-local)?

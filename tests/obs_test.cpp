@@ -3,8 +3,10 @@
 // subsystem promises.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -139,6 +141,50 @@ TEST_F(ObsTest, EventJsonRendering) {
   EXPECT_EQ(e.to_json(),
             "{\"step\": 3, \"loss\": 1.5, \"phase\": \"warm\\\"up\\n\", "
             "\"ok\": true, \"bad\": null}");
+}
+
+TEST_F(ObsTest, EscapeJsonEdgeCases) {
+  // Quotes and backslashes.
+  EXPECT_EQ(obs::escape_json("a\"b\\c"), "a\\\"b\\\\c");
+  // Named control escapes.
+  EXPECT_EQ(obs::escape_json("x\ny\rz\tw"), "x\\ny\\rz\\tw");
+  // Remaining control characters render as \u00XX, including embedded NUL.
+  EXPECT_EQ(obs::escape_json(std::string("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(obs::escape_json("\x01\x1f"), "\\u0001\\u001f");
+  // Multi-byte UTF-8 passes through untouched (bytes >= 0x80 are not
+  // control characters and must not be sign-extended into \uffXX).
+  EXPECT_EQ(obs::escape_json("\xce\xbc=0.5"), "\xce\xbc=0.5");
+  EXPECT_EQ(obs::escape_json(""), "");
+}
+
+TEST_F(ObsTest, EventNonFiniteValuesRenderAsNull) {
+  obs::Event e;
+  e.set("nan", std::nan(""))
+      .set("pinf", std::numeric_limits<double>::infinity())
+      .set("ninf", -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(e.to_json(), "{\"nan\": null, \"pinf\": null, \"ninf\": null}");
+}
+
+TEST_F(ObsTest, EventSinkBadPathIsHarmless) {
+  obs::EventSink sink("/nonexistent-dir/obs_events.jsonl");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(obs::registry().counters().at("obs.sink_errors"), 1);
+  // Emitting into a failed sink is a silent no-op, never a throw.
+  obs::Event e;
+  e.set("step", 1);
+  EXPECT_NO_THROW(sink.emit(e));
+  EXPECT_EQ(sink.events_written(), 0);
+  // The failure was counted once at the open, not again per emit.
+  EXPECT_EQ(obs::registry().counters().at("obs.sink_errors"), 1);
+}
+
+TEST_F(ObsTest, WriteSnapshotReportsFailure) {
+  EXPECT_FALSE(obs::EventSink::write_snapshot("/nonexistent-dir/BENCH_x.json",
+                                              "unit_bench"));
+  EXPECT_EQ(obs::registry().counters().at("obs.sink_errors"), 1);
+  const std::string good = temp_path("obs_snapshot_ok.json");
+  EXPECT_TRUE(obs::EventSink::write_snapshot(good, "unit_bench"));
+  std::remove(good.c_str());
 }
 
 TEST_F(ObsTest, EventSinkJsonlRoundTrip) {
