@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
 #include "obs/obs.h"
 #include "par/pool.h"
+#include "ppl/diag.h"
 #include "ppl/profiling.h"
 
 using tx::Tensor;
@@ -66,6 +68,17 @@ int main(int argc, char** argv) {
   // Every ppl sample/observe site becomes a timeline tick (no-op untraced).
   tx::ppl::TracingMessenger site_tracer;
   tx::ppl::HandlerScope site_scope(site_tracer);
+
+  // --diag <path> (or TYXE_DIAG) streams inference health — per-site
+  // variational drift/KL, gradient SNR, per-site R̂/ESS and divergence
+  // blame for HMC — into a tx.diag.v1 snapshot. See docs/observability.md.
+  const std::string diag_path = tx::obs::diag::diag_path_from_args(argc, argv);
+  tx::ppl::DiagnosticsMessenger diag_messenger;
+  std::optional<tx::ppl::HandlerScope> diag_scope;
+  if (!diag_path.empty()) {
+    tx::obs::diag::set_enabled(true);
+    diag_scope.emplace(diag_messenger);
+  }
 
   if (!trace_path.empty()) {
     // Fig 1's MLP (1-50-1, batch 64) sits below the kernel fan-out
@@ -201,6 +214,15 @@ int main(int argc, char** argv) {
   std::printf("  events:  %s (%lld lines)\n", sink.path().c_str(),
               static_cast<long long>(sink.events_written()));
   std::printf("  metrics: BENCH_fig1_regression.json\n");
+  if (!diag_path.empty()) {
+    const bool ok = tx::obs::diag::write_snapshot(diag_path, "fig1_regression");
+    std::printf("  diag:    %s (%lld records, %lld nan trips)%s\n",
+                diag_path.c_str(),
+                static_cast<long long>(tx::obs::diag::records()),
+                static_cast<long long>(tx::obs::diag::nan_trips()),
+                ok ? "" : " [WRITE FAILED]");
+    if (!ok) return 1;
+  }
   if (!trace_path.empty()) {
     tx::obs::stop_tracing();
     const bool ok = tx::obs::write_trace(trace_path);

@@ -2,11 +2,27 @@
 // the predictive entropy on test vs OOD data, per inference strategy. Shares
 // the training harness with table1_resnet (DESIGN.md, FIG2).
 #include <cstdio>
+#include <optional>
 
 #include "metrics/metrics.h"
+#include "obs/diag.h"
+#include "ppl/diag.h"
+#include "ppl/messenger.h"
 #include "table1_harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // --diag <path> (or TYXE_DIAG) streams inference health across every
+  // strategy's SVI fit into one tx.diag.v1 snapshot (the snapshot's step
+  // indices are the global diag sequence, so restarts between strategies
+  // keep them monotone). See docs/observability.md.
+  const std::string diag_path = tx::obs::diag::diag_path_from_args(argc, argv);
+  tx::ppl::DiagnosticsMessenger diag_messenger;
+  std::optional<tx::ppl::HandlerScope> diag_scope;
+  if (!diag_path.empty()) {
+    tx::obs::diag::set_enabled(true);
+    diag_scope.emplace(diag_messenger);
+  }
+
   bench::Table1Config cfg;
   // A slightly lighter run than Table 1: the curves need the probability
   // tables, not tight estimates of scalar metrics.
@@ -55,5 +71,15 @@ int main() {
               "OOD entropy CDFs right (more uncertainty on OOD)\nand MF gives "
               "the best-matching calibration curve (closest to the "
               "diagonal).\n");
+  if (!diag_path.empty()) {
+    const bool ok =
+        tx::obs::diag::write_snapshot(diag_path, "fig2_calibration");
+    std::printf("diag: %s (%lld records, %lld nan trips)%s\n",
+                diag_path.c_str(),
+                static_cast<long long>(tx::obs::diag::records()),
+                static_cast<long long>(tx::obs::diag::nan_trips()),
+                ok ? "" : " [WRITE FAILED]");
+    if (!ok) return 1;
+  }
   return 0;
 }

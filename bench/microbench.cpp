@@ -5,7 +5,9 @@
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
+#include "obs/diag.h"
 #include "par/par.h"
+#include "ppl/diag.h"
 
 using tx::Tensor;
 namespace nd = tx::dist;
@@ -84,6 +86,54 @@ void BM_SviStepLocalReparam(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SviStepLocalReparam);
+
+// Same step as BM_SviStepRegressionBnn with inference-health diagnostics
+// explicitly off (the default): the difference against that baseline is the
+// cost of the disabled hooks — one relaxed atomic load per step — and should
+// be indistinguishable from noise. The DiagOn variant (attached messenger,
+// full per-site stream) bounds the enabled cost.
+void BM_SviStepDiagOff(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto data = tx::data::make_foong_regression(64, gen);
+  auto net = tx::nn::make_mlp({1, 50, 1}, "tanh", &gen);
+  auto bnn = std::make_shared<tyxe::VariationalBNN>(
+      net,
+      std::make_shared<tyxe::IIDPrior>(std::make_shared<nd::Normal>(0.0f, 1.0f)),
+      std::make_shared<tyxe::HomoskedasticGaussian>(64, 0.1f),
+      tyxe::guides::auto_normal_factory());
+  auto optim = std::make_shared<tx::infer::Adam>(1e-3);
+  std::vector<tyxe::Batch> batch{{{data.x}, data.y}};
+  tx::obs::diag::set_enabled(false);
+  for (auto _ : state) {
+    bnn->fit(batch, optim, 1);
+  }
+}
+BENCHMARK(BM_SviStepDiagOff);
+
+void BM_SviStepDiagOn(benchmark::State& state) {
+  tx::manual_seed(0);
+  tx::Generator gen(0);
+  auto data = tx::data::make_foong_regression(64, gen);
+  auto net = tx::nn::make_mlp({1, 50, 1}, "tanh", &gen);
+  auto bnn = std::make_shared<tyxe::VariationalBNN>(
+      net,
+      std::make_shared<tyxe::IIDPrior>(std::make_shared<nd::Normal>(0.0f, 1.0f)),
+      std::make_shared<tyxe::HomoskedasticGaussian>(64, 0.1f),
+      tyxe::guides::auto_normal_factory());
+  auto optim = std::make_shared<tx::infer::Adam>(1e-3);
+  std::vector<tyxe::Batch> batch{{{data.x}, data.y}};
+  tx::obs::diag::reset();
+  tx::obs::diag::set_enabled(true);
+  tx::ppl::DiagnosticsMessenger diag_messenger;
+  tx::ppl::HandlerScope diag_scope(diag_messenger);
+  for (auto _ : state) {
+    bnn->fit(batch, optim, 1);
+  }
+  tx::obs::diag::set_enabled(false);
+  tx::obs::diag::reset();
+}
+BENCHMARK(BM_SviStepDiagOn);
 
 void BM_HmcLeapfrogStep(benchmark::State& state) {
   tx::manual_seed(0);

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json snapshots and tx.trace.v1 Chrome-trace exports.
+"""Validate BENCH_*.json snapshots, tx.trace.v1 Chrome-trace exports, and
+tx.diag.v1 inference-health snapshots.
 
-Usage: scripts/validate_bench.py [--trace] FILE [FILE ...]
+Usage: scripts/validate_bench.py [--trace | --diag] FILE [FILE ...]
 
-Two file kinds are understood, auto-detected by shape:
+Three file kinds are understood, auto-detected by shape:
 
 * Metric snapshots (tx.obs.v1, written by EventSink::write_snapshot): checks
   the structural contract documented in docs/observability.md — top-level
@@ -16,11 +17,16 @@ Two file kinds are understood, auto-detected by shape:
   monotone non-decreasing per (pid, tid) track, and that duration events are
   balanced — every E closes the matching open B on its track and no B is
   left open at end of file.
+* Diag snapshots (tx.diag.v1, written by obs::diag::write_snapshot): checks
+  the svi/mcmc/events sections, that the "steps" record indices are strictly
+  increasing, and that every per-site / per-param statistic is a finite
+  number (the writer's contract is to omit undefined fields, never to emit
+  NaN/Infinity/null).
 
-`--trace` additionally *requires* each named file to be a trace, so a glob
-that accidentally matches a snapshot fails loudly instead of passing under
-the wrong checker. Exits non-zero with one line per violation, so CI can
-gate on it.
+`--trace` / `--diag` additionally *require* each named file to be of that
+kind, so a glob that accidentally matches a snapshot fails loudly instead of
+passing under the wrong checker. Exits non-zero with one line per violation,
+so CI can gate on it.
 """
 import json
 import sys
@@ -166,7 +172,80 @@ def validate_trace(path, doc):
     return errors
 
 
-def validate(path, require_trace=False):
+DIAG_SVI_SITE_INTS = ("count", "numel", "nonfinite", "kl_count")
+DIAG_PARAM_INTS = ("steps", "nonfinite")
+DIAG_MCMC_SITE_INTS = ("draws", "transitions", "moved", "divergence_blame")
+
+
+def validate_diag(path, doc):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    if doc.get("schema") != "tx.diag.v1":
+        err(f"schema is {doc.get('schema')!r}, expected 'tx.diag.v1'")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        err("'bench' must be a non-empty string")
+
+    steps = doc.get("steps")
+    if not isinstance(steps, list):
+        err("'steps' must be a list")
+    else:
+        for i, s in enumerate(steps):
+            if not isinstance(s, int) or isinstance(s, bool):
+                err(f"steps[{i}] is not an integer: {s!r}")
+            elif i > 0 and s <= steps[i - 1]:
+                err(f"steps[{i}] = {s} not strictly increasing (previous {steps[i - 1]})")
+
+    def check_stats(section, name, stats, int_fields):
+        if not isinstance(stats, dict):
+            err(f"{section} '{name}' is not an object")
+            return
+        for field, v in stats.items():
+            if not is_number(v):
+                err(f"{section} '{name}' field '{field}' is not a number: {v!r}")
+            elif v != v or v in (float("inf"), float("-inf")):
+                err(f"{section} '{name}' field '{field}' is not finite: {v!r}")
+            elif field in int_fields and not isinstance(v, int):
+                err(f"{section} '{name}' field '{field}' is not an integer: {v!r}")
+
+    svi = doc.get("svi")
+    if not isinstance(svi, dict):
+        err("'svi' must be an object")
+    else:
+        if not isinstance(svi.get("steps"), int):
+            err("svi.steps is not an integer")
+        for key in ("elbo_mean", "elbo_std", "elbo_last"):
+            if key in svi and not is_number(svi[key]):
+                err(f"svi.{key} is not a number: {svi[key]!r}")
+        for name, stats in (svi.get("sites") or {}).items():
+            check_stats("svi site", name, stats, DIAG_SVI_SITE_INTS)
+        for name, stats in (svi.get("params") or {}).items():
+            check_stats("svi param", name, stats, DIAG_PARAM_INTS)
+
+    mcmc = doc.get("mcmc")
+    if not isinstance(mcmc, dict):
+        err("'mcmc' must be an object")
+    else:
+        for key in ("chains", "transitions", "divergences"):
+            if not isinstance(mcmc.get(key), int):
+                err(f"mcmc.{key} is not an integer")
+        for name, stats in (mcmc.get("sites") or {}).items():
+            check_stats("mcmc site", name, stats, DIAG_MCMC_SITE_INTS)
+
+    events = doc.get("events")
+    if not isinstance(events, dict):
+        err("'events' must be an object")
+    else:
+        for key in ("nan_trips", "forensic_dumps", "records"):
+            if not isinstance(events.get(key), int):
+                err(f"events.{key} is not an integer")
+
+    return errors
+
+
+def validate(path, require_trace=False, require_diag=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -175,6 +254,10 @@ def validate(path, require_trace=False):
 
     if not isinstance(doc, dict):
         return None, [f"{path}: top level is not an object"]
+    if doc.get("schema") == "tx.diag.v1":
+        return "tx.diag.v1", validate_diag(path, doc)
+    if require_diag:
+        return None, [f"{path}: expected a diag snapshot (schema != 'tx.diag.v1')"]
     if "traceEvents" in doc:
         return "tx.trace.v1", validate_trace(path, doc)
     if require_trace:
@@ -185,15 +268,20 @@ def validate(path, require_trace=False):
 def main(argv):
     args = argv[1:]
     require_trace = False
+    require_diag = False
     if args and args[0] == "--trace":
         require_trace = True
+        args = args[1:]
+    elif args and args[0] == "--diag":
+        require_diag = True
         args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_errors = []
     for path in args:
-        kind, errs = validate(path, require_trace=require_trace)
+        kind, errs = validate(path, require_trace=require_trace,
+                              require_diag=require_diag)
         if errs:
             all_errors.extend(errs)
         else:

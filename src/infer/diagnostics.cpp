@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "util/common.h"
+#include <limits>
 
 namespace tx::infer {
 
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 double mean_of(const std::vector<double>& x) {
   double s = 0.0;
@@ -22,11 +23,20 @@ double var_of(const std::vector<double>& x) {
   return s / static_cast<double>(x.size() - 1);
 }
 
+/// True when every chain has the same length (the multi-chain estimators'
+/// precondition); ragged input gets NaN, per the header contract.
+bool rectangular(const std::vector<std::vector<double>>& chains) {
+  for (const auto& chain : chains) {
+    if (chain.size() != chains[0].size()) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 double effective_sample_size(const std::vector<double>& chain) {
   const std::size_t n = chain.size();
-  TX_CHECK(n >= 4, "effective_sample_size: chain too short");
+  if (n < 4) return kNaN;
   const double m = mean_of(chain);
   const double var0 = var_of(chain);
   if (var0 <= 0.0) return static_cast<double>(n);
@@ -51,7 +61,9 @@ double effective_sample_size(const std::vector<double>& chain) {
 }
 
 double effective_sample_size(const std::vector<std::vector<double>>& chains) {
-  TX_CHECK(!chains.empty(), "effective_sample_size: no chains");
+  if (chains.empty() || !rectangular(chains) || chains[0].size() < 4) {
+    return kNaN;
+  }
   double total = 0.0;
   for (const auto& chain : chains) total += effective_sample_size(chain);
   return total;
@@ -59,7 +71,7 @@ double effective_sample_size(const std::vector<std::vector<double>>& chains) {
 
 double split_r_hat(const std::vector<double>& chain) {
   const std::size_t n = chain.size();
-  TX_CHECK(n >= 8, "split_r_hat: chain too short");
+  if (n < 8) return kNaN;
   const std::size_t half = n / 2;
   std::vector<double> a(chain.begin(), chain.begin() + static_cast<std::ptrdiff_t>(half));
   std::vector<double> b(chain.begin() + static_cast<std::ptrdiff_t>(half),
@@ -77,15 +89,14 @@ double split_r_hat(const std::vector<double>& chain) {
 }
 
 double split_r_hat(const std::vector<std::vector<double>>& chains) {
-  TX_CHECK(!chains.empty(), "split_r_hat: no chains");
+  if (chains.empty() || !rectangular(chains)) return kNaN;
   if (chains.size() == 1) return split_r_hat(chains[0]);
   const std::size_t len = chains[0].size();
-  TX_CHECK(len >= 8, "split_r_hat: chains too short");
+  if (len < 8) return kNaN;
   const std::size_t half = len / 2;
   std::vector<std::vector<double>> halves;
   halves.reserve(2 * chains.size());
   for (const auto& chain : chains) {
-    TX_CHECK(chain.size() == len, "split_r_hat: unequal chain lengths");
     halves.emplace_back(chain.begin(),
                         chain.begin() + static_cast<std::ptrdiff_t>(half));
     halves.emplace_back(chain.begin() + static_cast<std::ptrdiff_t>(half),

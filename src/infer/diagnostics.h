@@ -1,4 +1,14 @@
 // Chain diagnostics: effective sample size and split R-hat.
+//
+// Short-input contract: every function below returns NaN — never throws,
+// never fabricates a number — when the input cannot support the estimator:
+//   * single-chain ESS needs n >= 4, single-chain split-R̂ needs n >= 8;
+//   * the multi-chain overloads additionally return NaN when the chain list
+//     is empty, when chains have unequal lengths (ragged input), or when the
+//     common length is below the single-chain minimum.
+// NaN is the honest answer for "not enough data yet": callers doing
+// incremental refreshes (tx::obs::diag) can call these unconditionally and
+// simply skip non-finite results.
 #pragma once
 
 #include <vector>
@@ -6,20 +16,22 @@
 namespace tx::infer {
 
 /// Effective sample size of a scalar chain via the initial-positive-sequence
-/// autocorrelation estimator (Geyer, 1992).
+/// autocorrelation estimator (Geyer, 1992). NaN when chain.size() < 4.
 double effective_sample_size(const std::vector<double>& chain);
 
 /// Multi-chain ESS: sum of the per-chain estimates (chains are independent,
-/// e.g. MCMC::coordinate_chain(coord, c) for each chain c).
+/// e.g. MCMC::coordinate_chain(coord, c) for each chain c). NaN when the
+/// list is empty, ragged, or the common length is < 4.
 double effective_sample_size(const std::vector<std::vector<double>>& chains);
 
 /// Split-R̂ of a scalar chain (Gelman et al.): the chain is split in half and
-/// treated as two chains. Values near 1 indicate convergence.
+/// treated as two chains. Values near 1 indicate convergence. NaN when
+/// chain.size() < 8.
 double split_r_hat(const std::vector<double>& chain);
 
 /// Multi-chain split-R̂: every chain is split in half and the potential scale
-/// reduction factor is computed over all 2M half-chains. Chains must have
-/// equal length >= 8.
+/// reduction factor is computed over all 2M half-chains. NaN when the list
+/// is empty, ragged, or the common length is < 8.
 double split_r_hat(const std::vector<std::vector<double>>& chains);
 
 }  // namespace tx::infer

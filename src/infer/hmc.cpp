@@ -88,6 +88,18 @@ double Potential::value_and_grad(const std::vector<double>& q,
   return -static_cast<double>(lj.item());
 }
 
+std::vector<obs::diag::SiteSpan> diag_layout(const Potential& potential) {
+  std::vector<obs::diag::SiteSpan> spans;
+  spans.reserve(potential.layout().size());
+  std::size_t offset = 0;
+  for (const auto& [name, shape] : potential.layout()) {
+    const auto n = static_cast<std::size_t>(numel_of(shape));
+    spans.push_back({name, offset, offset + n});
+    offset += n;
+  }
+  return spans;
+}
+
 void MCMCKernel::setup(Program model, Generator* gen) {
   potential_ = std::make_shared<Potential>(std::move(model));
   gen_ = gen;
@@ -208,7 +220,13 @@ std::vector<double> HMC::step(const std::vector<double>& q0, bool warmup) {
 
   double accept_prob = std::exp(std::min(0.0, h0 - h1));
   if (!std::isfinite(h1)) accept_prob = 0.0;
-  if (!std::isfinite(h1) || h1 - h0 > kDivergenceThreshold) ++divergences_;
+  if (!std::isfinite(h1) || h1 - h0 > kDivergenceThreshold) {
+    ++divergences_;
+    if (obs::diag::enabled()) {
+      obs::diag::mcmc_record_divergence(diag_layout(*potential_), q, p, grad,
+                                        inv_mass_, h0, h1);
+    }
+  }
   accept_stat_ += accept_prob;
   ++accept_count_;
   last_accept_prob_ = accept_prob;

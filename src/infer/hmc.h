@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "infer/elbo.h"
+#include "obs/diag.h"
 
 namespace tx::infer {
 
@@ -43,6 +44,11 @@ class Potential {
   std::vector<dist::DistPtr> priors_;  // aligned with layout_, for init draws
   std::int64_t dim_ = 0;
 };
+
+/// Flat-coordinate spans of the potential's named sites, in layout order —
+/// the per-site attribution map handed to tx::obs::diag (transition
+/// statistics, divergence localization, per-coordinate R̂/ESS grouping).
+std::vector<obs::diag::SiteSpan> diag_layout(const Potential& potential);
 
 /// Base interface shared by HMC and NUTS.
 class MCMCKernel {

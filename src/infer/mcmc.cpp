@@ -1,7 +1,10 @@
 #include "infer/mcmc.h"
 
+#include <cmath>
+#include <limits>
 #include <mutex>
 
+#include "infer/diagnostics.h"
 #include "obs/obs.h"
 #include "par/pool.h"
 #include "ppl/messenger.h"
@@ -9,6 +12,37 @@
 namespace tx::infer {
 
 namespace {
+
+/// Feed per-site R̂/ESS into tx::obs::diag from a slice of per-position
+/// draws: for each site span the per-coordinate single-chain estimates are
+/// aggregated conservatively (min ESS, max R̂ over the site's coordinates).
+/// Short slices simply produce NaN (the diagnostics.h contract), which
+/// mcmc_update_site_health ignores.
+void refresh_site_health(const std::vector<obs::diag::SiteSpan>& spans,
+                         const std::vector<std::vector<double>>& draws,
+                         std::size_t begin, std::size_t end) {
+  if (end <= begin) return;
+  std::vector<double> chain;
+  chain.reserve(end - begin);
+  for (const auto& span : spans) {
+    double ess_min = std::numeric_limits<double>::infinity();
+    double rhat_max = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = span.begin; c < span.end; ++c) {
+      chain.clear();
+      for (std::size_t i = begin; i < end; ++i) chain.push_back(draws[i][c]);
+      const double ess = effective_sample_size(chain);
+      const double rhat = split_r_hat(chain);
+      if (std::isfinite(ess) && ess < ess_min) ess_min = ess;
+      if (std::isfinite(rhat) && rhat > rhat_max) rhat_max = rhat;
+    }
+    obs::diag::mcmc_update_site_health(
+        span.name,
+        std::isfinite(ess_min) ? ess_min
+                               : std::numeric_limits<double>::quiet_NaN(),
+        std::isfinite(rhat_max) ? rhat_max
+                                : std::numeric_limits<double>::quiet_NaN());
+  }
+}
 
 /// One kernel transition with progress emission shared by both phases. When
 /// `sync` is set (multi-chain runs) metric emission and the callback are
@@ -30,6 +64,8 @@ std::vector<double> instrumented_step(MCMCKernel& kernel,
                                       .set("warmup", warmup)
                                       .to_json());
   }
+  const std::int64_t divergences_before =
+      obs::diag::enabled() ? kernel.divergence_count() : 0;
   std::vector<double> next = kernel.step(q, warmup);
   if (trace) {
     obs::trace_end("mcmc.step",
@@ -37,6 +73,12 @@ std::vector<double> instrumented_step(MCMCKernel& kernel,
                        .set("accept_prob", kernel.last_accept_prob())
                        .set("divergences", kernel.divergence_count())
                        .to_json());
+  }
+  if (obs::diag::enabled()) {
+    obs::diag::mcmc_record_transition(
+        diag_layout(kernel.potential()), static_cast<int>(chain), step, warmup,
+        kernel.last_accept_prob(),
+        kernel.divergence_count() > divergences_before, q, next);
   }
   if (!instrument) return next;
 
@@ -104,11 +146,19 @@ void MCMC::run(Program model, Generator* gen,
     }
     draws_.clear();
     draws_.reserve(static_cast<std::size_t>(num_samples_));
+    const bool diag_on = obs::diag::enabled();
+    const int refresh = diag_on ? obs::diag::config().refresh_interval : 0;
+    std::vector<obs::diag::SiteSpan> spans;
+    if (diag_on) spans = diag_layout(kernel_->potential());
     for (int i = 0; i < num_samples_; ++i) {
       q = instrumented_step(*kernel_, q, /*warmup=*/false, i, num_samples_,
                             progress);
       draws_.push_back(q);
+      if (diag_on && refresh > 0 && (i + 1) % refresh == 0) {
+        refresh_site_health(spans, draws_, 0, draws_.size());
+      }
     }
+    if (diag_on) refresh_site_health(spans, draws_, 0, draws_.size());
     if (obs::enabled()) {
       obs::registry()
           .counter("mcmc.divergences")
@@ -156,17 +206,55 @@ void MCMC::run(Program model, Generator* gen,
         q = instrumented_step(kernel, q, /*warmup=*/true, i, warmup_,
                               progress, c, &progress_mu);
       }
+      const bool diag_on = obs::diag::enabled();
+      const int refresh = diag_on ? obs::diag::config().refresh_interval : 0;
+      std::vector<obs::diag::SiteSpan> spans;
+      if (diag_on) spans = diag_layout(kernel.potential());
+      const std::size_t base = static_cast<std::size_t>(c) *
+                               static_cast<std::size_t>(num_samples_);
       for (int i = 0; i < num_samples_; ++i) {
         q = instrumented_step(kernel, q, /*warmup=*/false, i, num_samples_,
                               progress, c, &progress_mu);
-        draws_[static_cast<std::size_t>(c) *
-                   static_cast<std::size_t>(num_samples_) +
-               static_cast<std::size_t>(i)] = q;
+        draws_[base + static_cast<std::size_t>(i)] = q;
+        // Incremental per-chain health: conservative, single-chain
+        // estimates over this chain's draws so far (short slices → NaN →
+        // ignored). The cross-chain refresh after the join supersedes it.
+        if (diag_on && refresh > 0 && (i + 1) % refresh == 0) {
+          refresh_site_health(spans, draws_, base,
+                              base + static_cast<std::size_t>(i) + 1);
+        }
       }
     });
   }
   par::run_tasks(tasks);
   kernel_ = kernels_.front();  // unflatten / potential accessors
+  if (obs::diag::enabled()) {
+    // Final cross-chain refresh: the real multi-chain split-R̂ / ESS over
+    // all chains, aggregated per site (min ESS, max R̂ over coordinates).
+    const auto spans = diag_layout(kernel_->potential());
+    for (const auto& span : spans) {
+      double ess_min = std::numeric_limits<double>::infinity();
+      double rhat_max = -std::numeric_limits<double>::infinity();
+      for (std::size_t coord = span.begin; coord < span.end; ++coord) {
+        std::vector<std::vector<double>> chains;
+        chains.reserve(static_cast<std::size_t>(num_chains_));
+        for (int c = 0; c < num_chains_; ++c) {
+          chains.push_back(coordinate_chain(coord, c));
+        }
+        const double ess = effective_sample_size(chains);
+        const double rhat = split_r_hat(chains);
+        if (std::isfinite(ess) && ess < ess_min) ess_min = ess;
+        if (std::isfinite(rhat) && rhat > rhat_max) rhat_max = rhat;
+      }
+      obs::diag::mcmc_update_site_health(
+          span.name,
+          std::isfinite(ess_min) ? ess_min
+                                 : std::numeric_limits<double>::quiet_NaN(),
+          std::isfinite(rhat_max)
+              ? rhat_max
+              : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
   if (obs::enabled()) {
     obs::registry().counter("mcmc.divergences").add(divergence_count());
   }

@@ -49,7 +49,13 @@ NUTS::Tree NUTS::build_tree(const std::vector<double>& q,
     t.grad_minus = t.grad_plus = grad1;
     t.n = (std::isfinite(h1) && log_u <= -h1) ? 1 : 0;
     t.valid = std::isfinite(h1) && (log_u < kDeltaMax - h1);
-    if (!t.valid) ++divergences_;  // leaf invalidity is exactly a divergence
+    if (!t.valid) {
+      ++divergences_;  // leaf invalidity is exactly a divergence
+      if (obs::diag::enabled()) {
+        obs::diag::mcmc_record_divergence(diag_layout(*potential_), q1, p1,
+                                          grad1, inv_mass_, h0, h1);
+      }
+    }
     t.alpha = std::isfinite(h1) ? std::min(1.0, std::exp(h0 - h1)) : 0.0;
     t.n_alpha = 1;
     return t;

@@ -21,10 +21,15 @@ SVI::SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
 
 double SVI::step() {
   const bool instrument = obs::enabled() || callback_;
+  const bool diag_on = obs::diag::enabled();
   const double t0 = instrument ? obs::now_seconds() : 0.0;
 
   std::optional<ppl::GeneratorScope> seed;
   if (gen_ != nullptr) seed.emplace(gen_);
+
+  // Open the diag step before the loss evaluation so the
+  // DiagnosticsMessenger (if attached) records the sites this step touches.
+  obs::diag::svi_step_begin(steps_);
 
   obs::ScopedTimer step_span(
       "svi.step", obs::tracing()
@@ -46,16 +51,29 @@ double SVI::step() {
   const double loss_value = static_cast<double>(loss.item());
   const std::int64_t step_index = steps_++;
 
-  if (instrument) {
-    double grad_sq = 0.0;
-    {
-      NoGradGuard ng;
-      for (const auto& [name, p] : store_->items()) {
-        const Tensor g = p.grad();
-        if (!g.defined()) continue;
-        grad_sq += static_cast<double>(sum(square(g)).item());
+  double total_grad_sq = 0.0;
+  if (instrument || diag_on) {
+    NoGradGuard ng;
+    for (const auto& [name, p] : store_->items()) {
+      const Tensor g = p.grad();
+      if (!g.defined()) continue;
+      const double gsum = static_cast<double>(sum(g).item());
+      const double gsq = static_cast<double>(sum(square(g)).item());
+      total_grad_sq += gsq;
+      if (diag_on) {
+        // NaN propagates through both sums, so two finiteness checks cover
+        // the whole gradient block.
+        const bool finite = std::isfinite(gsum) && std::isfinite(gsq);
+        const double n = static_cast<double>(g.numel());
+        obs::diag::record_param_grad(name, n > 0 ? gsum / n : 0.0,
+                                     std::sqrt(gsq), finite);
       }
     }
+  }
+  obs::diag::svi_step_end(loss_value, std::sqrt(total_grad_sq));
+
+  if (instrument) {
+    const double grad_sq = total_grad_sq;
     SVIStepInfo info;
     info.step = step_index;
     info.loss = loss_value;

@@ -7,9 +7,7 @@
 
 namespace tx::obs {
 
-namespace {
-
-std::string render_number(double v) {
+std::string render_json_number(double v) {
   if (!std::isfinite(v)) {
     // JSON has no inf/nan literals; emit null like most telemetry pipelines.
     return "null";
@@ -18,6 +16,10 @@ std::string render_number(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+namespace {
+
+std::string render_number(double v) { return render_json_number(v); }
 
 std::string render_series(const std::vector<double>& xs) {
   std::string out = "[";

@@ -21,6 +21,10 @@ namespace tx::obs {
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string escape_json(const std::string& s);
 
+/// Render a double as a JSON number ("%.17g"); non-finite values render as
+/// null, JSON's only honest spelling for them.
+std::string render_json_number(double v);
+
 /// One structured record: ordered key/value pairs rendered as a JSON object.
 /// Values are stored pre-rendered (numbers round-trip via %.17g).
 class Event {

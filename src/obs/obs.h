@@ -1,9 +1,10 @@
 // Umbrella header for tx::obs — the observability substrate: metrics
 // registry, RAII span timers, the JSONL event sink / BENCH snapshot writer,
-// the Chrome-trace timeline recorder, and tensor memory accounting. See
-// docs/observability.md.
+// the Chrome-trace timeline recorder, tensor memory accounting, and the
+// streaming inference-health diagnostics. See docs/observability.md.
 #pragma once
 
+#include "obs/diag.h"
 #include "obs/event_sink.h"
 #include "obs/mem.h"
 #include "obs/registry.h"

@@ -1,0 +1,50 @@
+// DiagnosticsMessenger — the ppl-side feeder of tx::obs::diag.
+//
+// Attached like any other poutine, it reduces every sample site the wrapped
+// program touches to scalars (mean / min / max / finiteness) and streams
+// them into the inference-health subsystem. Because ELBO evaluation traces
+// the guide first and then replays the model over the same site names, the
+// messenger sees q and p for each latent site in that order; when the pair
+// has a registered closed form it also records the per-site analytic
+// KL(q‖p).
+//
+// Recording only happens while diag is enabled AND an SVI step is open
+// (diag::in_svi_step()) — an MCMC potential evaluates the model hundreds of
+// times per transition, and those sightings are accounted by the driver
+// instead. The messenger is internally locked: handler_stack_snapshot()
+// propagates it into tx::par workers (parallel ELBO particles), so sightings
+// may arrive from several threads; q/p pairing is keyed per thread.
+//
+//   ppl::DiagnosticsMessenger diag_messenger;
+//   ppl::HandlerScope scope(diag_messenger);
+//   svi.step();   // per-site health now streams into tx::obs::diag
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ppl/messenger.h"
+
+namespace tx::ppl {
+
+class DiagnosticsMessenger : public Messenger {
+ public:
+  /// Sites record in postprocess_message (outermost-last), after the value
+  /// exists. Observed sites are skipped — their values are constant data.
+  void postprocess_message(SampleMsg& msg) override;
+
+  /// Latent-site sightings recorded (two per site per ELBO evaluation when
+  /// the guide/model pair is traced).
+  std::int64_t sites_seen() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t sites_seen_ = 0;
+  /// Guide-sighting distributions awaiting their model-replay partner,
+  /// keyed by (thread, site) so parallel ELBO particles pair correctly.
+  std::map<std::pair<std::thread::id, std::string>, dist::DistPtr> pending_q_;
+};
+
+}  // namespace tx::ppl

@@ -1,6 +1,7 @@
 // Umbrella header for the probabilistic-programming core.
 #pragma once
 
+#include "ppl/diag.h"
 #include "ppl/handlers.h"
 #include "ppl/messenger.h"
 #include "ppl/param_store.h"

@@ -1,0 +1,282 @@
+// Tests for the streaming inference-health diagnostics (obs/diag.h +
+// ppl::DiagnosticsMessenger): Welford accumulators, the disabled-is-inert
+// contract, per-site SVI health on a conjugate model, the NaN sentinel /
+// flight recorder on a poisoned learning rate, MCMC per-site R̂/ESS and
+// divergence localization, multi-chain diag under tx::par (the TSan target),
+// and a python round-trip against validate_bench.py --diag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "infer/infer.h"
+#include "obs/obs.h"
+#include "ppl/diag.h"
+#include "ppl/ppl.h"
+
+namespace tx {
+namespace {
+
+namespace diag = obs::diag;
+using dist::Normal;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) n += c == '\n';
+  return n;
+}
+
+class DiagTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::registry().clear();
+    diag::reset();
+    diag::Config cfg;
+    cfg.forensic_path = temp_path("tx_forensic_test.jsonl");
+    cfg.refresh_interval = 8;
+    diag::configure(cfg);
+    diag::reset();
+    std::remove(cfg.forensic_path.c_str());
+  }
+  void TearDown() override {
+    diag::set_enabled(false);
+    std::remove(diag::config().forensic_path.c_str());
+    diag::reset();
+    obs::registry().clear();
+  }
+};
+
+/// data ~ Normal(z, 0.5), z ~ Normal(0, 1): the conjugate setup the SVI
+/// tests use, small enough that per-step diagnostics dominate runtime.
+infer::Program make_model() {
+  Tensor data(Shape{8},
+              {1.2f, 0.8f, 1.1f, 0.9f, 1.3f, 1.0f, 0.7f, 1.4f});
+  return [data] {
+    Tensor z = ppl::sample("z", std::make_shared<Normal>(0.0f, 1.0f));
+    ppl::sample("obs", std::make_shared<Normal>(z, Tensor::scalar(0.5f)),
+                data);
+  };
+}
+
+TEST(DiagWelford, MatchesClosedFormMoments) {
+  diag::Welford w;
+  EXPECT_TRUE(std::isnan(w.variance()));
+  w.add(1.0);
+  EXPECT_DOUBLE_EQ(w.mean, 1.0);
+  EXPECT_TRUE(std::isnan(w.variance()));  // one sample: undefined
+  w.add(3.0);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.mean, 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // sample variance of {1,3,5}
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+}
+
+TEST_F(DiagTest, DisabledHooksAreInert) {
+  EXPECT_FALSE(diag::enabled());
+  diag::svi_step_begin(0);
+  EXPECT_FALSE(diag::in_svi_step());
+  diag::record_site_value("z", 1.0, 0.0, 2.0, 4, true);
+  diag::record_site_kl("z", 0.5);
+  diag::record_param_grad("g.loc", 0.1, 1.0, true);
+  diag::svi_step_end(1.0, 1.0);
+  diag::mcmc_update_site_health("z", 100.0, 1.01);
+  EXPECT_EQ(diag::records(), 0);
+  EXPECT_EQ(diag::nan_trips(), 0);
+  EXPECT_EQ(diag::forensic_dumps(), 0);
+}
+
+TEST_F(DiagTest, SviStreamsSiteKlAndGradientHealth) {
+  manual_seed(7);
+  diag::set_enabled(true);
+  ppl::DiagnosticsMessenger messenger;
+  ppl::HandlerScope scope(messenger);
+
+  ppl::ParamStore store;
+  auto model = make_model();
+  auto guide = std::make_shared<infer::AutoNormal>(
+      model, infer::AutoNormalConfig{}, "g", &store);
+  infer::SVI svi(model, [guide] { (*guide)(); },
+                 std::make_shared<infer::Adam>(0.05),
+                 std::make_shared<infer::TraceELBO>(1), &store);
+  for (int i = 0; i < 50; ++i) svi.step();
+
+  EXPECT_EQ(diag::records(), 50);
+  EXPECT_EQ(diag::nan_trips(), 0);
+  // Guide + model sightings for the latent site, every step.
+  EXPECT_EQ(messenger.sites_seen(), 100);
+
+  diag::publish(obs::registry());
+  const auto gauges = obs::registry().gauges();
+  ASSERT_TRUE(gauges.count("diag.svi.steps"));
+  EXPECT_DOUBLE_EQ(gauges.at("diag.svi.steps"), 50.0);
+  ASSERT_TRUE(gauges.count("diag.svi.elbo_mean"));
+  EXPECT_TRUE(std::isfinite(gauges.at("diag.svi.elbo_mean")));
+
+  const std::string path = temp_path("diag_svi_snapshot.json");
+  ASSERT_TRUE(diag::write_snapshot(path, "diag_svi"));
+  const std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"schema\": \"tx.diag.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"z\""), std::string::npos);
+  // Normal||Normal has a registered closed form, so the site carries KL.
+  EXPECT_NE(doc.find("\"kl_mean\""), std::string::npos);
+  // AutoNormal's parameters show up with gradient statistics.
+  EXPECT_NE(doc.find("\"grad_norm_mean\""), std::string::npos);
+  EXPECT_NE(doc.find("\"grad_snr\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(DiagTest, PoisonedLearningRateTripsForensicDump) {
+  manual_seed(11);
+  diag::set_enabled(true);
+  ppl::DiagnosticsMessenger messenger;
+  ppl::HandlerScope scope(messenger);
+
+  ppl::ParamStore store;
+  auto model = make_model();
+  auto guide = std::make_shared<infer::AutoNormal>(
+      model, infer::AutoNormalConfig{}, "g", &store);
+  // A learning rate this size blows the variational parameters out within a
+  // few steps: exp() of the exploded scale parameter overflows, the next
+  // sampled site value is non-finite, and the sentinel trips.
+  infer::SVI svi(model, [guide] { (*guide)(); },
+                 std::make_shared<infer::Adam>(1e25),
+                 std::make_shared<infer::TraceELBO>(1), &store);
+  for (int i = 0; i < 30 && diag::nan_trips() == 0; ++i) svi.step();
+
+  ASSERT_GT(diag::nan_trips(), 0);
+  EXPECT_EQ(diag::forensic_dumps(), 1);
+  EXPECT_FALSE(diag::last_forensic_reason().empty());
+
+  const std::string dump = read_file(diag::config().forensic_path);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("tx.diag.forensic.v1"), std::string::npos);
+  EXPECT_NE(dump.find(diag::last_forensic_reason()), std::string::npos);
+  // The bundle names the offending site when the trip came from a site or
+  // parameter value (a bare loss trip has no site to blame).
+  if (!diag::last_offending_site().empty()) {
+    EXPECT_NE(dump.find(diag::last_offending_site()), std::string::npos);
+  }
+  // Header + detail + the recorded steps leading up to the failure.
+  EXPECT_GE(count_lines(dump), 3u);
+  EXPECT_NE(dump.find("\"kind\": \"svi\""), std::string::npos);
+
+  // Later trips only bump counters (max_forensic_dumps = 1).
+  for (int i = 0; i < 3; ++i) svi.step();
+  EXPECT_EQ(diag::forensic_dumps(), 1);
+}
+
+TEST_F(DiagTest, McmcRefreshPublishesPerSiteHealth) {
+  manual_seed(21);
+  diag::set_enabled(true);
+  Generator gen(21);
+  auto kernel = std::make_shared<infer::HMC>(0.1, 5);
+  infer::MCMC mcmc(kernel, /*num_samples=*/64, /*warmup=*/32);
+  mcmc.run(make_model(), &gen);
+
+  EXPECT_GT(diag::records(), 0);
+  diag::publish(obs::registry());
+  const auto gauges = obs::registry().gauges();
+  ASSERT_TRUE(gauges.count("diag.mcmc.transitions"));
+  EXPECT_DOUBLE_EQ(gauges.at("diag.mcmc.transitions"), 96.0);
+  ASSERT_TRUE(gauges.count("diag.mcmc.ess_min"));
+  EXPECT_GT(gauges.at("diag.mcmc.ess_min"), 0.0);
+  ASSERT_TRUE(gauges.count("diag.mcmc.rhat_max"));
+  EXPECT_GT(gauges.at("diag.mcmc.rhat_max"), 0.5);
+
+  const std::string path = temp_path("diag_mcmc_snapshot.json");
+  ASSERT_TRUE(diag::write_snapshot(path, "diag_mcmc"));
+  const std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"ess\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rhat\""), std::string::npos);
+  EXPECT_NE(doc.find("\"accept_fraction\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(DiagTest, DivergenceIsLocalizedToTheBlowupSite) {
+  manual_seed(31);
+  diag::set_enabled(true);
+  Generator gen(31);
+  // An enormous frozen step size makes every trajectory blow up.
+  auto kernel =
+      std::make_shared<infer::HMC>(1e8, 3, /*adapt_step_size=*/false);
+  infer::MCMC mcmc(kernel, /*num_samples=*/10, /*warmup=*/0);
+  mcmc.run(make_model(), &gen);
+
+  EXPECT_GT(mcmc.divergence_count(), 0);
+  EXPECT_EQ(diag::last_forensic_reason(), "divergence");
+  EXPECT_EQ(diag::last_offending_site(), "z");
+  const std::string dump = read_file(diag::config().forensic_path);
+  EXPECT_NE(dump.find("\"reason\": \"divergence\""), std::string::npos);
+  EXPECT_NE(dump.find("\"offending_site\": \"z\""), std::string::npos);
+}
+
+TEST_F(DiagTest, MultiChainMcmcStreamsUnderParWorkers) {
+  manual_seed(41);
+  diag::set_enabled(true);
+  ppl::DiagnosticsMessenger messenger;
+  ppl::HandlerScope scope(messenger);  // propagated into tx::par workers
+  Generator gen(41);
+  infer::MCMC mcmc([] { return std::make_shared<infer::HMC>(0.1, 5); },
+                   /*num_samples=*/32, /*warmup_steps=*/16, /*num_chains=*/2);
+  mcmc.run(make_model(), &gen);
+
+  diag::publish(obs::registry());
+  const auto gauges = obs::registry().gauges();
+  ASSERT_TRUE(gauges.count("diag.mcmc.chains"));
+  EXPECT_DOUBLE_EQ(gauges.at("diag.mcmc.chains"), 2.0);
+  EXPECT_DOUBLE_EQ(gauges.at("diag.mcmc.transitions"), 96.0);
+  // The post-join cross-chain refresh produced per-site health.
+  ASSERT_TRUE(gauges.count("diag.mcmc.ess_min"));
+  EXPECT_GT(gauges.at("diag.mcmc.ess_min"), 0.0);
+}
+
+TEST_F(DiagTest, SnapshotPassesPythonValidator) {
+  if (std::system("python3 -c 'import json' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  manual_seed(51);
+  diag::set_enabled(true);
+  ppl::DiagnosticsMessenger messenger;
+  ppl::HandlerScope scope(messenger);
+
+  ppl::ParamStore store;
+  auto model = make_model();
+  auto guide = std::make_shared<infer::AutoNormal>(
+      model, infer::AutoNormalConfig{}, "g", &store);
+  infer::SVI svi(model, [guide] { (*guide)(); },
+                 std::make_shared<infer::Adam>(0.05),
+                 std::make_shared<infer::TraceELBO>(1), &store);
+  for (int i = 0; i < 20; ++i) svi.step();
+  Generator gen(51);
+  auto kernel = std::make_shared<infer::HMC>(0.1, 5);
+  infer::MCMC mcmc(kernel, /*num_samples=*/32, /*warmup=*/16);
+  mcmc.run(model, &gen);
+
+  const std::string path = temp_path("diag_roundtrip.diag.json");
+  ASSERT_TRUE(diag::write_snapshot(path, "diag_roundtrip"));
+  const std::string cmd = std::string("python3 ") + TX_SOURCE_DIR +
+                          "/scripts/validate_bench.py --diag " + path +
+                          " >/dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "validate_bench.py rejected "
+                                         << path;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tx

@@ -430,17 +430,69 @@ TEST(Diagnostics, ConstantChainIsDefined) {
   EXPECT_DOUBLE_EQ(split_r_hat(chain), 1.0);
 }
 
-TEST(Diagnostics, ShortChainsThrow) {
+TEST(Diagnostics, ShortChainsReturnNaN) {
+  // The documented contract: inputs too short for the estimator yield NaN —
+  // no throw, no fabricated number — so incremental callers can probe
+  // unconditionally and skip non-finite results.
   const std::vector<double> three{1.0, 2.0, 3.0};
-  EXPECT_THROW(effective_sample_size(three), Error);
-  EXPECT_THROW(effective_sample_size(std::vector<double>{}), Error);
+  EXPECT_TRUE(std::isnan(effective_sample_size(three)));
+  EXPECT_TRUE(std::isnan(effective_sample_size(std::vector<double>{})));
   const std::vector<double> seven{1, 2, 3, 4, 5, 6, 7};
-  EXPECT_THROW(split_r_hat(seven), Error);
+  EXPECT_TRUE(std::isnan(split_r_hat(seven)));
   // The shortest admissible inputs work.
   const std::vector<double> four{1.0, 2.0, 1.5, 2.5};
   EXPECT_GT(effective_sample_size(four), 0.0);
   const std::vector<double> eight{1, 2, 1, 2, 1, 2, 1, 2};
   EXPECT_GE(split_r_hat(eight), 0.0);
+}
+
+TEST(Diagnostics, MultiChainDegenerateInputsReturnNaN) {
+  using Chains = std::vector<std::vector<double>>;
+  const Chains empty;
+  EXPECT_TRUE(std::isnan(effective_sample_size(empty)));
+  EXPECT_TRUE(std::isnan(split_r_hat(empty)));
+
+  // Ragged chains: the estimators require rectangular input.
+  Generator gen(118);
+  Chains ragged(2);
+  for (int i = 0; i < 32; ++i) ragged[0].push_back(gen.normal());
+  for (int i = 0; i < 16; ++i) ragged[1].push_back(gen.normal());
+  EXPECT_TRUE(std::isnan(effective_sample_size(ragged)));
+  EXPECT_TRUE(std::isnan(split_r_hat(ragged)));
+
+  // Rectangular but below the single-chain minimum length.
+  const Chains short_chains(3, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(std::isnan(effective_sample_size(short_chains)));
+  EXPECT_TRUE(std::isnan(split_r_hat(short_chains)));
+
+  // A healthy rectangular pair still produces finite estimates.
+  Chains ok(2);
+  for (int i = 0; i < 64; ++i) {
+    ok[0].push_back(gen.normal());
+    ok[1].push_back(gen.normal());
+  }
+  EXPECT_TRUE(std::isfinite(effective_sample_size(ok)));
+  EXPECT_NEAR(split_r_hat(ok), 1.0, 0.1);
+}
+
+TEST(Diagnostics, Ar1ChainMatchesAnalyticEss) {
+  // An AR(1) chain x_t = phi x_{t-1} + e_t has autocorrelation rho_k =
+  // phi^k, so ESS/n -> (1 - phi) / (1 + phi). With phi = 0.5 that is 1/3.
+  constexpr double kPhi = 0.5;
+  constexpr std::size_t kN = 20000;
+  Generator gen(119);
+  std::vector<double> chain(kN);
+  double x = 0.0;
+  // Burn in so the chain starts from (near) stationarity.
+  for (int i = 0; i < 100; ++i) x = kPhi * x + gen.normal();
+  for (auto& v : chain) {
+    x = kPhi * x + gen.normal();
+    v = x;
+  }
+  const double expected =
+      static_cast<double>(kN) * (1.0 - kPhi) / (1.0 + kPhi);
+  const double ess = effective_sample_size(chain);
+  EXPECT_NEAR(ess / expected, 1.0, 0.15);
 }
 
 TEST(Diagnostics, EssNeverExceedsChainLength) {
