@@ -231,6 +231,8 @@ def validate_diag(path, doc):
         for key in ("chains", "transitions", "divergences"):
             if not isinstance(mcmc.get(key), int):
                 err(f"mcmc.{key} is not an integer")
+        if "accept_prob_mean" in mcmc and not is_number(mcmc["accept_prob_mean"]):
+            err(f"mcmc.accept_prob_mean is not a number: {mcmc['accept_prob_mean']!r}")
         for name, stats in (mcmc.get("sites") or {}).items():
             check_stats("mcmc site", name, stats, DIAG_MCMC_SITE_INTS)
 

@@ -57,10 +57,12 @@ double SVI::step() {
     for (const auto& [name, p] : store_->items()) {
       const Tensor g = p.grad();
       if (!g.defined()) continue;
-      const double gsum = static_cast<double>(sum(g).item());
       const double gsq = static_cast<double>(sum(square(g)).item());
       total_grad_sq += gsq;
+      // The extra sum(g) reduction (and its sync) is diag-only; the
+      // instrument-only path stays at the single sum(square(g)).
       if (diag_on) {
+        const double gsum = static_cast<double>(sum(g).item());
         // NaN propagates through both sums, so two finiteness checks cover
         // the whole gradient block.
         const bool finite = std::isfinite(gsum) && std::isfinite(gsq);

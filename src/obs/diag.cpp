@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -55,10 +56,10 @@ struct McmcSiteStats {
   std::int64_t blame = 0;  // divergences localized to this site
 };
 
-struct State {
-  std::mutex mu;
-  Config cfg;
-
+// Everything reset() is allowed to wipe. Kept apart from the mutex (and the
+// Config, which survives resets) so reset() can assign a fresh value without
+// ever destroying a locked mutex.
+struct HealthState {
   // Flight recorder.
   std::deque<std::string> ring;  // pre-rendered JSON records, oldest first
   std::int64_t seq = 0;          // global monotone record index
@@ -75,6 +76,7 @@ struct State {
   // MCMC health.
   std::int64_t mcmc_transitions = 0;
   std::int64_t mcmc_divergences = 0;
+  Welford accept_w;  // sampling-phase Metropolis accept_prob per transition
   std::set<int> chains_seen;
   std::map<std::string, McmcSiteStats> mcmc_sites;
 
@@ -86,8 +88,14 @@ struct State {
   std::string last_site;
 };
 
+struct State : HealthState {
+  std::mutex mu;
+  Config cfg;
+};
+
 std::atomic<bool> g_enabled{false};
 std::atomic<bool> g_in_svi_step{false};
+std::atomic<std::int64_t> g_cur_svi_step{-1};
 
 State& state() {
   static State* s = new State();  // leaked: usable during static destruction
@@ -160,6 +168,10 @@ void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 bool in_svi_step() { return g_in_svi_step.load(std::memory_order_relaxed); }
 
+std::int64_t current_svi_step() {
+  return g_cur_svi_step.load(std::memory_order_relaxed);
+}
+
 void configure(Config cfg) {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -178,11 +190,11 @@ Config config() {
 void reset() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
-  const Config cfg = s.cfg;
-  s.~State();
-  new (&s) State();
-  s.cfg = cfg;
+  // Assigning the HealthState base wipes every accumulator while keeping the
+  // mutex (held right now!) and the Config alive.
+  static_cast<HealthState&>(s) = HealthState();
   g_in_svi_step.store(false, std::memory_order_relaxed);
+  g_cur_svi_step.store(-1, std::memory_order_relaxed);
 }
 
 void svi_step_begin(std::int64_t svi_step) {
@@ -191,6 +203,7 @@ void svi_step_begin(std::int64_t svi_step) {
   std::lock_guard<std::mutex> lock(s.mu);
   s.cur_svi_step = svi_step;
   g_in_svi_step.store(true, std::memory_order_relaxed);
+  g_cur_svi_step.store(svi_step, std::memory_order_relaxed);
 }
 
 void record_site_value(const std::string& site, double mean, double lo,
@@ -246,11 +259,13 @@ void record_param_grad(const std::string& param, double grad_mean,
 void svi_step_end(double loss, double grad_norm) {
   if (!enabled()) {
     g_in_svi_step.store(false, std::memory_order_relaxed);
+    g_cur_svi_step.store(-1, std::memory_order_relaxed);
     return;
   }
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   g_in_svi_step.store(false, std::memory_order_relaxed);
+  g_cur_svi_step.store(-1, std::memory_order_relaxed);
   ++s.svi_steps;
   const bool finite = std::isfinite(loss) && std::isfinite(grad_norm);
   if (std::isfinite(loss)) {
@@ -285,6 +300,7 @@ void mcmc_record_transition(const std::vector<SiteSpan>& spans, int chain,
   std::lock_guard<std::mutex> lock(s.mu);
   ++s.mcmc_transitions;
   s.chains_seen.insert(chain);
+  if (!warmup && std::isfinite(accept_prob)) s.accept_w.add(accept_prob);
   std::string bad_site;
   std::vector<double> bad_values;
   for (const SiteSpan& span : spans) {
@@ -294,8 +310,13 @@ void mcmc_record_transition(const std::vector<SiteSpan>& spans, int chain,
     for (std::size_t i = span.begin; i < span.end && i < next.size(); ++i) {
       const double v = next[i];
       sum += v;
-      if (!std::isfinite(v)) finite = false;
-      if (i < prev.size() && v != prev[i]) moved = true;
+      // A non-finite coordinate never counts as "moved" — NaN != NaN would
+      // otherwise inflate the moved-fraction of a broken chain.
+      if (!std::isfinite(v)) {
+        finite = false;
+      } else if (i < prev.size() && v != prev[i]) {
+        moved = true;
+      }
     }
     if (!finite && bad_site.empty()) {
       bad_site = span.name;
@@ -441,6 +462,9 @@ void publish(MetricsRegistry& reg) {
   reg.gauge("diag.mcmc.divergences")
       .set(static_cast<double>(s.mcmc_divergences));
   reg.gauge("diag.mcmc.chains").set(static_cast<double>(s.chains_seen.size()));
+  if (s.accept_w.count > 0 && std::isfinite(s.accept_w.mean)) {
+    reg.gauge("diag.mcmc.accept_prob_mean").set(s.accept_w.mean);
+  }
   double rhat_max = -std::numeric_limits<double>::infinity();
   double ess_min = std::numeric_limits<double>::infinity();
   for (const auto& [name, st] : s.mcmc_sites) {
@@ -574,6 +598,10 @@ bool write_snapshot(const std::string& path, const std::string& bench_name) {
   out << "    \"chains\": " << s.chains_seen.size() << ",\n";
   out << "    \"transitions\": " << s.mcmc_transitions << ",\n";
   out << "    \"divergences\": " << s.mcmc_divergences << ",\n";
+  if (s.accept_w.count > 0 && std::isfinite(s.accept_w.mean)) {
+    out << "    \"accept_prob_mean\": " << render_json_number(s.accept_w.mean)
+        << ",\n";
+  }
   out << "    \"sites\": {";
   bool first_msite = true;
   for (const auto& [name, st] : s.mcmc_sites) {
@@ -586,7 +614,9 @@ bool write_snapshot(const std::string& path, const std::string& bench_name) {
     emit_field(body, first, "moved", st.moved);
     emit_field(body, first, "divergence_blame", st.blame);
     if (st.transitions > 0) {
-      emit_field(body, first, "accept_fraction",
+      // Fraction of sampling-phase transitions on which the block changed —
+      // not the Metropolis acceptance rate (see mcmc.accept_prob_mean).
+      emit_field(body, first, "moved_fraction",
                  static_cast<double>(st.moved) /
                      static_cast<double>(st.transitions));
     }
@@ -618,8 +648,15 @@ bool write_snapshot(const std::string& path, const std::string& bench_name) {
 #endif  // TX_OBS_DISABLED
 
 std::string diag_path_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--diag") == 0) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--diag") != 0) continue;
+    if (i + 1 < argc) return argv[i + 1];
+    // A trailing --diag means the path was forgotten; say so instead of
+    // silently running with diagnostics off.
+    std::fprintf(stderr,
+                 "warning: --diag given without a path; "
+                 "falling back to TYXE_DIAG\n");
+    break;
   }
   if (const char* env = std::getenv("TYXE_DIAG")) {
     if (*env != '\0') return env;

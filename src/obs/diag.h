@@ -9,7 +9,8 @@
 //    mean + variance.
 //  * MCMC: per-site split-R̂ / ESS refreshed incrementally during sampling
 //    (fed by the driver, which reuses src/infer/diagnostics.h), per-site
-//    value statistics and acceptance fractions, and divergence localization —
+//    value statistics and moved-fractions, the transition-level Metropolis
+//    acceptance mean, and divergence localization —
 //    each HMC/NUTS energy blow-up is blamed on the site with the largest
 //    momentum/gradient contribution.
 //
@@ -91,6 +92,11 @@ void set_enabled(bool on);
 /// potential evaluates the model hundreds of times per transition — those
 /// sightings are accounted by the driver instead).
 bool in_svi_step();
+
+/// Index of the currently open SVI step, -1 outside one. The
+/// DiagnosticsMessenger tags pending guide sightings with this so q/p
+/// pairing can never cross a step boundary.
+std::int64_t current_svi_step();
 
 void configure(Config cfg);
 Config config();
@@ -175,6 +181,7 @@ bool write_snapshot(const std::string& path, const std::string& bench_name);
 inline bool enabled() { return false; }
 inline void set_enabled(bool) {}
 inline bool in_svi_step() { return false; }
+inline std::int64_t current_svi_step() { return -1; }
 inline void configure(Config) {}
 inline Config config() { return {}; }
 inline void reset() {}

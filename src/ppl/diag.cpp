@@ -40,18 +40,22 @@ void DiagnosticsMessenger::postprocess_message(SampleMsg& msg) {
   diag::record_site_value(msg.name, mean, lo, hi, n, finite, sample_values);
 
   // Pair the guide sighting (first, stores q) with the model replay
-  // (second, carries p) for the analytic KL(q‖p).
+  // (second, carries p) for the analytic KL(q‖p). Entries are tagged with
+  // the SVI step: a site sighted only once per step (guide-only or
+  // model-only) would otherwise leave a stale q that pairs with a later
+  // step's sighting — swapped q/p or KL across steps, silently wrong.
+  const std::int64_t step = diag::current_svi_step();
   const auto key = std::make_pair(std::this_thread::get_id(), msg.name);
   dist::DistPtr q;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++sites_seen_;
     auto it = pending_q_.find(key);
-    if (it == pending_q_.end()) {
-      pending_q_[key] = msg.distribution;
+    if (it == pending_q_.end() || it->second.svi_step != step) {
+      pending_q_[key] = {msg.distribution, step};  // stale entries replaced
       return;
     }
-    q = it->second;
+    q = it->second.q;
     pending_q_.erase(it);
   }
   if (!q || !msg.distribution) return;

@@ -40,11 +40,20 @@ class DiagnosticsMessenger : public Messenger {
   std::int64_t sites_seen() const;
 
  private:
+  struct PendingQ {
+    dist::DistPtr q;
+    std::int64_t svi_step = -1;  // step the sighting belongs to
+  };
+
   mutable std::mutex mu_;
   std::int64_t sites_seen_ = 0;
   /// Guide-sighting distributions awaiting their model-replay partner,
   /// keyed by (thread, site) so parallel ELBO particles pair correctly.
-  std::map<std::pair<std::thread::id, std::string>, dist::DistPtr> pending_q_;
+  /// Each entry is tagged with its SVI step: a site sighted only once in a
+  /// step (present in just one of guide/model) leaves a stale entry, which
+  /// the next step's first sighting replaces instead of pairing with — KL
+  /// can never be computed across a step boundary or with q/p swapped.
+  std::map<std::pair<std::thread::id, std::string>, PendingQ> pending_q_;
 };
 
 }  // namespace tx::ppl

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -141,6 +142,63 @@ TEST_F(DiagTest, SviStreamsSiteKlAndGradientHealth) {
   std::remove(path.c_str());
 }
 
+TEST_F(DiagTest, KlPairingNeverCrossesStepBoundaries) {
+  diag::set_enabled(true);
+  ppl::DiagnosticsMessenger messenger;
+  auto sight = [&](const std::string& name, dist::DistPtr d) {
+    ppl::SampleMsg msg;
+    msg.name = name;
+    msg.distribution = std::move(d);
+    msg.value = Tensor::scalar(0.5f);
+    messenger.postprocess_message(msg);
+  };
+
+  // A site present in only one of guide/model is sighted once per step; its
+  // stale pending entry must be replaced at the next step, never paired
+  // (which would record KL(q_step_n ‖ q_step_n+1) or swap q/p).
+  diag::svi_step_begin(0);
+  sight("lonely", std::make_shared<Normal>(0.0f, 1.0f));
+  diag::svi_step_end(1.0, 1.0);
+  diag::svi_step_begin(1);
+  sight("lonely", std::make_shared<Normal>(5.0f, 2.0f));
+  diag::svi_step_end(1.0, 1.0);
+
+  // A guide/model pair inside a single step still records KL.
+  diag::svi_step_begin(2);
+  sight("paired", std::make_shared<Normal>(0.0f, 1.0f));
+  sight("paired", std::make_shared<Normal>(0.0f, 1.0f));
+  diag::svi_step_end(1.0, 1.0);
+
+  const std::string path = temp_path("diag_kl_pairing.json");
+  ASSERT_TRUE(diag::write_snapshot(path, "kl_pairing"));
+  const std::string doc = read_file(path);
+  const auto lonely_pos = doc.find("\"lonely\"");
+  ASSERT_NE(lonely_pos, std::string::npos);
+  const auto lonely_end = doc.find('}', lonely_pos);
+  EXPECT_EQ(doc.substr(lonely_pos, lonely_end - lonely_pos).find("kl_"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"kl_count\": 1"), std::string::npos);  // paired only
+  std::remove(path.c_str());
+}
+
+TEST_F(DiagTest, NonFiniteCoordinatesDoNotCountAsMoved) {
+  diag::set_enabled(true);
+  const std::vector<diag::SiteSpan> spans{{"z", 0, 1}};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN != NaN is true, so without the finiteness guard a broken chain
+  // would report a perfect moved-fraction.
+  diag::mcmc_record_transition(spans, /*chain=*/0, /*step=*/0,
+                               /*warmup=*/false, /*accept_prob=*/0.25,
+                               /*divergent=*/false, {nan}, {nan});
+  const std::string path = temp_path("diag_moved.json");
+  ASSERT_TRUE(diag::write_snapshot(path, "diag_moved"));
+  const std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"moved\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"moved_fraction\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"accept_prob_mean\": 0.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(DiagTest, PoisonedLearningRateTripsForensicDump) {
   manual_seed(11);
   diag::set_enabled(true);
@@ -204,7 +262,8 @@ TEST_F(DiagTest, McmcRefreshPublishesPerSiteHealth) {
   const std::string doc = read_file(path);
   EXPECT_NE(doc.find("\"ess\""), std::string::npos);
   EXPECT_NE(doc.find("\"rhat\""), std::string::npos);
-  EXPECT_NE(doc.find("\"accept_fraction\""), std::string::npos);
+  EXPECT_NE(doc.find("\"moved_fraction\""), std::string::npos);
+  EXPECT_NE(doc.find("\"accept_prob_mean\""), std::string::npos);
   std::remove(path.c_str());
 }
 
