@@ -5,9 +5,12 @@
 // behind the three panels — plus the in-between-uncertainty summary that
 // distinguishes HMC from mean field (DESIGN.md, FIG1).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <string>
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
@@ -15,6 +18,7 @@
 #include "par/pool.h"
 #include "ppl/diag.h"
 #include "ppl/profiling.h"
+#include "resil/fault.h"
 
 using tx::Tensor;
 
@@ -68,6 +72,30 @@ int main(int argc, char** argv) {
   // Every ppl sample/observe site becomes a timeline tick (no-op untraced).
   tx::ppl::TracingMessenger site_tracer;
   tx::ppl::HandlerScope site_scope(site_tracer);
+
+  // --checkpoint-every <K> switches the VI fit onto the fault-tolerant
+  // tx::resil driver: a tx.ckpt.v1 checkpoint (--checkpoint <path>, default
+  // fig1.ckpt) every K steps, resumed automatically when the file already
+  // exists. A run interrupted mid-fit and re-launched with the same flags
+  // produces bitwise-identical output to an uninterrupted one — see
+  // docs/robustness.md. The printed vi_fit wall time quantifies the
+  // checkpointing overhead against a flagless run.
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_path = "fig1.ckpt";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoint-every" && i + 1 < argc) {
+      checkpoint_every = std::atoll(argv[++i]);
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    }
+  }
+  // Resilient runs opt into the TYXE_FAULT injection harness, so CI can
+  // exercise NaN-gradient rollback and failed-checkpoint-write handling on
+  // this exact workload (fault plans are inert without the env var).
+  if (checkpoint_every > 0 && tx::fault::install_from_env()) {
+    std::printf("fault plan installed from TYXE_FAULT\n");
+  }
 
   // --diag <path> (or TYXE_DIAG) streams inference health — per-site
   // variational drift/KL, gradient SNR, per-site R̂/ESS and divergence
@@ -129,11 +157,28 @@ int main(int argc, char** argv) {
         .set("seconds", s.seconds);
     sink.emit(e);
   });
+  tx::Generator vi_gen(seed + 2);
+  tx::resil::FitReport ckpt_report;
+  double vi_seconds = 0.0;
   {
     tx::obs::ScopedTimer span("fig1.vi_fit");
+    const auto t0 = std::chrono::steady_clock::now();
     tyxe::poutine::LocalReparameterization lr;
     auto optim = std::make_shared<tx::infer::Adam>(1e-2);
-    bnn->fit({{{data.x}, data.y}}, optim, 2000);
+    if (checkpoint_every > 0) {
+      // Resumable runs pin all fit-time sampling to a private generator so
+      // the RNG stream is part of the checkpoint (docs/robustness.md).
+      bnn->set_generator(&vi_gen);
+      tx::resil::RetryPolicy policy;
+      policy.checkpoint_path = checkpoint_path;
+      policy.checkpoint_every = checkpoint_every;
+      ckpt_report = bnn->fit({{{data.x}, data.y}}, optim, 2000, policy);
+    } else {
+      bnn->fit({{{data.x}, data.y}}, optim, 2000);
+    }
+    vi_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
   Band lr_band, shared_band;
   {
@@ -194,6 +239,17 @@ int main(int argc, char** argv) {
   std::printf("  HMC std: data region %.3f, gap %.3f (ratio %.2f)\n", hmc_data,
               hmc_gap, hmc_gap / hmc_data);
   std::printf("  HMC acceptance %.2f\n", hmc_bnn.mcmc().mean_accept_prob());
+  std::printf("  VI fit wall time %.3f s\n", vi_seconds);
+  if (checkpoint_every > 0) {
+    std::printf(
+        "  checkpointing: every %lld steps -> %s (%lld snapshots, %lld "
+        "rollbacks%s%s)\n",
+        static_cast<long long>(checkpoint_every), checkpoint_path.c_str(),
+        static_cast<long long>(ckpt_report.checkpoints),
+        static_cast<long long>(ckpt_report.rollbacks),
+        ckpt_report.resumed ? ", resumed" : "",
+        ckpt_report.checkpoint_failures > 0 ? ", WRITE FAILURES" : "");
+  }
   std::printf("  paper shape: both inflate uncertainty off-data; HMC's "
               "in-between band is widest.\n");
 
@@ -205,7 +261,12 @@ int main(int argc, char** argv) {
         .set("hmc_gap_std", hmc_gap)
         .set("hmc_data_std", hmc_data)
         .set("hmc_mean_accept", hmc_bnn.mcmc().mean_accept_prob())
-        .set("hmc_divergences", hmc_bnn.mcmc().divergence_count());
+        .set("hmc_divergences", hmc_bnn.mcmc().divergence_count())
+        .set("vi_fit_seconds", vi_seconds)
+        .set("checkpoint_every", checkpoint_every)
+        .set("checkpoints", ckpt_report.checkpoints)
+        .set("checkpoint_rollbacks", ckpt_report.rollbacks)
+        .set("resumed", ckpt_report.resumed ? 1 : 0);
     sink.emit(e);
   }
   tx::obs::EventSink::write_snapshot(

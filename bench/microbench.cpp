@@ -3,11 +3,14 @@
 // overhead the paper discusses ("they double the computational cost").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/tyxe.h"
 #include "data/datasets.h"
 #include "obs/diag.h"
 #include "par/par.h"
 #include "ppl/diag.h"
+#include "resil/checkpoint.h"
 
 using tx::Tensor;
 namespace nd = tx::dist;
@@ -174,6 +177,65 @@ void BM_PredictPosteriorSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictPosteriorSample);
+
+// --- tx.ckpt.v1 checkpoint cost: what a RetryPolicy with checkpoint_every=K
+// amortizes over K SVI steps. The fixture is a store of 8 tensors totalling
+// range(0) floats plus an Adam with live moments and a generator — the same
+// three sections fit_svi snapshots.
+
+struct CheckpointFixture {
+  tx::ppl::ParamStore store;
+  tx::infer::Adam opt{1e-3};
+  tx::Generator gen{0};
+
+  explicit CheckpointFixture(std::int64_t total_floats) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "layer" + std::to_string(i) + ".w";
+      store.set(name,
+                tx::randn({total_floats / 8}, &gen).set_requires_grad(true));
+      opt.add_param(name, store.get(name));
+      tx::sum(tx::square(store.get(name))).backward();
+    }
+    opt.step();  // populate the Adam moment buffers
+  }
+
+  tx::resil::Bundle bundle() const {
+    tx::resil::Bundle b;
+    b.set("store", tx::resil::param_store_bytes(store));
+    b.set("optim", tx::resil::optimizer_bytes(opt));
+    b.set("gen", tx::resil::generator_bytes(gen));
+    return b;
+  }
+};
+
+void BM_CheckpointSave(benchmark::State& state) {
+  CheckpointFixture fx(state.range(0));
+  const std::string path = "BENCH_checkpoint.ckpt";
+  const std::size_t bytes = fx.bundle().serialize().size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.bundle().write_file(path));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointSave)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  CheckpointFixture fx(state.range(0));
+  const std::string path = "BENCH_checkpoint.ckpt";
+  fx.bundle().write_file(path);
+  const std::size_t bytes = fx.bundle().serialize().size();
+  for (auto _ : state) {
+    tx::resil::Bundle b = tx::resil::Bundle::read_file(path);
+    tx::resil::apply_param_store_bytes(b.get("store"), fx.store,
+                                       /*prune_extra=*/true);
+    tx::resil::apply_optimizer_bytes(b.get("optim"), fx.opt);
+    tx::resil::apply_generator_bytes(b.get("gen"), fx.gen);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointLoad)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
 
 // --- tx::par thread-scaling variants: the argument is the pool size, so one
 // run shows how each hot path scales (results are bitwise-identical across

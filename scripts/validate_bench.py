@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json snapshots, tx.trace.v1 Chrome-trace exports, and
-tx.diag.v1 inference-health snapshots.
+"""Validate BENCH_*.json snapshots, tx.trace.v1 Chrome-trace exports,
+tx.diag.v1 inference-health snapshots, and tx.ckpt.v1 checkpoint bundles.
 
-Usage: scripts/validate_bench.py [--trace | --diag] FILE [FILE ...]
+Usage: scripts/validate_bench.py [--trace | --diag | --ckpt] FILE [FILE ...]
 
-Three file kinds are understood, auto-detected by shape:
+Four file kinds are understood; the first three are JSON and auto-detected
+by shape, checkpoints are text-framed binary selected with --ckpt:
 
 * Metric snapshots (tx.obs.v1, written by EventSink::write_snapshot): checks
   the structural contract documented in docs/observability.md — top-level
@@ -22,6 +23,15 @@ Three file kinds are understood, auto-detected by shape:
   increasing, and that every per-site / per-param statistic is a finite
   number (the writer's contract is to omit undefined fields, never to emit
   NaN/Infinity/null).
+* Checkpoint bundles (tx.ckpt.v1, written by resil::Bundle::write_file,
+  --ckpt only): re-verifies the FNV-1a 64 checksum footer, the header
+  section count, per-section byte framing, and that section names are
+  sorted and unique — i.e. the file would load, without needing the C++
+  loader.
+
+Metric snapshots additionally have their `resil.*` counters and gauges
+checked against the schema documented in docs/robustness.md: unknown
+resil names, negative counters, or non-finite gauges are violations.
 
 `--trace` / `--diag` additionally *require* each named file to be of that
 kind, so a glob that accidentally matches a snapshot fails loudly instead of
@@ -33,6 +43,28 @@ import sys
 
 REQUIRED_TOP = ["bench", "schema", "counters", "gauges", "histograms", "series"]
 REQUIRED_HIST = ["count", "sum", "mean", "min", "max", "p50", "p90", "p99", "buckets"]
+
+# The resil.* metric schema (docs/robustness.md). Counters and gauges under
+# the resil. prefix must come from these sets; anything else is a typo or an
+# undocumented metric and fails validation.
+RESIL_COUNTERS = {
+    "resil.svi.resumes",
+    "resil.svi.rollbacks",
+    "resil.svi.retries_exhausted",
+    "resil.mcmc.resumes",
+    "resil.mcmc.restarts",
+    "resil.ckpt.snapshots",
+    "resil.ckpt.writes",
+    "resil.ckpt.write_failures",
+}
+RESIL_GAUGES = {
+    "resil.svi.lr",
+    "resil.svi.consecutive_rollbacks",
+    "resil.svi.checkpoint_step",
+    "resil.svi.rollbacks_total",
+    "resil.mcmc.restarts_total",
+}
+RESIL_GAUGE_PREFIXES = ("resil.mcmc.step_size.chain",)
 
 
 def is_number(v):
@@ -62,6 +94,11 @@ def validate_snapshot(path, doc):
         for name, v in doc["counters"].items():
             if not isinstance(v, int) or isinstance(v, bool):
                 err(f"counter '{name}' is not an integer: {v!r}")
+            elif name.startswith("resil."):
+                if name not in RESIL_COUNTERS:
+                    err(f"counter '{name}' is not a documented resil.* counter")
+                elif v < 0:
+                    err(f"resil counter '{name}' is negative: {v}")
 
     if not isinstance(doc["gauges"], dict):
         err("'gauges' must be an object")
@@ -69,6 +106,13 @@ def validate_snapshot(path, doc):
         for name, v in doc["gauges"].items():
             if not is_number(v):
                 err(f"gauge '{name}' is not a number: {v!r}")
+            elif name.startswith("resil."):
+                if name not in RESIL_GAUGES and not any(
+                    name.startswith(p) for p in RESIL_GAUGE_PREFIXES
+                ):
+                    err(f"gauge '{name}' is not a documented resil.* gauge")
+                elif v != v or v in (float("inf"), float("-inf")):
+                    err(f"resil gauge '{name}' is not finite: {v!r}")
 
     if not isinstance(doc["histograms"], dict):
         err("'histograms' must be an object")
@@ -247,6 +291,83 @@ def validate_diag(path, doc):
     return errors
 
 
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def validate_ckpt(path):
+    """Re-implements the tx.ckpt.v1 loader's integrity checks in Python."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        return [f"{path}: unreadable ({e})"]
+
+    footer_tag = b"@checksum "
+    footer_size = len(footer_tag) + 17  # tag + 16 hex digits + newline
+    if (
+        len(data) <= footer_size
+        or not data.endswith(b"\n")
+        or data[-footer_size : -footer_size + len(footer_tag)] != footer_tag
+    ):
+        return [f"{path}: missing or truncated checksum footer"]
+    hex_digits = data[-17:-1]
+    try:
+        want = int(hex_digits, 16)
+    except ValueError:
+        return [f"{path}: malformed checksum footer {hex_digits!r}"]
+    body = data[:-footer_size]
+    got = fnv1a64(body)
+    if got != want:
+        err(f"checksum mismatch: footer {want:016x}, body hashes to {got:016x}")
+
+    nl = body.find(b"\n")
+    if nl < 0:
+        return errors + [f"{path}: truncated header"]
+    header = body[:nl].split(b" ")
+    if len(header) != 2 or header[0] != b"tx.ckpt.v1":
+        return errors + [f"{path}: bad header {body[:nl]!r}"]
+    try:
+        count = int(header[1])
+    except ValueError:
+        return errors + [f"{path}: bad section count {header[1]!r}"]
+
+    pos = nl + 1
+    names = []
+    for i in range(count):
+        nl = body.find(b"\n", pos)
+        if nl < 0:
+            return errors + [f"{path}: truncated section header {i}"]
+        parts = body[pos:nl].split(b" ")
+        if len(parts) != 3 or parts[0] != b"@" or not parts[1]:
+            return errors + [f"{path}: bad section header {body[pos:nl]!r}"]
+        try:
+            nbytes = int(parts[2])
+        except ValueError:
+            return errors + [f"{path}: bad section size {parts[2]!r}"]
+        pos = nl + 1
+        if pos + nbytes >= len(body) or body[pos + nbytes] != ord("\n"):
+            return errors + [f"{path}: truncated section {parts[1].decode()!r}"]
+        names.append(parts[1].decode())
+        pos += nbytes + 1
+    if pos != len(body):
+        err(f"{len(body) - pos} trailing bytes after the last section")
+    if names != sorted(names):
+        err(f"section names not sorted: {names}")
+    if len(set(names)) != len(names):
+        err(f"duplicate section names: {names}")
+    return errors
+
+
 def validate(path, require_trace=False, require_diag=False):
     try:
         with open(path, encoding="utf-8") as f:
@@ -271,19 +392,26 @@ def main(argv):
     args = argv[1:]
     require_trace = False
     require_diag = False
+    require_ckpt = False
     if args and args[0] == "--trace":
         require_trace = True
         args = args[1:]
     elif args and args[0] == "--diag":
         require_diag = True
         args = args[1:]
+    elif args and args[0] == "--ckpt":
+        require_ckpt = True
+        args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_errors = []
     for path in args:
-        kind, errs = validate(path, require_trace=require_trace,
-                              require_diag=require_diag)
+        if require_ckpt:
+            kind, errs = "tx.ckpt.v1", validate_ckpt(path)
+        else:
+            kind, errs = validate(path, require_trace=require_trace,
+                                  require_diag=require_diag)
         if errs:
             all_errors.extend(errs)
         else:

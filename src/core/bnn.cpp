@@ -230,6 +230,36 @@ double VariationalBNN::fit(const std::vector<Batch>& data,
   return fit([&data] { return data; }, std::move(optimizer), epochs, callback);
 }
 
+tx::resil::FitReport VariationalBNN::fit(
+    const std::vector<Batch>& data,
+    std::shared_ptr<tx::infer::Optimizer> optimizer, int epochs,
+    const tx::resil::RetryPolicy& policy) {
+  TX_CHECK(optimizer != nullptr, "fit: null optimizer");
+  TX_CHECK(!data.empty(), "fit: empty batch list");
+  // The batch for each step comes from the step counter, not an external
+  // loop, so a run resumed at step t scores exactly the batch the original
+  // run would have scored at step t.
+  tx::infer::SVI* live = nullptr;
+  tx::infer::SVI svi(
+      [&, live_ptr = &live] {
+        tx::infer::SVI& s = **live_ptr;
+        const Batch& b = data[static_cast<std::size_t>(
+            s.steps_taken() % static_cast<std::int64_t>(data.size()))];
+        model(b.first, b.second);
+      },
+      [this] { guide_program(); }, std::move(optimizer), elbo_, &store_,
+      generator_);
+  live = &svi;
+  if (step_callback_) svi.set_step_callback(step_callback_);
+  // Warm the guide before fit_svi can resume: lazy site discovery during the
+  // first post-resume step would consume restored-generator draws the
+  // original run never made, breaking bitwise resume determinism.
+  guide_program();
+  const std::int64_t steps = static_cast<std::int64_t>(epochs) *
+                             static_cast<std::int64_t>(data.size());
+  return tx::resil::fit_svi(svi, steps, policy);
+}
+
 Tensor VariationalBNN::predict(const std::vector<Tensor>& inputs,
                                int num_predictions, bool aggregate) {
   TX_CHECK(num_predictions >= 1, "predict: num_predictions must be >= 1");

@@ -22,6 +22,7 @@
 #include "core/priors.h"
 #include "infer/infer.h"
 #include "nn/nn.h"
+#include "resil/resil.h"
 
 namespace tyxe {
 
@@ -174,6 +175,17 @@ class VariationalBNN : public SupervisedBNN {
   double fit(const std::vector<Batch>& data,
              std::shared_ptr<tx::infer::Optimizer> optimizer, int epochs,
              const FitCallback& callback = nullptr);
+
+  /// Fault-tolerant fit: epochs * data.size() SVI steps under tx::resil —
+  /// periodic tx.ckpt.v1 checkpoints, resume from policy.checkpoint_path,
+  /// and rollback + lr decay on non-finite loss/gradients. The batch for
+  /// each step is chosen from the SVI step counter, so a resumed run replays
+  /// the identical schedule; with set_generator() also set, an interrupted
+  /// and resumed run is bitwise-identical to an uninterrupted one (see
+  /// docs/robustness.md).
+  tx::resil::FitReport fit(const std::vector<Batch>& data,
+                           std::shared_ptr<tx::infer::Optimizer> optimizer,
+                           int epochs, const tx::resil::RetryPolicy& policy);
 
   Tensor predict(const std::vector<Tensor>& inputs, int num_predictions = 1,
                  bool aggregate = true) override;

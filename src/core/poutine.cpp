@@ -1,5 +1,7 @@
 #include "core/poutine.h"
 
+#include "ppl/messenger.h"
+
 namespace tyxe::poutine {
 
 namespace nd = tx::dist;
@@ -72,7 +74,7 @@ Tensor LocalReparameterizationMessenger::reparameterize_linear(
   Tensor out_var = tx::linear(tx::square(x), tx::square(w.scale()),
                               b ? tx::square(b->scale()) : Tensor());
   Tensor out_std = tx::sqrt(tx::add(out_var, Tensor::scalar(1e-10f)));
-  Tensor eps = tx::randn(out_loc.shape());
+  Tensor eps = tx::randn(out_loc.shape(), tx::ppl::current_generator());
   return tx::add(out_loc, tx::mul(out_std, eps));
 }
 
@@ -85,7 +87,7 @@ Tensor LocalReparameterizationMessenger::reparameterize_conv2d(
                               b ? tx::square(b->scale()) : Tensor(), stride,
                               padding);
   Tensor out_std = tx::sqrt(tx::add(out_var, Tensor::scalar(1e-10f)));
-  Tensor eps = tx::randn(out_loc.shape());
+  Tensor eps = tx::randn(out_loc.shape(), tx::ppl::current_generator());
   return tx::add(out_loc, tx::mul(out_std, eps));
 }
 
@@ -100,13 +102,15 @@ Tensor FlipoutMessenger::reparameterize_linear(const Tensor& x,
   const std::int64_t rows = x2.dim(0);
   Tensor out_mean = tx::linear(x2, w.loc(), mean_bias);
   // Shared perturbation, per-example sign decorrelation.
-  Tensor delta = tx::mul(w.scale(), tx::randn(w.scale().shape()));
-  Tensor r_in = tx::rand_sign({rows, x2.dim(1)});
-  Tensor r_out = tx::rand_sign({rows, w.loc().dim(0)});
+  Tensor delta = tx::mul(w.scale(),
+      tx::randn(w.scale().shape(), tx::ppl::current_generator()));
+  Tensor r_in = tx::rand_sign({rows, x2.dim(1)}, tx::ppl::current_generator());
+  Tensor r_out = tx::rand_sign({rows, w.loc().dim(0)}, tx::ppl::current_generator());
   Tensor perturb = tx::mul(tx::linear(tx::mul(x2, r_in), delta, Tensor()), r_out);
   Tensor out = tx::add(out_mean, perturb);
   if (b) {
-    Tensor b_delta = tx::mul(b->scale(), tx::randn(b->scale().shape()));
+    Tensor b_delta = tx::mul(b->scale(),
+        tx::randn(b->scale().shape(), tx::ppl::current_generator()));
     out = tx::add(out, tx::mul(b_delta, r_out));
   }
   if (x.rank() != 2) {
@@ -125,15 +129,17 @@ Tensor FlipoutMessenger::reparameterize_conv2d(const Tensor& x,
                                                std::int64_t padding) {
   Tensor mean_bias = b ? b->loc() : bias;
   Tensor out_mean = tx::conv2d(x, w.loc(), mean_bias, stride, padding);
-  Tensor delta = tx::mul(w.scale(), tx::randn(w.scale().shape()));
+  Tensor delta = tx::mul(w.scale(),
+      tx::randn(w.scale().shape(), tx::ppl::current_generator()));
   const std::int64_t n = x.dim(0);
-  Tensor r_in = tx::rand_sign({n, x.dim(1), 1, 1});
-  Tensor r_out = tx::rand_sign({n, w.loc().dim(0), 1, 1});
+  Tensor r_in = tx::rand_sign({n, x.dim(1), 1, 1}, tx::ppl::current_generator());
+  Tensor r_out = tx::rand_sign({n, w.loc().dim(0), 1, 1}, tx::ppl::current_generator());
   Tensor perturb = tx::mul(
       tx::conv2d(tx::mul(x, r_in), delta, Tensor(), stride, padding), r_out);
   Tensor out = tx::add(out_mean, perturb);
   if (b) {
-    Tensor b_delta = tx::mul(b->scale(), tx::randn(b->scale().shape()));
+    Tensor b_delta = tx::mul(b->scale(),
+        tx::randn(b->scale().shape(), tx::ppl::current_generator()));
     out = tx::add(out, tx::mul(tx::reshape(b_delta, {1, -1, 1, 1}), r_out));
   }
   return out;

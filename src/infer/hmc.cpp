@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "util/textio.h"
 
 namespace tx::infer {
 
@@ -105,6 +106,30 @@ void MCMCKernel::setup(Program model, Generator* gen) {
   gen_ = gen;
 }
 
+void MCMCKernel::save_state(std::ostream& os) const {
+  os << kind() << " v1\nstats ";
+  textio::write_double(os, accept_stat_);
+  os << ' ' << accept_count_ << ' ';
+  textio::write_double(os, last_accept_prob_);
+  os << ' ' << divergences_ << '\n';
+}
+
+void MCMCKernel::load_state(std::istream& is) {
+  const std::string k = textio::next_token(is, "kernel kind");
+  TX_CHECK(k == kind(), "kernel state: kind mismatch — state is '", k,
+           "' but kernel is '", kind(), "'");
+  textio::expect_tag(is, "v1");
+  textio::expect_tag(is, "stats");
+  const double accept_stat = textio::read_double(is, "accept_stat");
+  const std::int64_t accept_count = textio::read_int(is, "accept_count");
+  const double last_accept = textio::read_double(is, "last_accept_prob");
+  const std::int64_t divergences = textio::read_int(is, "divergences");
+  accept_stat_ = accept_stat;
+  accept_count_ = accept_count;
+  last_accept_prob_ = last_accept;
+  divergences_ = divergences;
+}
+
 std::vector<double> MCMCKernel::initial_position() {
   TX_CHECK(potential_ != nullptr, "kernel not set up");
   return potential_->initial_position(gen_);
@@ -129,14 +154,107 @@ void DualAveraging::update(double accept_prob) {
   final_ = std::exp(log_eps_bar_);
 }
 
+void DualAveraging::save(std::ostream& os) const {
+  os << "da ";
+  textio::write_double(os, mu_);
+  os << ' ';
+  textio::write_double(os, target_);
+  os << ' ';
+  textio::write_double(os, step_);
+  os << ' ';
+  textio::write_double(os, final_);
+  os << ' ';
+  textio::write_double(os, h_bar_);
+  os << ' ';
+  textio::write_double(os, log_eps_bar_);
+  os << ' ' << t_ << '\n';
+}
+
+void DualAveraging::load(std::istream& is) {
+  textio::expect_tag(is, "da");
+  const double mu = textio::read_double(is, "da.mu");
+  const double target = textio::read_double(is, "da.target");
+  const double step = textio::read_double(is, "da.step");
+  const double fin = textio::read_double(is, "da.final");
+  const double h_bar = textio::read_double(is, "da.h_bar");
+  const double log_eps_bar = textio::read_double(is, "da.log_eps_bar");
+  const std::int64_t t = textio::read_int(is, "da.t");
+  mu_ = mu;
+  target_ = target;
+  step_ = step;
+  final_ = fin;
+  h_bar_ = h_bar;
+  log_eps_bar_ = log_eps_bar;
+  t_ = t;
+}
+
 HMC::HMC(double step_size, int num_steps, bool adapt_step_size,
          double target_accept, bool adapt_mass_matrix)
     : step_size_(step_size),
       num_steps_(num_steps),
       adapt_(adapt_step_size),
+      target_accept_(target_accept),
       averager_(step_size, target_accept),
       adapt_mass_(adapt_mass_matrix) {
   TX_CHECK(step_size > 0.0 && num_steps >= 1, "HMC: bad step_size/num_steps");
+}
+
+void HMC::set_step_size(double eps) {
+  TX_CHECK(eps > 0.0, "HMC: step size must be positive");
+  step_size_ = eps;
+  // Re-seed adaptation around the forced value while warmup is still live,
+  // so dual averaging does not immediately snap back to the old regime.
+  if (adapt_ && !frozen_) averager_ = DualAveraging(eps, target_accept_);
+}
+
+void HMC::save_state(std::ostream& os) const {
+  MCMCKernel::save_state(os);
+  os << "hmc ";
+  textio::write_double(os, step_size_);
+  os << ' ' << (frozen_ ? 1 : 0) << ' ' << warmup_seen_ << '\n';
+  averager_.save(os);
+  os << "mass " << welford_count_ << ' ';
+  textio::write_vec_d(os, inv_mass_);
+  textio::write_vec_d(os, welford_mean_);
+  textio::write_vec_d(os, welford_m2_);
+}
+
+void HMC::load_state(std::istream& is) {
+  // Parse the whole stream (base fields included) into locals first, so a
+  // truncated/corrupt stream throws before any member changes.
+  const std::string k = textio::next_token(is, "kernel kind");
+  TX_CHECK(k == kind(), "kernel state: kind mismatch — state is '", k,
+           "' but kernel is '", kind(), "'");
+  textio::expect_tag(is, "v1");
+  textio::expect_tag(is, "stats");
+  const double accept_stat = textio::read_double(is, "accept_stat");
+  const std::int64_t accept_count = textio::read_int(is, "accept_count");
+  const double last_accept = textio::read_double(is, "last_accept_prob");
+  const std::int64_t divergences = textio::read_int(is, "divergences");
+  textio::expect_tag(is, "hmc");
+  const double step_size = textio::read_double(is, "step_size");
+  const std::int64_t frozen = textio::read_int(is, "frozen");
+  const std::int64_t warmup_seen = textio::read_int(is, "warmup_seen");
+  DualAveraging averager = averager_;
+  averager.load(is);
+  textio::expect_tag(is, "mass");
+  const std::int64_t welford_count = textio::read_int(is, "welford_count");
+  std::vector<double> inv_mass = textio::read_vec_d(is, "inv_mass");
+  std::vector<double> welford_mean = textio::read_vec_d(is, "welford_mean");
+  std::vector<double> welford_m2 = textio::read_vec_d(is, "welford_m2");
+
+  accept_stat_ = accept_stat;
+  accept_count_ = accept_count;
+  last_accept_prob_ = last_accept;
+  divergences_ = divergences;
+  step_size_ = step_size;
+  frozen_ = frozen != 0;
+  warmup_seen_ = warmup_seen;
+  averager_ = averager;
+  welford_count_ = welford_count;
+  inv_mass_ = std::move(inv_mass);
+  welford_mean_ = std::move(welford_mean);
+  welford_m2_ = std::move(welford_m2);
 }
 
 double HMC::kinetic(const std::vector<double>& p) const {

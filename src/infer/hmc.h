@@ -4,6 +4,7 @@
 // named sites and scores the model via the same autograd used by SVI.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -69,6 +70,15 @@ class MCMCKernel {
   /// (or went non-finite) — the classic silent-failure signal for BNN HMC.
   std::int64_t divergence_count() const { return divergences_; }
 
+  /// Stable tag used in checkpoint headers ("hmc", "nuts").
+  virtual const char* kind() const = 0;
+  /// Serialize / restore the kernel's dynamic state — adaptation position,
+  /// mass estimate, acceptance statistics — as stable hexfloat text. The
+  /// chain position itself lives with the driver. load_state parses fully
+  /// before mutating, so corrupt input throws without touching live state.
+  virtual void save_state(std::ostream& os) const;
+  virtual void load_state(std::istream& is);
+
  protected:
   std::shared_ptr<Potential> potential_;
   Generator* gen_ = nullptr;
@@ -88,6 +98,10 @@ class DualAveraging {
   /// Smoothed step size to freeze after warmup.
   double final_step() const { return final_; }
   void freeze() { step_ = final_; }
+
+  /// Exact state serialization for checkpoint resume.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   double mu_, target_;
@@ -111,6 +125,16 @@ class HMC : public MCMCKernel {
   /// Current diagonal inverse mass (empty until adapted; identity before).
   const std::vector<double>& inverse_mass() const { return inv_mass_; }
 
+  const char* kind() const override { return "hmc"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  double step_size() const { return step_size_; }
+  /// Force a new step size (tx::resil divergence-storm backoff). While
+  /// adaptation is still live the dual-averaging state is re-seeded from the
+  /// new value so warmup continues from there instead of snapping back.
+  void set_step_size(double eps);
+
  protected:
   /// One leapfrog integration; grad holds dU/dq at q on entry and exit.
   void leapfrog(std::vector<double>& q, std::vector<double>& p,
@@ -124,6 +148,7 @@ class HMC : public MCMCKernel {
   double step_size_;
   int num_steps_;
   bool adapt_;
+  double target_accept_;
   DualAveraging averager_;
   bool frozen_ = false;
 

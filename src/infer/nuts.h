@@ -14,6 +14,8 @@ class NUTS : public HMC {
 
   std::vector<double> step(const std::vector<double>& q, bool warmup) override;
 
+  const char* kind() const override { return "nuts"; }
+
  private:
   struct Tree {
     std::vector<double> q_minus, p_minus, grad_minus;

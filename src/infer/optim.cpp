@@ -2,15 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/textio.h"
 
 namespace tx::infer {
 
-void Optimizer::add_param(const Tensor& p) {
+using textio::expect_tag;
+using textio::next_token;
+using textio::read_double;
+using textio::read_int;
+using textio::write_double;
+using textio::read_vec_f;
+using textio::write_vec_f;
+
+void Optimizer::add_param(const std::string& name, const Tensor& p) {
   TX_CHECK(p.defined() && p.is_leaf(), "optimizer params must be leaf tensors");
   const TensorImpl* key = p.impl().get();
-  if (index_.count(key)) return;
-  index_.emplace(key, params_.size());
-  params_.push_back(p);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    Slot& slot = slots_[it->second];
+    const TensorImpl* old = slot.param.impl().get();
+    if (old == key) return;
+    // The store replaced this parameter's handle (set()/restore()): rebind
+    // the slot in place so the name-keyed moment state keeps applying.
+    by_impl_.erase(old);
+    by_impl_.emplace(key, it->second);
+    slot.param = p;
+    return;
+  }
+  if (by_impl_.count(key)) return;  // already held under another name
+  by_name_.emplace(name, slots_.size());
+  by_impl_.emplace(key, slots_.size());
+  slots_.push_back({name, p});
+}
+
+void Optimizer::add_param(const Tensor& p) {
+  TX_CHECK(p.defined() && p.is_leaf(), "optimizer params must be leaf tensors");
+  if (by_impl_.count(p.impl().get())) return;
+  add_param("@" + std::to_string(anon_count_++), p);
 }
 
 void Optimizer::add_params(const std::vector<Tensor>& ps) {
@@ -18,13 +48,35 @@ void Optimizer::add_params(const std::vector<Tensor>& ps) {
 }
 
 void Optimizer::zero_grad() {
-  for (auto& p : params_) p.zero_grad();
+  for (auto& s : slots_) s.param.zero_grad();
 }
+
+void Optimizer::save_state(std::ostream& os) const {
+  os << kind() << " v1\nlr ";
+  write_double(os, lr_);
+  os << '\n';
+  save_extra(os);
+}
+
+void Optimizer::load_state(std::istream& is) {
+  const std::string k = next_token(is, "kind");
+  TX_CHECK(k == kind(), "optimizer state: kind mismatch — state is '", k,
+           "' but optimizer is '", kind(), "'");
+  expect_tag(is, "v1");
+  expect_tag(is, "lr");
+  const double lr = read_double(is, "lr");
+  load_extra(is);  // stages internally; throws before mutating on corruption
+  lr_ = lr;
+}
+
+void Optimizer::save_extra(std::ostream&) const {}
+void Optimizer::load_extra(std::istream&) {}
 
 SGD::SGD(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
 
 void SGD::step() {
-  for (auto& p : params_) {
+  for (auto& s : slots_) {
+    Tensor& p = s.param;
     if (!p.has_grad()) continue;
     const auto& g = p.grad_buffer();
     float* data = p.data();
@@ -33,8 +85,10 @@ void SGD::step() {
         data[i] -= static_cast<float>(lr_) * g[i];
       }
     } else {
-      auto& vel = velocity_[p.impl().get()];
+      auto& vel = velocity_[s.name];
       if (vel.empty()) vel.assign(g.size(), 0.0f);
+      TX_CHECK(vel.size() == g.size(), "SGD: velocity/param size mismatch for '",
+               s.name, "'");
       for (std::size_t i = 0; i < g.size(); ++i) {
         vel[i] = static_cast<float>(momentum_) * vel[i] + g[i];
         data[i] -= static_cast<float>(lr_) * vel[i];
@@ -43,18 +97,44 @@ void SGD::step() {
   }
 }
 
+void SGD::save_extra(std::ostream& os) const {
+  std::vector<std::string> names;
+  names.reserve(velocity_.size());
+  for (const auto& [name, _] : velocity_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  os << "velocity " << names.size() << '\n';
+  for (const auto& name : names) {
+    os << name << ' ';
+    write_vec_f(os, velocity_.at(name));
+  }
+}
+
+void SGD::load_extra(std::istream& is) {
+  expect_tag(is, "velocity");
+  const std::int64_t n = read_int(is, "velocity count");
+  std::unordered_map<std::string, std::vector<float>> staged;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::string name = next_token(is, "velocity name");
+    staged[name] = read_vec_f(is, "velocity");
+  }
+  velocity_ = std::move(staged);
+}
+
 Adam::Adam(double lr, double beta1, double beta2, double eps)
     : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
 void Adam::step() {
-  for (auto& p : params_) {
+  for (auto& s : slots_) {
+    Tensor& p = s.param;
     if (!p.has_grad()) continue;
     const auto& g = p.grad_buffer();
-    auto& st = state_[p.impl().get()];
+    auto& st = state_[s.name];
     if (st.m.empty()) {
       st.m.assign(g.size(), 0.0f);
       st.v.assign(g.size(), 0.0f);
     }
+    TX_CHECK(st.m.size() == g.size(), "Adam: moment/param size mismatch for '",
+             s.name, "'");
     ++st.t;
     const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(st.t));
     const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(st.t));
@@ -70,6 +150,37 @@ void Adam::step() {
       data[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
     }
   }
+}
+
+void Adam::save_extra(std::ostream& os) const {
+  std::vector<std::string> names;
+  names.reserve(state_.size());
+  for (const auto& [name, _] : state_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  os << "moments " << names.size() << '\n';
+  for (const auto& name : names) {
+    const State& st = state_.at(name);
+    os << name << ' ' << st.t << ' ';
+    write_vec_f(os, st.m);
+    write_vec_f(os, st.v);
+  }
+}
+
+void Adam::load_extra(std::istream& is) {
+  expect_tag(is, "moments");
+  const std::int64_t n = read_int(is, "moment count");
+  std::unordered_map<std::string, State> staged;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::string name = next_token(is, "moment name");
+    State st;
+    st.t = read_int(is, "moment t");
+    st.m = read_vec_f(is, "moment m");
+    st.v = read_vec_f(is, "moment v");
+    TX_CHECK(st.m.size() == st.v.size(),
+             "optimizer state: m/v size mismatch for '", name, "'");
+    staged[name] = std::move(st);
+  }
+  state_ = std::move(staged);
 }
 
 ClippedAdam::ClippedAdam(double lr, double clip_norm, double lrd)

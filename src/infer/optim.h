@@ -2,9 +2,17 @@
 // ParamStore). Parameters can be registered lazily — Pyro-style guides create
 // their parameters on first use, so SVI re-registers after every loss
 // evaluation and add_param deduplicates.
+//
+// Slots and per-parameter state (Adam moments, SGD velocity) are keyed by
+// *name*, not by tensor identity: when ParamStore::set()/restore() replaces a
+// tensor handle, re-registering the name rebinds the slot and the accumulated
+// state survives. State is also serializable (save_state/load_state) so a
+// tx.ckpt.v1 checkpoint can resume optimization bitwise-exactly.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,11 +24,18 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
-  /// Register a parameter; repeated registration of the same tensor is a
-  /// no-op. The tensor must be a leaf.
+  /// Register a parameter under a stable name. Registering a known name with
+  /// a *different* tensor handle rebinds the slot in place, keeping any
+  /// accumulated moment state — this is what makes handle replacement via
+  /// ParamStore::set()/restore() safe mid-optimization. Registering a tensor
+  /// that is already held by another slot is a no-op. The tensor must be a
+  /// leaf.
+  void add_param(const std::string& name, const Tensor& p);
+  /// Unnamed registration: dedupes by tensor identity and synthesizes a
+  /// positional name ("@0", "@1", ...).
   void add_param(const Tensor& p);
   void add_params(const std::vector<Tensor>& ps);
-  std::size_t num_params() const { return params_.size(); }
+  std::size_t num_params() const { return slots_.size(); }
 
   void zero_grad();
   /// Apply one update using the gradients currently stored on the params.
@@ -29,11 +44,35 @@ class Optimizer {
   double lr() const { return lr_; }
   virtual void set_lr(double lr) { lr_ = lr; }
 
+  /// Stable tag used in checkpoint headers ("sgd", "adam", "clipped_adam").
+  virtual const char* kind() const = 0;
+
+  /// Serialize the dynamic state (lr + per-name moment buffers) as stable
+  /// text (hexfloat, so round-trips are bitwise-exact).
+  void save_state(std::ostream& os) const;
+  /// Restore state written by save_state. Parses fully into staging
+  /// structures and swaps only on success: a truncated or corrupt stream
+  /// throws tx::Error without touching live state. State entries for names
+  /// not yet registered are kept and apply when the slot appears (lazy
+  /// guides resume before their first step re-creates params).
+  void load_state(std::istream& is);
+
  protected:
   explicit Optimizer(double lr) : lr_(lr) {}
 
-  std::vector<Tensor> params_;
-  std::unordered_map<const TensorImpl*, std::size_t> index_;
+  struct Slot {
+    std::string name;
+    Tensor param;
+  };
+
+  /// Subclass hooks for the kind-specific tail of the state stream.
+  virtual void save_extra(std::ostream& os) const;
+  virtual void load_extra(std::istream& is);
+
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::unordered_map<const TensorImpl*, std::size_t> by_impl_;
+  std::int64_t anon_count_ = 0;
   double lr_;
 };
 
@@ -41,10 +80,15 @@ class SGD : public Optimizer {
  public:
   explicit SGD(double lr, double momentum = 0.0);
   void step() override;
+  const char* kind() const override { return "sgd"; }
+
+ protected:
+  void save_extra(std::ostream& os) const override;
+  void load_extra(std::istream& is) override;
 
  private:
   double momentum_;
-  std::unordered_map<const TensorImpl*, std::vector<float>> velocity_;
+  std::unordered_map<std::string, std::vector<float>> velocity_;
 };
 
 class Adam : public Optimizer {
@@ -52,18 +96,21 @@ class Adam : public Optimizer {
   explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
                 double eps = 1e-8);
   void step() override;
+  const char* kind() const override { return "adam"; }
 
  protected:
   /// Per-parameter gradient hook applied before the Adam update (used by
   /// ClippedAdam for gradient clipping).
   virtual float transform_grad(float g) const { return g; }
+  void save_extra(std::ostream& os) const override;
+  void load_extra(std::istream& is) override;
 
   double beta1_, beta2_, eps_;
   struct State {
     std::vector<float> m, v;
     std::int64_t t = 0;
   };
-  std::unordered_map<const TensorImpl*, State> state_;
+  std::unordered_map<std::string, State> state_;
 };
 
 /// Adam with elementwise gradient clipping and multiplicative lr decay per
@@ -72,6 +119,7 @@ class ClippedAdam : public Adam {
  public:
   ClippedAdam(double lr, double clip_norm = 10.0, double lrd = 1.0);
   void step() override;
+  const char* kind() const override { return "clipped_adam"; }
 
  protected:
   float transform_grad(float g) const override;
@@ -88,6 +136,10 @@ class StepLR {
   StepLR(Optimizer& opt, std::int64_t period, double factor);
   /// Call once per optimizer step.
   void step();
+
+  /// Schedule position, exposed so checkpoints can resume the decay exactly.
+  std::int64_t count() const { return count_; }
+  void set_count(std::int64_t count) { count_ = count; }
 
  private:
   Optimizer* opt_;

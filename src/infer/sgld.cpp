@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/textio.h"
+
 namespace tx::infer {
 
 SGLD::SGLD(double a, double gamma, double b) : a_(a), gamma_(gamma), b_(b) {
@@ -30,6 +32,19 @@ std::vector<double> SGLD::step(const std::vector<double>& q0, bool warmup) {
   accept_stat_ += 1.0;
   ++accept_count_;
   return q;
+}
+
+void SGLD::save_state(std::ostream& os) const {
+  MCMCKernel::save_state(os);
+  // The schedule position t is the only mutable SGLD state; a, gamma, b are
+  // construction constants the resuming caller reconstructs.
+  os << "sgld_t " << t_ << '\n';
+}
+
+void SGLD::load_state(std::istream& is) {
+  MCMCKernel::load_state(is);
+  textio::expect_tag(is, "sgld_t");
+  t_ = textio::read_int(is, "sgld t");
 }
 
 }  // namespace tx::infer

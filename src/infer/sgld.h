@@ -20,6 +20,10 @@ class SGLD : public MCMCKernel {
 
   std::vector<double> step(const std::vector<double>& q, bool warmup) override;
 
+  const char* kind() const override { return "sgld"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   double current_step_size() const;
 
  private:

@@ -1,9 +1,12 @@
 #include "infer/svi.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "obs/obs.h"
+#include "resil/fault.h"
 
 namespace tx::infer {
 
@@ -42,10 +45,22 @@ double SVI::step() {
     obs::ScopedTimer backward_span("svi.backward");
     loss.backward();
   }
+  if (fault::armed()) {
+    // Deterministic fault injection: overwrite matching gradients with NaN
+    // after backward, before the optimizer consumes them.
+    for (auto& [name, p] : store_->items()) {
+      if (p.has_grad() && fault::poison_grad(name, steps_)) {
+        auto& g = p.impl()->grad;
+        std::fill(g.begin(), g.end(),
+                  std::numeric_limits<float>::quiet_NaN());
+      }
+    }
+  }
   {
     obs::ScopedTimer opt_span("svi.optimizer");
-    // Lazily created params now exist; register and update.
-    for (auto& [name, p] : store_->items()) optimizer_->add_param(p);
+    // Lazily created params now exist; register (by name, so moment state
+    // survives handle replacement) and update.
+    for (auto& [name, p] : store_->items()) optimizer_->add_param(name, p);
     optimizer_->step();
   }
   const double loss_value = static_cast<double>(loss.item());

@@ -6,6 +6,11 @@
 #include "infer/elbo.h"
 #include "infer/optim.h"
 
+namespace tx::resil {
+struct RetryPolicy;
+struct FitReport;
+}  // namespace tx::resil
+
 namespace tx::infer {
 
 /// Per-step instrumentation record handed to the step callback and mirrored
@@ -37,13 +42,25 @@ class SVI {
   /// so seeded evaluations replay exactly.
   double evaluate_loss();
 
+  /// Fault-tolerant driver: runs `num_steps` steps with periodic crash-safe
+  /// checkpoints, rollback + LR decay + retry on non-finite loss/grad, and
+  /// exact resume from an existing checkpoint file. Defined in tx_resil
+  /// (src/resil/svi_fit.cpp); callers must link that target. See
+  /// docs/robustness.md.
+  resil::FitReport fit(std::int64_t num_steps, const resil::RetryPolicy& policy);
+
   /// Invoked after every step with loss / grad-norm / timing.
   void set_step_callback(StepCallback cb) { callback_ = std::move(cb); }
+  const StepCallback& step_callback() const { return callback_; }
   void set_generator(Generator* gen) { gen_ = gen; }
 
   std::int64_t steps_taken() const { return steps_; }
+  /// Used by checkpoint resume to restore the step counter exactly.
+  void set_steps_taken(std::int64_t steps) { steps_ = steps; }
 
   Optimizer& optimizer() { return *optimizer_; }
+  ppl::ParamStore& store() { return *store_; }
+  Generator* generator() { return gen_; }
 
  private:
   Program model_, guide_;

@@ -1,7 +1,9 @@
 #include "nn/checkpoint.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "resil/io.h"
 #include "tensor/serialize.h"
 
 namespace {
@@ -17,6 +19,19 @@ void write_entries(
     tx::save_tensor(os, value);
   }
   TX_CHECK(os.good(), "checkpoint: stream write failed");
+}
+
+/// Crash-safe file write: serialize in memory, then atomic replace (temp +
+/// fsync + rename) so a crash mid-save can never truncate an existing
+/// checkpoint.
+void write_entries_file(
+    const std::string& path,
+    const std::vector<std::pair<std::string, tx::Tensor>>& entries,
+    const char* what) {
+  std::ostringstream os;
+  write_entries(os, entries);
+  TX_CHECK(tx::resil::atomic_write_file(path, os.str()), what,
+           ": cannot write ", path);
 }
 
 std::vector<std::pair<std::string, tx::Tensor>> read_entries(std::istream& is) {
@@ -40,14 +55,15 @@ std::vector<std::pair<std::string, tx::Tensor>> read_entries(std::istream& is) {
 namespace tx::nn {
 
 void save_checkpoint(const std::string& path, Module& module) {
-  std::ofstream os(path);
-  TX_CHECK(os.is_open(), "save_checkpoint: cannot open ", path);
-  write_entries(os, module.state_dict());
+  write_entries_file(path, module.state_dict(), "save_checkpoint");
 }
 
 void load_checkpoint(const std::string& path, Module& module) {
   std::ifstream is(path);
   TX_CHECK(is.is_open(), "load_checkpoint: cannot open ", path);
+  // read_entries parses the whole file (throwing on truncation) and
+  // load_state_dict validates every slot before its first write, so a bad
+  // file never half-mutates the module.
   module.load_state_dict(read_entries(is));
 }
 
@@ -56,25 +72,29 @@ void load_checkpoint(const std::string& path, Module& module) {
 namespace tx::ppl {
 
 void save_param_store(const std::string& path, const ParamStore& store) {
-  std::ofstream os(path);
-  TX_CHECK(os.is_open(), "save_param_store: cannot open ", path);
   std::vector<std::pair<std::string, tx::Tensor>> entries;
   for (const auto& [name, t] : store.items()) {
     entries.emplace_back(name, t.detach());
   }
-  write_entries(os, entries);
+  write_entries_file(path, entries, "save_param_store");
 }
 
 void load_param_store(const std::string& path, ParamStore& store) {
   std::ifstream is(path);
   TX_CHECK(is.is_open(), "load_param_store: cannot open ", path);
-  for (auto& [name, value] : read_entries(is)) {
+  // Stage-then-swap: parse the full file, validate every shape against the
+  // live store, and only then start copying values in.
+  const auto entries = read_entries(is);
+  for (const auto& [name, value] : entries) {
+    if (store.contains(name)) {
+      TX_CHECK(store.get(name).shape() == value.shape(),
+               "load_param_store: shape mismatch for ", name);
+    }
+  }
+  for (const auto& [name, value] : entries) {
     if (store.contains(name)) {
       // Keep the existing handle so live guides see the loaded values.
-      Tensor current = store.get(name);
-      TX_CHECK(current.shape() == value.shape(),
-               "load_param_store: shape mismatch for ", name);
-      current.copy_(value);
+      store.get(name).copy_(value);
     } else {
       store.set(name, value);
     }

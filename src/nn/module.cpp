@@ -83,6 +83,11 @@ void Module::load_state_dict(
     const std::vector<std::pair<std::string, Tensor>>& values) {
   auto params = named_parameter_slots();
   auto buffers = named_buffer_slots();
+  // Resolve and validate every entry before the first assignment, so a bad
+  // name or shape anywhere leaves the module completely untouched instead of
+  // half-overwritten.
+  std::vector<Tensor*> slots;
+  slots.reserve(values.size());
   for (const auto& [name, value] : values) {
     Tensor* slot = nullptr;
     for (auto& p : params) {
@@ -102,8 +107,12 @@ void Module::load_state_dict(
     TX_CHECK(slot != nullptr, "load_state_dict: no slot named ", name);
     TX_CHECK(slot->shape() == value.shape(), "load_state_dict: shape mismatch for ",
              name);
+    slots.push_back(slot);
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    Tensor* slot = slots[i];
     const bool rg = slot->requires_grad();
-    *slot = value.detach();
+    *slot = values[i].second.detach();
     if (rg) slot->set_requires_grad(true);
   }
 }

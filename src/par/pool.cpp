@@ -12,6 +12,7 @@
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "resil/fault.h"
 #include "util/common.h"
 
 namespace tx::par {
@@ -204,6 +205,7 @@ class ThreadPool {
       std::vector<std::function<void()>> restores;
       restores.reserve(job->installers.size());
       for (const auto& install : job->installers) restores.push_back(install());
+      fault::check_stall("par.worker");
       job->drain(range);
       for (auto it = restores.rbegin(); it != restores.rend(); ++it) (*it)();
     }

@@ -92,6 +92,14 @@ std::map<std::string, Tensor> ParamStore::snapshot() const {
 }
 
 void ParamStore::restore(const std::map<std::string, Tensor>& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate before writing anything so a bad snapshot cannot half-apply.
+  for (const auto& [name, value] : snap) {
+    auto it = params_.find(name);
+    TX_CHECK(it != params_.end(), "restore: no param named '", name, "'");
+    TX_CHECK(it->second.shape() == value.shape(),
+             "restore: shape mismatch for '", name, "'");
+  }
   for (const auto& [name, value] : snap) {
     auto it = params_.find(name);
     TX_CHECK(it != params_.end(), "restore: no param named '", name, "'");

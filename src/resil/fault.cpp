@@ -1,0 +1,237 @@
+#include "resil/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "util/common.h"
+
+namespace tx::fault {
+
+namespace detail {
+std::atomic<bool> armed{false};
+}  // namespace detail
+
+namespace {
+
+/// A spec plus its deterministic progress counters.
+struct LiveSpec {
+  Spec spec;
+  std::int64_t matches = 0;  // matching hook calls seen so far
+  std::int64_t fired = 0;
+};
+
+struct Runtime {
+  std::mutex mu;
+  std::vector<LiveSpec> specs;
+};
+
+Runtime& runtime() {
+  static Runtime* rt = new Runtime();  // leaked: hooks may run at exit
+  return *rt;
+}
+
+bool matches(const std::string& target, const std::string& name) {
+  return target.empty() || name.find(target) != std::string::npos;
+}
+
+/// Count one matching call and report whether it falls inside the spec's
+/// [at, at + times) firing window (1-based call counting).
+bool count_and_check(LiveSpec& ls) {
+  ++ls.matches;
+  const std::int64_t first = ls.spec.at > 0 ? ls.spec.at : 1;
+  if (ls.matches >= first && ls.matches < first + ls.spec.times) {
+    ++ls.fired;
+    return true;
+  }
+  return false;
+}
+
+std::int64_t parse_int(const std::string& tok, const std::string& clause) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  TX_CHECK(end != tok.c_str() && *end == '\0',
+           "TYXE_FAULT: bad integer '", tok, "' in clause '", clause, "'");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Plan parse(const std::string& text) {
+  Plan plan;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    std::string clause = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    // Trim surrounding whitespace so "a; b" and "a;b" parse identically.
+    const std::size_t first = clause.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    clause = clause.substr(first, clause.find_last_not_of(" \t") - first + 1);
+
+    const std::size_t eq = clause.find('=');
+    TX_CHECK(eq != std::string::npos, "TYXE_FAULT: clause '", clause,
+             "' has no '='");
+    const std::string kind = clause.substr(0, eq);
+    std::string args = clause.substr(eq + 1);
+
+    // Split off ",ms=<M>" (stall only).
+    std::int64_t ms = 0;
+    if (const std::size_t comma = args.find(",ms="); comma != std::string::npos) {
+      ms = parse_int(args.substr(comma + 4), clause);
+      args = args.substr(0, comma);
+    }
+    // Split "<head>@<at>" and "<at>x<times>".
+    std::string head = args;
+    std::int64_t at = 0, times = 1;
+    const bool has_at = args.find('@') != std::string::npos;
+    if (const std::size_t amp = args.find('@'); amp != std::string::npos) {
+      head = args.substr(0, amp);
+      std::string at_tok = args.substr(amp + 1);
+      if (const std::size_t x = at_tok.find('x'); x != std::string::npos) {
+        times = parse_int(at_tok.substr(x + 1), clause);
+        at_tok = at_tok.substr(0, x);
+      }
+      at = parse_int(at_tok, clause);
+    }
+
+    Spec spec;
+    spec.at = at;
+    spec.times = times;
+    spec.ms = ms;
+    if (kind == "nan-grad") {
+      spec.kind = Kind::kNanGrad;
+      spec.target = head;
+      TX_CHECK(has_at, "TYXE_FAULT: nan-grad needs @<step> in '", clause, "'");
+    } else if (kind == "write-open" || kind == "write-rename") {
+      spec.kind = kind == "write-open" ? Kind::kWriteOpen : Kind::kWriteRename;
+      // Grammar: write-open=<K>[@<nth>] — head is the failure count.
+      spec.times = parse_int(head, clause);
+      spec.at = has_at ? at : 1;  // nth write attempt (default: the next one)
+    } else if (kind == "bad-alloc") {
+      spec.kind = Kind::kBadAlloc;
+      spec.target = head;
+      TX_CHECK(at >= 1, "TYXE_FAULT: bad-alloc needs @<nth> >= 1 in '", clause,
+               "'");
+    } else if (kind == "stall") {
+      spec.kind = Kind::kStall;
+      spec.target = head;
+      TX_CHECK(ms > 0, "TYXE_FAULT: stall needs ,ms=<M> in '", clause, "'");
+    } else {
+      TX_THROW("TYXE_FAULT: unknown fault kind '", kind, "'");
+    }
+    TX_CHECK(spec.times >= 1, "TYXE_FAULT: times must be >= 1 in '", clause,
+             "'");
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+void install(Plan plan) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.specs.clear();
+  for (auto& s : plan.specs) rt.specs.push_back({s, 0, 0});
+  detail::armed.store(!rt.specs.empty(), std::memory_order_relaxed);
+}
+
+void clear() { install(Plan{}); }
+
+bool install_from_env() {
+  const char* env = std::getenv("TYXE_FAULT");
+  if (env == nullptr || *env == '\0') return false;
+  install(parse(env));
+  return true;
+}
+
+std::int64_t fires(Kind kind) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  std::int64_t total = 0;
+  for (const auto& ls : rt.specs) {
+    if (ls.spec.kind == kind) total += ls.fired;
+  }
+  return total;
+}
+
+namespace detail {
+
+bool poison_grad_slow(const std::string& param, std::int64_t step) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  bool hit = false;
+  for (auto& ls : rt.specs) {
+    if (ls.spec.kind != Kind::kNanGrad) continue;
+    if (!matches(ls.spec.target, param)) continue;
+    // Step-indexed trigger with a total-fire cap: fires for matching params
+    // once the step counter reaches `at`, at most `times` poisonings ever.
+    // The cap is what lets rollback-and-replay recover deterministically —
+    // a replayed step does not re-trip an exhausted fault.
+    if (step >= ls.spec.at && ls.fired < ls.spec.times) {
+      ++ls.fired;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+bool fail_write_open_slow(const std::string& path) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  bool hit = false;
+  for (auto& ls : rt.specs) {
+    if (ls.spec.kind != Kind::kWriteOpen) continue;
+    if (!matches(ls.spec.target, path)) continue;
+    if (count_and_check(ls)) hit = true;
+  }
+  return hit;
+}
+
+bool fail_write_rename_slow(const std::string& path) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  bool hit = false;
+  for (auto& ls : rt.specs) {
+    if (ls.spec.kind != Kind::kWriteRename) continue;
+    if (!matches(ls.spec.target, path)) continue;
+    if (count_and_check(ls)) hit = true;
+  }
+  return hit;
+}
+
+void check_alloc_slow(const char* kernel) {
+  auto& rt = runtime();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(rt.mu);
+    for (auto& ls : rt.specs) {
+      if (ls.spec.kind != Kind::kBadAlloc) continue;
+      if (!matches(ls.spec.target, kernel)) continue;
+      if (count_and_check(ls)) fire = true;
+    }
+  }
+  if (fire) throw std::bad_alloc();
+}
+
+void check_stall_slow(const char* where) {
+  auto& rt = runtime();
+  std::int64_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(rt.mu);
+    for (auto& ls : rt.specs) {
+      if (ls.spec.kind != Kind::kStall) continue;
+      if (!matches(ls.spec.target, where)) continue;
+      if (count_and_check(ls)) sleep_ms = std::max(sleep_ms, ls.spec.ms);
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace tx::fault

@@ -1,0 +1,125 @@
+// Deterministic fault injection (tx::fault): the test harness behind
+// tx::resil. A *plan* names faults to inject at exact, countable points —
+// poison a named gradient with NaN at SVI step N, fail the next K checkpoint
+// writes, throw std::bad_alloc from the nth matching tensor kernel, stall a
+// pool worker — so every recovery path in the library is exercised by tests
+// instead of merely claimed.
+//
+// Plans are fully deterministic: every hook keeps a per-spec match counter
+// and fires on exact counts, never on wall clock or randomness, so a failing
+// fault test replays bit-for-bit. Plans install programmatically
+// (install/ScopedPlan) or from the TYXE_FAULT environment variable (see
+// docs/robustness.md for the grammar); nothing is ever installed implicitly.
+//
+// While no plan is armed every hook is a single relaxed atomic load, so the
+// instrumented layers (tensor kernels, the pool worker loop, the SVI driver,
+// file writes) pay nothing in production.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tx::fault {
+
+enum class Kind {
+  kNanGrad,      // poison gradients of matching params at an SVI step
+  kWriteOpen,    // fail a file write at open time (torn temp file)
+  kWriteRename,  // "crash" between temp write and rename (temp left behind)
+  kBadAlloc,     // throw std::bad_alloc from a matching kernel hook
+  kStall,        // sleep inside a matching hook (pool workers)
+};
+
+/// One fault clause. `target` is matched as a substring of the hook's
+/// name/path (empty matches everything). For kNanGrad `at` is the 0-based
+/// SVI step: the fault fires for matching params at steps >= `at`, at most
+/// `times` total poisonings — so a driver that rolls back and replays the
+/// step recovers instead of re-tripping forever. For the other kinds `at`
+/// is the 1-based index of the matching call and the fault fires `times`
+/// consecutive matches starting there.
+struct Spec {
+  Kind kind = Kind::kNanGrad;
+  std::string target;
+  std::int64_t at = 0;
+  std::int64_t times = 1;
+  std::int64_t ms = 0;  // kStall sleep duration
+};
+
+struct Plan {
+  std::vector<Spec> specs;
+  bool empty() const { return specs.empty(); }
+};
+
+/// Parse the TYXE_FAULT grammar: ';'-separated clauses of
+///   nan-grad=<substr>@<step>[xN]
+///   write-open=<K>[@<nth>]        (fail K writes starting at the nth)
+///   write-rename=<K>[@<nth>]
+///   bad-alloc=<substr>@<nth>[xN]
+///   stall=<substr>@<nth>,ms=<M>
+/// Throws tx::Error on bad syntax.
+Plan parse(const std::string& spec);
+
+/// Install a plan (replacing any active one) / disarm entirely.
+void install(Plan plan);
+void clear();
+
+/// Install from TYXE_FAULT if set and non-empty; returns true if a plan was
+/// installed. Call sites opt in explicitly (bench mains, the CI fault job);
+/// the library never arms itself.
+bool install_from_env();
+
+/// Total fires of a kind since the current plan was installed.
+std::int64_t fires(Kind kind);
+
+/// RAII plan for tests: installs on construction, clears on destruction.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(Plan plan) { install(std::move(plan)); }
+  explicit ScopedPlan(const std::string& spec) { install(parse(spec)); }
+  ~ScopedPlan() { clear(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+namespace detail {
+extern std::atomic<bool> armed;
+bool poison_grad_slow(const std::string& param, std::int64_t step);
+bool fail_write_open_slow(const std::string& path);
+bool fail_write_rename_slow(const std::string& path);
+void check_alloc_slow(const char* kernel);
+void check_stall_slow(const char* where);
+}  // namespace detail
+
+/// True while a plan is installed (one relaxed load).
+inline bool armed() { return detail::armed.load(std::memory_order_relaxed); }
+
+// ---- hooks (called by the instrumented layers) -----------------------------
+
+/// SVI driver, after backward: should `param`'s gradient at step `step` be
+/// overwritten with NaN?
+inline bool poison_grad(const std::string& param, std::int64_t step) {
+  return armed() && detail::poison_grad_slow(param, step);
+}
+
+/// Crash-safe file writer: simulate an open/short-write failure for `path`?
+inline bool fail_write_open(const std::string& path) {
+  return armed() && detail::fail_write_open_slow(path);
+}
+
+/// Crash-safe file writer: simulate a kill between temp write and rename?
+inline bool fail_write_rename(const std::string& path) {
+  return armed() && detail::fail_write_rename_slow(path);
+}
+
+/// Tensor kernels: throws std::bad_alloc when a matching spec fires.
+inline void check_alloc(const char* kernel) {
+  if (armed()) detail::check_alloc_slow(kernel);
+}
+
+/// Pool workers / long loops: sleeps when a matching stall spec fires.
+inline void check_stall(const char* where) {
+  if (armed()) detail::check_stall_slow(where);
+}
+
+}  // namespace tx::fault

@@ -1,0 +1,100 @@
+#include "resil/io.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "resil/fault.h"
+
+namespace tx::resil {
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+void fsync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best-effort: rename durability, not correctness
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+
+  if (fault::fail_write_open(path)) {
+    // Simulate a failure partway through writing the temp file: leave a torn
+    // temp behind, exactly what a crashed writer would.
+    if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {
+      std::fwrite(content.data(), 1, content.size() / 2, f);
+      std::fclose(f);
+    }
+    return false;
+  }
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  if (written != content.size() || std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  }
+#ifndef _WIN32
+  ::fsync(::fileno(f));
+#endif
+  std::fclose(f);
+
+  if (fault::fail_write_rename(path)) {
+    // Simulate a kill between temp write and rename: the complete temp file
+    // stays on disk but the destination is untouched.
+    return false;
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok) *out = std::move(data);
+  return ok;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace tx::resil

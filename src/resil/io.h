@@ -1,0 +1,33 @@
+// Crash-safe file primitives shared by tx::resil and the nn checkpoint
+// writers: atomic replace (temp file + fsync + rename + directory fsync) and
+// the FNV-1a checksum used by tx.ckpt.v1 footers. Lives in tx_fault so the
+// low-level layers (tensor, nn) can use it without depending on tx_resil.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tx::resil {
+
+/// FNV-1a 64-bit over `data`. Stable across platforms; used as the
+/// tx.ckpt.v1 footer checksum.
+std::uint64_t fnv1a64(const std::string& data);
+
+/// Write `content` to `path` atomically: write to `path + ".tmp"`, fflush +
+/// fsync, close, rename over `path`, then best-effort fsync of the parent
+/// directory. After a crash at ANY point the destination holds either the
+/// complete old content or the complete new content, never a mix (the only
+/// debris possible is a stale .tmp file, which writers overwrite).
+///
+/// Returns false (without throwing) when the write could not be completed —
+/// real I/O errors and injected tx::fault write failures look identical to
+/// the caller, which must keep its in-memory copy authoritative.
+bool atomic_write_file(const std::string& path, const std::string& content);
+
+/// Read a whole file. Returns false if it cannot be opened/read.
+bool read_file(const std::string& path, std::string* out);
+
+/// True if `path` exists (regular stat, no throw).
+bool file_exists(const std::string& path);
+
+}  // namespace tx::resil

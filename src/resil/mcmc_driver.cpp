@@ -1,0 +1,288 @@
+#include <functional>
+#include <sstream>
+
+#include "infer/hmc.h"
+#include "obs/obs.h"
+#include "par/pool.h"
+#include "ppl/messenger.h"
+#include "resil/io.h"
+#include "resil/resil.h"
+#include "util/textio.h"
+
+namespace tx::resil {
+
+namespace {
+
+void bump(const char* name) {
+  if (obs::enabled()) obs::registry().counter(name).add(1);
+}
+
+std::string chain_section(int c, const char* what) {
+  return "chain" + std::to_string(c) + "." + what;
+}
+
+}  // namespace
+
+MCMCDriver::MCMCDriver(infer::KernelFactory factory, int num_samples,
+                       int warmup_steps, int num_chains, MCMCPolicy policy)
+    : factory_(std::move(factory)),
+      num_samples_(num_samples),
+      warmup_(warmup_steps),
+      num_chains_(num_chains),
+      policy_(std::move(policy)) {
+  TX_CHECK(factory_ != nullptr, "MCMCDriver: null kernel factory");
+  TX_CHECK(num_samples >= 1 && warmup_steps >= 0,
+           "MCMCDriver: bad sample counts");
+  TX_CHECK(num_chains >= 1, "MCMCDriver: num_chains must be >= 1");
+  TX_CHECK(policy_.checkpoint_every >= 1,
+           "MCMCDriver: checkpoint_every must be >= 1");
+}
+
+Bundle MCMCDriver::make_bundle() const {
+  Bundle b;
+  std::ostringstream meta;
+  meta << "mcmc chains " << num_chains_ << " warmup " << warmup_
+       << " samples " << num_samples_ << '\n';
+  b.set("mcmc.meta", meta.str());
+  for (int c = 0; c < num_chains_; ++c) {
+    const Chain& chain = chains_[static_cast<std::size_t>(c)];
+    std::ostringstream cm;
+    cm << "done " << chain.done << " restarts " << chain.restarts << '\n';
+    cm << "q ";
+    textio::write_vec_d(cm, chain.q);
+    cm << "draws " << chain.draws.size() << '\n';
+    for (const auto& d : chain.draws) textio::write_vec_d(cm, d);
+    b.set(chain_section(c, "state"), cm.str());
+    std::ostringstream ks;
+    chain.kernel->save_state(ks);
+    b.set(chain_section(c, "kernel"), ks.str());
+    b.set(chain_section(c, "gen"), generator_bytes(chain.gen));
+  }
+  return b;
+}
+
+void MCMCDriver::apply_bundle(const Bundle& b) {
+  std::istringstream meta(b.get("mcmc.meta"));
+  textio::expect_tag(meta, "mcmc");
+  textio::expect_tag(meta, "chains");
+  TX_CHECK(textio::read_int(meta, "chains") == num_chains_,
+           "tx.ckpt.v1: checkpoint chain count does not match this run");
+  textio::expect_tag(meta, "warmup");
+  TX_CHECK(textio::read_int(meta, "warmup") == warmup_,
+           "tx.ckpt.v1: checkpoint warmup does not match this run");
+  textio::expect_tag(meta, "samples");
+  TX_CHECK(textio::read_int(meta, "samples") == num_samples_,
+           "tx.ckpt.v1: checkpoint sample count does not match this run");
+
+  // Stage every chain completely before touching live state.
+  struct Staged {
+    std::int64_t done = 0, restarts = 0;
+    std::vector<double> q;
+    std::vector<std::vector<double>> draws;
+  };
+  std::vector<Staged> staged(static_cast<std::size_t>(num_chains_));
+  for (int c = 0; c < num_chains_; ++c) {
+    Staged& s = staged[static_cast<std::size_t>(c)];
+    std::istringstream cm(b.get(chain_section(c, "state")));
+    textio::expect_tag(cm, "done");
+    s.done = textio::read_int(cm, "done");
+    textio::expect_tag(cm, "restarts");
+    s.restarts = textio::read_int(cm, "restarts");
+    textio::expect_tag(cm, "q");
+    s.q = textio::read_vec_d(cm, "chain position");
+    textio::expect_tag(cm, "draws");
+    const std::int64_t ndraws = textio::read_int(cm, "draw count");
+    s.draws.reserve(static_cast<std::size_t>(ndraws));
+    for (std::int64_t i = 0; i < ndraws; ++i) {
+      s.draws.push_back(textio::read_vec_d(cm, "draw"));
+    }
+  }
+  for (int c = 0; c < num_chains_; ++c) {
+    Chain& chain = chains_[static_cast<std::size_t>(c)];
+    Staged& s = staged[static_cast<std::size_t>(c)];
+    std::istringstream ks(b.get(chain_section(c, "kernel")));
+    chain.kernel->load_state(ks);
+    apply_generator_bytes(b.get(chain_section(c, "gen")), chain.gen);
+    chain.done = s.done;
+    chain.restarts = s.restarts;
+    chain.q = std::move(s.q);
+    chain.draws = std::move(s.draws);
+  }
+}
+
+void MCMCDriver::run(infer::Program model, Generator* gen) {
+  obs::ScopedTimer span("resil.mcmc.run");
+  const bool has_file = !policy_.checkpoint_path.empty();
+
+  // Per-chain generators are derived sequentially from the ambient one, so
+  // chain trajectories are a pure function of the caller's seed regardless
+  // of scheduling — and a resumed process that re-runs this derivation gets
+  // the generators overwritten from the bundle right after.
+  chains_.assign(static_cast<std::size_t>(num_chains_), Chain{});
+  Generator& ambient = gen ? *gen : global_generator();
+  for (int c = 0; c < num_chains_; ++c) {
+    chains_[static_cast<std::size_t>(c)].gen = Generator(ambient.engine()());
+  }
+  // Setup is sequential: the Potential constructor traces the model, which
+  // draws from the chain's generator (GeneratorScope), and tracing chains in
+  // order keeps that consumption deterministic.
+  for (int c = 0; c < num_chains_; ++c) {
+    Chain& chain = chains_[static_cast<std::size_t>(c)];
+    chain.kernel = factory_();
+    TX_CHECK(chain.kernel != nullptr, "MCMCDriver: factory returned null");
+    ppl::GeneratorScope scope(&chain.gen);
+    chain.kernel->setup(model, &chain.gen);
+    chain.q = chain.kernel->initial_position();
+  }
+
+  resumed_ = false;
+  if (has_file && policy_.resume && file_exists(policy_.checkpoint_path)) {
+    apply_bundle(Bundle::read_file(policy_.checkpoint_path));
+    resumed_ = true;
+    bump("resil.mcmc.resumes");
+  }
+
+  const std::int64_t total = total_transitions();
+  while (true) {
+    bool any_pending = false;
+    for (const auto& chain : chains_) any_pending |= chain.done < total;
+    if (!any_pending) break;
+
+    // Round-start snapshots: a storm rollback loses at most this round, and
+    // because rounds are barriers the snapshot is taken at a deterministic
+    // point of every chain's trajectory.
+    struct RoundStart {
+      std::string kernel_state;
+      Generator gen{0};
+      std::vector<double> q;
+      std::size_t ndraws = 0;
+      std::int64_t done = 0;
+      std::int64_t divergences = 0;
+    };
+    std::vector<RoundStart> starts(chains_.size());
+    for (std::size_t i = 0; i < chains_.size(); ++i) {
+      const Chain& chain = chains_[i];
+      std::ostringstream ks;
+      chain.kernel->save_state(ks);
+      starts[i] = {ks.str(),          chain.gen, chain.q, chain.draws.size(),
+                   chain.done,        chain.kernel->divergence_count()};
+    }
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chains_.size());
+    for (std::size_t i = 0; i < chains_.size(); ++i) {
+      Chain& chain = chains_[i];
+      if (chain.done >= total) continue;
+      tasks.push_back([&chain, total, this] {
+        ppl::GeneratorScope scope(&chain.gen);
+        const std::int64_t until =
+            std::min(total, chain.done + policy_.checkpoint_every);
+        for (; chain.done < until; ++chain.done) {
+          const bool warmup = chain.done < warmup_;
+          chain.q = chain.kernel->step(chain.q, warmup);
+          if (!warmup) chain.draws.push_back(chain.q);
+        }
+      });
+    }
+    par::run_tasks(tasks);
+
+    // Storm check per chain, sequential and deterministic.
+    for (std::size_t i = 0; i < chains_.size(); ++i) {
+      Chain& chain = chains_[i];
+      const std::int64_t round_div =
+          chain.kernel->divergence_count() - starts[i].divergences;
+      if (policy_.storm_threshold < 0 || round_div <= policy_.storm_threshold) {
+        continue;
+      }
+      ++chain.restarts;
+      bump("resil.mcmc.restarts");
+      TX_CHECK(chain.restarts <= policy_.max_restarts,
+               "MCMCDriver: chain ", i, " exceeded ", policy_.max_restarts,
+               " divergence-storm restarts (", round_div,
+               " divergences in the last round); forensics: ",
+               obs::diag::last_forensic_reason());
+      // Restore the chain to the round start and back off the step size.
+      std::istringstream ks(starts[i].kernel_state);
+      chain.kernel->load_state(ks);
+      chain.gen = starts[i].gen;
+      chain.q = starts[i].q;
+      chain.draws.resize(starts[i].ndraws);
+      chain.done = starts[i].done;
+      auto* hmc = dynamic_cast<infer::HMC*>(chain.kernel.get());
+      TX_CHECK(hmc != nullptr,
+               "MCMCDriver: storm handling needs an HMC-family kernel");
+      hmc->set_step_size(hmc->step_size() * policy_.step_size_factor);
+      if (obs::enabled()) {
+        obs::registry()
+            .gauge("resil.mcmc.step_size.chain" + std::to_string(i))
+            .set(hmc->step_size());
+      }
+    }
+
+    if (has_file) {
+      if (make_bundle().write_file(policy_.checkpoint_path)) {
+        bump("resil.ckpt.writes");
+      } else {
+        bump("resil.ckpt.write_failures");
+      }
+    }
+  }
+
+  ran_ = true;
+  if (obs::enabled()) {
+    obs::registry().gauge("resil.mcmc.restarts_total")
+        .set(static_cast<double>(restarts()));
+  }
+}
+
+std::int64_t MCMCDriver::restarts() const {
+  std::int64_t total = 0;
+  for (const auto& chain : chains_) total += chain.restarts;
+  return total;
+}
+
+std::int64_t MCMCDriver::divergence_count() const {
+  std::int64_t total = 0;
+  for (const auto& chain : chains_) {
+    if (chain.kernel) total += chain.kernel->divergence_count();
+  }
+  return total;
+}
+
+std::size_t MCMCDriver::num_samples() const {
+  std::size_t total = 0;
+  for (const auto& chain : chains_) total += chain.draws.size();
+  return total;
+}
+
+std::vector<Tensor> MCMCDriver::get_samples(const std::string& site) const {
+  TX_CHECK(ran_, "MCMCDriver: run() first");
+  std::vector<Tensor> out;
+  out.reserve(num_samples());
+  const infer::Potential& potential = chains_.front().kernel->potential();
+  for (const auto& chain : chains_) {
+    for (const auto& q : chain.draws) {
+      auto values = potential.unflatten(q);
+      auto it = values.find(site);
+      TX_CHECK(it != values.end(), "MCMCDriver: no site named '", site, "'");
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MCMCDriver::coordinate_chain(std::size_t coord,
+                                                 int chain) const {
+  TX_CHECK(ran_, "MCMCDriver: run() first");
+  TX_CHECK(chain >= 0 && chain < num_chains_, "MCMCDriver: chain out of range");
+  const Chain& ch = chains_[static_cast<std::size_t>(chain)];
+  std::vector<double> out;
+  out.reserve(ch.draws.size());
+  for (const auto& q : ch.draws) {
+    TX_CHECK(coord < q.size(), "MCMCDriver: coordinate out of range");
+    out.push_back(q[coord]);
+  }
+  return out;
+}
+
+}  // namespace tx::resil

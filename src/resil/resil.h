@@ -1,0 +1,125 @@
+// tx::resil — fault-tolerant inference drivers. Builds on the tx.ckpt.v1
+// bundles in resil/checkpoint.h: SVI runs auto-checkpoint, roll back and
+// retry with a decayed learning rate when a step goes non-finite, and resume
+// bitwise-exactly from disk; MCMC runs advance in checkpointed rounds with
+// divergence-storm backoff (halve the step size, restart the chain from the
+// round start). Recovery activity is surfaced as resil.* metrics and, on
+// failure, cross-linked to the tx::obs::diag forensic bundle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infer/mcmc.h"
+#include "infer/svi.h"
+#include "resil/checkpoint.h"
+
+namespace tx::resil {
+
+/// Controls SVI::fit checkpointing and retry behaviour.
+struct RetryPolicy {
+  /// Checkpoint file ("" = keep the rollback anchor in memory only).
+  std::string checkpoint_path;
+  /// Steps between checkpoints (also the maximum work lost to a rollback).
+  std::int64_t checkpoint_every = 100;
+  /// Consecutive rollbacks tolerated per checkpoint segment before giving
+  /// up; a successful checkpoint resets the budget.
+  int max_retries = 3;
+  /// lr multiplier applied per consecutive rollback (relative to the lr the
+  /// last good checkpoint ran at).
+  double lr_decay = 0.5;
+  /// Capped exponential backoff between retries (0 = no sleep, the default:
+  /// deterministic tests must not depend on wall clock).
+  double backoff_seconds = 0.0;
+  double max_backoff_seconds = 1.0;
+  /// Resume from checkpoint_path when it already exists.
+  bool resume = true;
+  /// Optional LR schedule: stepped after every SVI step and captured in the
+  /// checkpoint so a resumed run continues the decay exactly.
+  infer::StepLR* scheduler = nullptr;
+};
+
+/// What SVI::fit actually did.
+struct FitReport {
+  std::int64_t steps_run = 0;        // steps executed, including retried ones
+  std::int64_t steps_completed = 0;  // svi.steps_taken() at exit
+  double final_loss = 0.0;           // last good loss (NaN if no step ran)
+  bool resumed = false;              // started from an on-disk checkpoint
+  bool exhausted = false;            // retry budget ran out; state = last good
+  std::int64_t rollbacks = 0;
+  std::int64_t checkpoints = 0;          // rollback anchors committed
+  std::int64_t checkpoint_failures = 0;  // failed disk writes (state kept)
+  std::string failure_reason;  // diag forensic reason when exhausted ("" else)
+};
+
+/// Implementation behind infer::SVI::fit (lives here so tx_infer does not
+/// depend on tx_resil).
+FitReport fit_svi(infer::SVI& svi, std::int64_t num_steps,
+                  const RetryPolicy& policy);
+
+/// Controls MCMCDriver checkpointing and divergence-storm handling.
+struct MCMCPolicy {
+  std::string checkpoint_path;  // "" = no persistence (still rounds)
+  /// Transitions per round; rounds are barriers, checkpoints happen at round
+  /// ends, and a storm rollback loses at most one round.
+  std::int64_t checkpoint_every = 50;
+  /// Divergences within one round that count as a storm for a chain
+  /// (-1 disables storm handling).
+  std::int64_t storm_threshold = -1;
+  /// Storm restarts tolerated per chain before run() throws.
+  int max_restarts = 3;
+  /// Step-size multiplier applied on each storm restart.
+  double step_size_factor = 0.5;
+  bool resume = true;
+};
+
+/// Fault-tolerant multi-chain MCMC. Chains advance in lockstep rounds of
+/// `checkpoint_every` transitions; because chains are independent and all
+/// per-chain state (position, kernel adaptation, generator) is carried in
+/// the checkpoint, a resumed run is bitwise-identical to an uninterrupted
+/// one at any TYXE_NUM_THREADS. On a divergence storm the chain is restored
+/// to its round-start state with a reduced step size.
+class MCMCDriver {
+ public:
+  MCMCDriver(infer::KernelFactory factory, int num_samples, int warmup_steps,
+             int num_chains, MCMCPolicy policy);
+
+  void run(infer::Program model, Generator* gen = nullptr);
+
+  int num_chains() const { return num_chains_; }
+  bool resumed() const { return resumed_; }
+  std::int64_t restarts() const;
+  std::int64_t divergence_count() const;
+  /// Total kept draws across chains (chains concatenated, chain-major).
+  std::size_t num_samples() const;
+  std::vector<Tensor> get_samples(const std::string& site) const;
+  std::vector<double> coordinate_chain(std::size_t coord, int chain) const;
+
+ private:
+  struct Chain {
+    std::shared_ptr<infer::MCMCKernel> kernel;
+    Generator gen{0};
+    std::vector<double> q;
+    std::int64_t done = 0;  // transitions completed (warmup + sampling)
+    std::int64_t restarts = 0;
+    std::vector<std::vector<double>> draws;
+  };
+
+  Bundle make_bundle() const;
+  void apply_bundle(const Bundle& b);
+  std::int64_t total_transitions() const {
+    return static_cast<std::int64_t>(warmup_) +
+           static_cast<std::int64_t>(num_samples_);
+  }
+
+  infer::KernelFactory factory_;
+  int num_samples_, warmup_, num_chains_;
+  MCMCPolicy policy_;
+  std::vector<Chain> chains_;
+  bool resumed_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace tx::resil

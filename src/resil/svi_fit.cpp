@@ -1,0 +1,199 @@
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.h"
+#include "resil/io.h"
+#include "resil/resil.h"
+#include "util/textio.h"
+
+namespace tx::resil {
+
+namespace {
+
+Bundle make_svi_bundle(infer::SVI& svi, const RetryPolicy& policy) {
+  Bundle b;
+  std::ostringstream meta;
+  meta << "svi steps " << svi.steps_taken() << '\n';
+  if (policy.scheduler != nullptr) {
+    meta << "sched " << policy.scheduler->count() << '\n';
+  }
+  b.set("svi.meta", meta.str());
+  b.set("store", param_store_bytes(svi.store()));
+  b.set("optim", optimizer_bytes(svi.optimizer()));
+  if (svi.generator() != nullptr) {
+    b.set("gen", generator_bytes(*svi.generator()));
+  }
+  return b;
+}
+
+void apply_svi_bundle(const Bundle& b, infer::SVI& svi,
+                      const RetryPolicy& policy) {
+  // Parse the meta section before mutating anything; the section appliers
+  // each stage-then-swap internally.
+  std::istringstream meta(b.get("svi.meta"));
+  textio::expect_tag(meta, "svi");
+  textio::expect_tag(meta, "steps");
+  const std::int64_t steps = textio::read_int(meta, "svi steps");
+  std::int64_t sched_count = -1;
+  if (policy.scheduler != nullptr) {
+    textio::expect_tag(meta, "sched");
+    sched_count = textio::read_int(meta, "sched count");
+  }
+  // prune_extra: the store must match the bundle exactly — a rolled-back
+  // step may have lazily created (and NaN-poisoned) params the anchor has
+  // never seen, and leaving them in place would defeat the rollback.
+  apply_param_store_bytes(b.get("store"), svi.store(), /*prune_extra=*/true);
+  apply_optimizer_bytes(b.get("optim"), svi.optimizer());
+  if (svi.generator() != nullptr && b.has("gen")) {
+    apply_generator_bytes(b.get("gen"), *svi.generator());
+  }
+  svi.set_steps_taken(steps);
+  if (policy.scheduler != nullptr) policy.scheduler->set_count(sched_count);
+}
+
+void bump(const char* name) {
+  if (obs::enabled()) obs::registry().counter(name).add(1);
+}
+
+void gauge(const char* name, double value) {
+  if (obs::enabled()) obs::registry().gauge(name).set(value);
+}
+
+}  // namespace
+
+FitReport fit_svi(infer::SVI& svi, std::int64_t num_steps,
+                  const RetryPolicy& policy) {
+  TX_CHECK(num_steps >= 0, "fit: num_steps must be >= 0");
+  TX_CHECK(policy.checkpoint_every >= 1, "fit: checkpoint_every must be >= 1");
+  TX_CHECK(policy.lr_decay > 0.0 && policy.lr_decay <= 1.0,
+           "fit: lr_decay must be in (0, 1]");
+
+  FitReport report;
+  report.final_loss = std::numeric_limits<double>::quiet_NaN();
+  const bool has_file = !policy.checkpoint_path.empty();
+
+  if (has_file && policy.resume && file_exists(policy.checkpoint_path)) {
+    // A real but corrupt checkpoint throws here — silently restarting from
+    // scratch would hide data loss. Crash-mid-write never corrupts the file
+    // (the atomic writer leaves the previous complete version in place).
+    apply_svi_bundle(Bundle::read_file(policy.checkpoint_path), svi, policy);
+    report.resumed = true;
+    bump("resil.svi.resumes");
+  }
+
+  // The current state is the first rollback anchor, so even a failure on the
+  // very first step has somewhere good to return to.
+  Bundle last_good = make_svi_bundle(svi, policy);
+  std::int64_t last_good_step = svi.steps_taken();
+  double anchor_lr = svi.optimizer().lr();
+
+  // Chain a step callback so loss AND grad-norm gate every step. The loss at
+  // step t is computed before the optimizer applies the gradients, so a
+  // finite loss with a poisoned gradient would otherwise look "good" while
+  // the params are already NaN.
+  struct StepStat {
+    double loss = std::numeric_limits<double>::quiet_NaN();
+    double grad_norm = std::numeric_limits<double>::quiet_NaN();
+  };
+  StepStat stat;
+  const infer::StepCallback user_cb = svi.step_callback();
+  svi.set_step_callback([&stat, &user_cb](const infer::SVIStepInfo& info) {
+    stat.loss = info.loss;
+    stat.grad_norm = info.grad_norm;
+    if (user_cb) user_cb(info);
+  });
+  struct CallbackRestore {
+    infer::SVI& svi;
+    infer::StepCallback cb;
+    ~CallbackRestore() { svi.set_step_callback(std::move(cb)); }
+  } restore_cb{svi, user_cb};
+
+  int consecutive_rollbacks = 0;
+  while (svi.steps_taken() < num_steps) {
+    stat = StepStat{};
+    svi.step();
+    ++report.steps_run;
+    if (policy.scheduler != nullptr) policy.scheduler->step();
+
+    const bool good = std::isfinite(stat.loss) && std::isfinite(stat.grad_norm);
+    if (!good) {
+      ++report.rollbacks;
+      ++consecutive_rollbacks;
+      bump("resil.svi.rollbacks");
+      if (consecutive_rollbacks > policy.max_retries) {
+        // Retry budget for this segment exhausted: leave the process in the
+        // last good state and report, with the diag forensics (which fired
+        // on the same non-finite value) linked for the post-mortem.
+        apply_svi_bundle(last_good, svi, policy);
+        svi.optimizer().set_lr(anchor_lr);
+        report.exhausted = true;
+        report.failure_reason = obs::diag::last_forensic_reason();
+        if (report.failure_reason.empty()) {
+          report.failure_reason = std::isfinite(stat.loss)
+                                      ? "non-finite gradient"
+                                      : "non-finite loss";
+        }
+        bump("resil.svi.retries_exhausted");
+        break;
+      }
+      apply_svi_bundle(last_good, svi, policy);
+      const double lr =
+          anchor_lr * std::pow(policy.lr_decay, consecutive_rollbacks);
+      svi.optimizer().set_lr(lr);
+      gauge("resil.svi.lr", lr);
+      gauge("resil.svi.consecutive_rollbacks",
+            static_cast<double>(consecutive_rollbacks));
+      if (policy.backoff_seconds > 0.0) {
+        const double backoff = std::min(
+            policy.backoff_seconds *
+                std::pow(2.0, static_cast<double>(consecutive_rollbacks - 1)),
+            policy.max_backoff_seconds);
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      continue;
+    }
+
+    report.final_loss = stat.loss;
+    const bool due = svi.steps_taken() - last_good_step >=
+                         policy.checkpoint_every ||
+                     svi.steps_taken() >= num_steps;
+    if (due) {
+      last_good = make_svi_bundle(svi, policy);
+      last_good_step = svi.steps_taken();
+      anchor_lr = svi.optimizer().lr();
+      consecutive_rollbacks = 0;
+      ++report.checkpoints;
+      bump("resil.ckpt.snapshots");
+      if (has_file) {
+        if (last_good.write_file(policy.checkpoint_path)) {
+          bump("resil.ckpt.writes");
+        } else {
+          // Keep going on the in-memory anchor: a failed write must never
+          // take the run down, and the on-disk file is still the previous
+          // complete checkpoint.
+          ++report.checkpoint_failures;
+          bump("resil.ckpt.write_failures");
+        }
+      }
+      gauge("resil.svi.checkpoint_step", static_cast<double>(last_good_step));
+    }
+  }
+
+  report.steps_completed = svi.steps_taken();
+  gauge("resil.svi.rollbacks_total", static_cast<double>(report.rollbacks));
+  return report;
+}
+
+}  // namespace tx::resil
+
+namespace tx::infer {
+
+resil::FitReport SVI::fit(std::int64_t num_steps,
+                          const resil::RetryPolicy& policy) {
+  return resil::fit_svi(*this, num_steps, policy);
+}
+
+}  // namespace tx::infer

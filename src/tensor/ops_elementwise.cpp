@@ -9,6 +9,7 @@
 #include "obs/event_sink.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "resil/fault.h"
 #include "tensor/tensor.h"
 
 namespace tx {
@@ -96,6 +97,7 @@ Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
+  fault::check_alloc("tensor.add");
   Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x + y; });
   const Shape as = a.shape(), bs = b.shape();
   return make_tensor_from_op(

@@ -9,6 +9,7 @@
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "resil/fault.h"
 #include "tensor/tensor.h"
 
 namespace tx {
@@ -132,6 +133,7 @@ void gemm_at_dispatch(const float* a, const float* b, float* c, std::int64_t m,
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  fault::check_alloc("tensor.matmul");
   TX_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects 2-D tensors, got [",
            join(a.shape()), "] x [", join(b.shape()), "]");
   const std::int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);

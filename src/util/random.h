@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 
 namespace tx {
@@ -48,6 +50,13 @@ class Generator {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Exact engine-state serialization (the standard's text format for
+  /// mt19937_64). Distributions are constructed fresh per draw, so the
+  /// engine is the complete RNG state: save/load round-trips reproduce the
+  /// stream bit-for-bit, which is what makes checkpoint resume exact.
+  void save(std::ostream& os) const { os << engine_; }
+  void load(std::istream& is) { is >> engine_; }
 
  private:
   std::mt19937_64 engine_;

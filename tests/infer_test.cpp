@@ -72,6 +72,38 @@ TEST(Optim, AddParamDeduplicatesAndValidates) {
   EXPECT_THROW(opt.add_param(y), Error);
 }
 
+TEST(Optim, AdamStateSurvivesHandleReplacementByName) {
+  // Regression: Adam moments used to be keyed by the raw TensorImpl*, so a
+  // ParamStore::set()/restore() that swapped the handle silently reset the
+  // optimizer state. Keyed by name, the moments must survive a rebind.
+  Adam opt(0.1);
+  Tensor x = Tensor::scalar(5.0f).set_requires_grad(true);
+  opt.add_param("x", x);
+  for (int i = 0; i < 3; ++i) {
+    opt.zero_grad();
+    square(x - 3.0f).backward();
+    opt.step();
+  }
+  // Replace the handle mid-optimization, exactly what restore() does.
+  Tensor x2 = Tensor::scalar(x.item()).set_requires_grad(true);
+  opt.add_param("x", x2);
+  EXPECT_EQ(opt.num_params(), 1u);
+  opt.zero_grad();
+  square(x2 - 3.0f).backward();
+  opt.step();
+
+  // Uninterrupted reference: same 4 steps with no handle swap.
+  Adam ref(0.1);
+  Tensor y = Tensor::scalar(5.0f).set_requires_grad(true);
+  ref.add_param("y", y);
+  for (int i = 0; i < 4; ++i) {
+    ref.zero_grad();
+    square(y - 3.0f).backward();
+    ref.step();
+  }
+  EXPECT_EQ(x2.item(), y.item());  // bitwise: t, m, v all carried over
+}
+
 TEST(Optim, StepLRDecaysOnSchedule) {
   SGD opt(1.0);
   StepLR sched(opt, 10, 0.1);
