@@ -61,10 +61,14 @@ int main(int argc, char** argv) {
   std::printf("Figure 1 reproduction (seed %llu)\n",
               static_cast<unsigned long long>(seed));
 
-  // --trace <path> (or TYXE_TRACE) records a Chrome-trace timeline of the
-  // whole run: tensor kernels, pool workers, SVI/HMC phases, ppl sites, and
-  // the live-tensor-bytes counter track. See docs/observability.md.
-  const std::string trace_path = tx::obs::trace_path_from_args(argc, argv);
+  // Shared observability flags: --trace <path> records a Chrome-trace
+  // timeline, --diag <path> streams inference health, --prof enables the
+  // kernel roofline / allocator-churn profiler (its "prof" section lands in
+  // BENCH_fig1_regression.json). Env fallbacks TYXE_TRACE/TYXE_DIAG/
+  // TYXE_PROF. See docs/observability.md.
+  const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
+  const std::string& trace_path = obs_flags.trace_path;
+  if (obs_flags.prof) tx::obs::prof::set_enabled(true);
   if (!trace_path.empty()) {
     tx::obs::set_trace_thread_name("main");
     tx::obs::start_tracing();
@@ -97,10 +101,9 @@ int main(int argc, char** argv) {
     std::printf("fault plan installed from TYXE_FAULT\n");
   }
 
-  // --diag <path> (or TYXE_DIAG) streams inference health — per-site
-  // variational drift/KL, gradient SNR, per-site R̂/ESS and divergence
-  // blame for HMC — into a tx.diag.v1 snapshot. See docs/observability.md.
-  const std::string diag_path = tx::obs::diag::diag_path_from_args(argc, argv);
+  // Diagnostics (per-site variational drift/KL, gradient SNR, per-site
+  // R̂/ESS and divergence blame for HMC) into a tx.diag.v1 snapshot.
+  const std::string& diag_path = obs_flags.diag_path;
   tx::ppl::DiagnosticsMessenger diag_messenger;
   std::optional<tx::ppl::HandlerScope> diag_scope;
   if (!diag_path.empty()) {
@@ -275,6 +278,21 @@ int main(int argc, char** argv) {
   std::printf("  events:  %s (%lld lines)\n", sink.path().c_str(),
               static_cast<long long>(sink.events_written()));
   std::printf("  metrics: BENCH_fig1_regression.json\n");
+  if (obs_flags.prof) {
+    std::int64_t flops = 0;
+    for (const auto& [name, ks] : tx::obs::prof::kernel_table()) {
+      flops += ks.flops;
+    }
+    const std::int64_t window = tx::obs::prof::window_allocated_bytes();
+    const double coverage =
+        window > 0 ? 100.0 * static_cast<double>(
+                                 tx::obs::prof::attributed_bytes()) /
+                         static_cast<double>(window)
+                   : 100.0;
+    std::printf("  prof:    %zu kernels, %.3f GFLOP, churn coverage %.1f%%\n",
+                tx::obs::prof::kernel_table().size(),
+                static_cast<double>(flops) / 1e9, coverage);
+  }
   if (!diag_path.empty()) {
     const bool ok = tx::obs::diag::write_snapshot(diag_path, "fig1_regression");
     std::printf("  diag:    %s (%lld records, %lld nan trips)%s\n",

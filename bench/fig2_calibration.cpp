@@ -6,6 +6,8 @@
 
 #include "metrics/metrics.h"
 #include "obs/diag.h"
+#include "obs/flags.h"
+#include "obs/prof.h"
 #include "ppl/diag.h"
 #include "ppl/messenger.h"
 #include "table1_harness.h"
@@ -14,8 +16,11 @@ int main(int argc, char** argv) {
   // --diag <path> (or TYXE_DIAG) streams inference health across every
   // strategy's SVI fit into one tx.diag.v1 snapshot (the snapshot's step
   // indices are the global diag sequence, so restarts between strategies
-  // keep them monotone). See docs/observability.md.
-  const std::string diag_path = tx::obs::diag::diag_path_from_args(argc, argv);
+  // keep them monotone). --prof adds the kernel roofline / churn section to
+  // the metrics snapshot. See docs/observability.md.
+  const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
+  const std::string& diag_path = obs_flags.diag_path;
+  if (obs_flags.prof) tx::obs::prof::set_enabled(true);
   tx::ppl::DiagnosticsMessenger diag_messenger;
   std::optional<tx::ppl::HandlerScope> diag_scope;
   if (!diag_path.empty()) {

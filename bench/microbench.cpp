@@ -8,6 +8,9 @@
 #include "core/tyxe.h"
 #include "data/datasets.h"
 #include "obs/diag.h"
+#include "obs/event_sink.h"
+#include "obs/flags.h"
+#include "obs/prof.h"
 #include "par/par.h"
 #include "ppl/diag.h"
 #include "resil/checkpoint.h"
@@ -291,4 +294,24 @@ BENCHMARK(BM_MultiParticleElboThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared obs flags (--prof etc.)
+// are parsed and *stripped* first so google-benchmark never sees them, and
+// the run ends by writing BENCH_microbench.json in the tx.obs.v1 snapshot
+// schema — the same snapshot/diff pipeline as the figure benches. Iteration
+// counts are time-adaptive, so prof aggregates here are machine-dependent;
+// scripts/bench_diff.py compares this file with --no-gate-counts.
+int main(int argc, char** argv) {
+  const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
+  if (obs_flags.prof) tx::obs::prof::set_enabled(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!tx::obs::EventSink::write_snapshot("BENCH_microbench.json",
+                                          "microbench")) {
+    std::fprintf(stderr, "microbench: snapshot write failed\n");
+    return 1;
+  }
+  std::printf("metrics: BENCH_microbench.json\n");
+  return 0;
+}

@@ -56,8 +56,11 @@ int main(int argc, char** argv) {
 
   // --trace <path> (or TYXE_TRACE) records the whole comparison as a Chrome
   // trace: matmul slices with shape/FLOP args, par-worker chunk tracks, and
-  // per-chain mcmc.chain / mcmc.step slices.
-  const std::string trace_path = tx::obs::trace_path_from_args(argc, argv);
+  // per-chain mcmc.chain / mcmc.step slices. --prof (or TYXE_PROF) adds the
+  // kernel roofline / churn "prof" section to BENCH_par_scaling.json.
+  const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
+  const std::string& trace_path = obs_flags.trace_path;
+  if (obs_flags.prof) tx::obs::prof::set_enabled(true);
   if (!trace_path.empty()) {
     tx::obs::set_trace_thread_name("main");
     tx::obs::start_tracing();

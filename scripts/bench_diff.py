@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Compare tx.obs.v1 benchmark snapshots against a committed baseline and
+exit nonzero on regression — the perf gate behind CI's perf-gate job.
+
+Usage:
+  scripts/bench_diff.py [options] BASELINE CURRENT [CURRENT ...]
+
+With several CURRENT files (repeated runs of the same bench), each metric is
+reduced to its median before comparison, which absorbs one-off timing
+outliers without hiding a real shift.
+
+Metrics fall into three classes with different noise characteristics:
+
+* EXACT — per-kernel call/FLOP/byte counts from the prof section
+  (prof.kernels.<name>.{calls,flops,bytes}). These are closed-form functions
+  of the workload, machine-independent, and bitwise-reproducible at every
+  thread count; ANY drift is a regression (or an intentional workload change
+  that must be re-baselined). Always gating, except under --no-gate-exact
+  (for google-benchmark snapshots whose per-kernel totals scale with the
+  time-adaptive iteration count and are therefore machine-dependent).
+* COUNT — integer aggregates that are deterministic for a fixed build but
+  legitimately move when behavior changes by design: allocator-churn totals,
+  mem.* byte gauges, counter values. Compared with --count-rtol relative
+  tolerance (default 0.25). Gating unless --no-gate-counts (used for
+  google-benchmark snapshots whose iteration counts are time-adaptive and
+  therefore machine-dependent).
+* TIMING — seconds, GFLOP/s, GB/s, histogram timing summaries. Compared
+  with --timing-rtol (default 0.5) but WARN-ONLY by default: CI containers
+  (1 core, noisy neighbors) cannot gate on wall time honestly. --gate-timing
+  turns violations into failures for dedicated perf hardware.
+
+A metric present in the baseline but missing from CURRENT (or vice versa) is
+a schema drift: gating for EXACT/COUNT metrics, warn-only for TIMING.
+
+Exit codes: 0 clean (warnings allowed), 1 regression(s), 2 usage/IO error.
+"""
+import argparse
+import json
+import sys
+from statistics import median
+
+# Substrings that mark a metric as timing-class wherever it appears.
+TIMING_MARKERS = (
+    "seconds",
+    "gflops",
+    "gbps",
+    ".speedup",
+    "_per_step",
+    "wall_time",
+    "intensity",
+)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def flatten(doc):
+    """Flatten a snapshot into {metric_path: number}.
+
+    Covers counters, gauges, histogram summary fields, and the prof section.
+    Series are skipped (their shape is workload-defined, not comparable
+    pointwise across runs).
+    """
+    out = {}
+    for name, v in (doc.get("counters") or {}).items():
+        if is_number(v):
+            out[f"counters.{name}"] = v
+    for name, v in (doc.get("gauges") or {}).items():
+        if is_number(v):
+            out[f"gauges.{name}"] = v
+    for name, h in (doc.get("histograms") or {}).items():
+        if isinstance(h, dict):
+            for field in ("count", "sum", "mean", "p50", "p90", "p99"):
+                if is_number(h.get(field)):
+                    out[f"histograms.{name}.{field}"] = h[field]
+    prof = doc.get("prof")
+    if isinstance(prof, dict):
+        for name, k in (prof.get("kernels") or {}).items():
+            if isinstance(k, dict):
+                for field in ("calls", "flops", "bytes", "seconds", "gflops",
+                              "gbps", "intensity"):
+                    if is_number(k.get(field)):
+                        out[f"prof.kernels.{name}.{field}"] = k[field]
+        churn = prof.get("churn")
+        if isinstance(churn, dict):
+            for field in ("attributed_allocs", "attributed_bytes"):
+                if is_number(churn.get(field)):
+                    out[f"prof.churn.{field}"] = churn[field]
+            for span, s in (churn.get("spans") or {}).items():
+                if isinstance(s, dict):
+                    for field in ("allocs", "bytes"):
+                        if is_number(s.get(field)):
+                            out[f"prof.churn.spans.{span}.{field}"] = s[field]
+    return out
+
+
+def classify(path):
+    """EXACT / COUNT / TIMING class of one flattened metric path."""
+    lowered = path.lower()
+    if path.startswith("prof.kernels.") and path.rsplit(".", 1)[-1] in (
+        "calls",
+        "flops",
+        "bytes",
+    ):
+        return "EXACT"
+    # span.* histograms record wall-clock durations; every summary field
+    # except the (deterministic) entry count is timing.
+    if path.startswith("histograms.span.") and not path.endswith(".count"):
+        return "TIMING"
+    if any(m in lowered for m in TIMING_MARKERS):
+        return "TIMING"
+    return "COUNT"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: {path}: unreadable or invalid JSON ({e})")
+    if not isinstance(doc, dict) or doc.get("schema") != "tx.obs.v1":
+        raise SystemExit(f"bench_diff: {path}: not a tx.obs.v1 snapshot")
+    return doc
+
+
+def rel_delta(base, cur):
+    if base == cur:
+        return 0.0
+    denom = max(abs(base), abs(cur), 1e-12)
+    return (cur - base) / denom
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description="Compare tx.obs.v1 snapshots; exit nonzero on regression.",
+    )
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="+")
+    ap.add_argument("--count-rtol", type=float, default=0.25,
+                    help="relative tolerance for COUNT metrics (default 0.25)")
+    ap.add_argument("--timing-rtol", type=float, default=0.5,
+                    help="relative tolerance for TIMING metrics (default 0.5)")
+    ap.add_argument("--gate-timing", action="store_true",
+                    help="fail (not just warn) on TIMING violations")
+    ap.add_argument("--no-gate-counts", action="store_true",
+                    help="demote COUNT violations to warnings (for "
+                         "machine-dependent snapshots like microbench)")
+    ap.add_argument("--no-gate-exact", action="store_true",
+                    help="demote EXACT violations to warnings (for "
+                         "time-adaptive google-benchmark snapshots whose "
+                         "per-kernel totals scale with iteration count)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="print violations/warnings only, no per-metric OK lines")
+    args = ap.parse_args(argv[1:])
+
+    base = flatten(load(args.baseline))
+    currents = [flatten(load(p)) for p in args.current]
+    # Median-of-N per metric; a metric must appear in every CURRENT file to
+    # count as present (a partial appearance is itself schema drift).
+    cur = {}
+    for key in currents[0]:
+        if all(key in c for c in currents):
+            cur[key] = median(c[key] for c in currents)
+    dropped = set().union(*currents) - set(cur)
+
+    failures = []
+    warnings = []
+
+    def record(cls, msg, gate):
+        (failures if gate else warnings).append(f"[{cls}] {msg}")
+
+    def gate_for(cls):
+        if cls == "EXACT":
+            return not args.no_gate_exact
+        if cls == "COUNT":
+            return not args.no_gate_counts
+        return args.gate_timing
+
+    for key in sorted(set(base) | set(cur)):
+        cls = classify(key)
+        if key not in cur:
+            record(cls, f"{key}: in baseline but missing from current run",
+                   gate_for(cls))
+            continue
+        if key not in base:
+            record(cls, f"{key}: new metric not in baseline (re-baseline?)",
+                   gate_for(cls))
+            continue
+        b, c = base[key], cur[key]
+        delta = rel_delta(b, c)
+        if cls == "EXACT":
+            if b != c:
+                record(cls, f"{key}: {b} -> {c} (exact metric drifted)",
+                       gate_for(cls))
+            elif not args.quiet:
+                print(f"[EXACT] {key}: {b} OK")
+            continue
+        rtol = args.count_rtol if cls == "COUNT" else args.timing_rtol
+        if abs(delta) > rtol:
+            record(
+                cls,
+                f"{key}: {b:g} -> {c:g} ({delta:+.1%}, tolerance ±{rtol:.0%})",
+                gate_for(cls),
+            )
+        elif not args.quiet:
+            print(f"[{cls}] {key}: {b:g} -> {c:g} ({delta:+.1%}) OK")
+
+    for key in sorted(dropped):
+        warnings.append(
+            f"[{classify(key)}] {key}: present in only some current runs"
+        )
+
+    for w in warnings:
+        print(f"WARN {w}", file=sys.stderr)
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    n = len(set(base) | set(cur))
+    print(
+        f"bench_diff: {n} metrics compared, "
+        f"{len(failures)} failure(s), {len(warnings)} warning(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,7 +2,7 @@
 """Validate BENCH_*.json snapshots, tx.trace.v1 Chrome-trace exports,
 tx.diag.v1 inference-health snapshots, and tx.ckpt.v1 checkpoint bundles.
 
-Usage: scripts/validate_bench.py [--trace | --diag | --ckpt] FILE [FILE ...]
+Usage: scripts/validate_bench.py [--trace | --diag | --ckpt | --prof] FILE ...
 
 Four file kinds are understood; the first three are JSON and auto-detected
 by shape, checkpoints are text-framed binary selected with --ckpt:
@@ -33,10 +33,16 @@ Metric snapshots additionally have their `resil.*` counters and gauges
 checked against the schema documented in docs/robustness.md: unknown
 resil names, negative counters, or non-finite gauges are violations.
 
-`--trace` / `--diag` additionally *require* each named file to be of that
-kind, so a glob that accidentally matches a snapshot fails loudly instead of
-passing under the wrong checker. Exits non-zero with one line per violation,
-so CI can gate on it.
+Snapshots may embed an optional "prof" section (schema tx.prof.v1, written
+when the run profiled with --prof): per-kernel calls/flops/bytes plus derived
+gflops/gbps/intensity, and the allocator-churn table (per-span allocs, bytes,
+size-class histogram, coverage vs mem.total_allocated_bytes). The section is
+validated whenever present; `--prof` additionally *requires* it.
+
+`--trace` / `--diag` / `--prof` additionally *require* each named file to be
+of that kind, so a glob that accidentally matches the wrong file fails loudly
+instead of passing under the wrong checker. Exits non-zero with one line per
+violation, so CI can gate on it.
 """
 import json
 import sys
@@ -151,6 +157,117 @@ def validate_snapshot(path, doc):
             elif not all(is_number(v) for v in values):
                 err(f"series '{name}' has non-numeric entries")
 
+    if "prof" in doc:
+        errors.extend(validate_prof_section(path, doc["prof"]))
+
+    return errors
+
+
+PROF_KERNEL_INTS = ("calls", "flops", "bytes")
+PROF_KERNEL_FLOATS = ("seconds", "gflops", "gbps", "intensity")
+PROF_SPAN_INTS = ("allocs", "bytes")
+
+
+def validate_prof_section(path, prof):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: prof: {msg}")
+
+    if not isinstance(prof, dict):
+        return [f"{path}: 'prof' must be an object"]
+    if prof.get("schema") != "tx.prof.v1":
+        err(f"schema is {prof.get('schema')!r}, expected 'tx.prof.v1'")
+    if not is_number(prof.get("seconds_enabled")):
+        err("'seconds_enabled' is not a number")
+    if not isinstance(prof.get("steps"), int):
+        err("'steps' is not an integer")
+
+    kernels = prof.get("kernels")
+    if not isinstance(kernels, dict):
+        err("'kernels' must be an object")
+    else:
+        for name, k in kernels.items():
+            if not isinstance(k, dict):
+                err(f"kernel '{name}' is not an object")
+                continue
+            for field in PROF_KERNEL_INTS:
+                v = k.get(field)
+                if not isinstance(v, int) or isinstance(v, bool):
+                    err(f"kernel '{name}' field '{field}' is not an integer: {v!r}")
+                elif v < 0:
+                    err(f"kernel '{name}' field '{field}' is negative: {v}")
+            for field in PROF_KERNEL_FLOATS:
+                if not is_number(k.get(field)):
+                    err(f"kernel '{name}' field '{field}' is not a number")
+            if isinstance(k.get("calls"), int) and k["calls"] == 0:
+                err(f"kernel '{name}' has zero calls but was recorded")
+
+    churn = prof.get("churn")
+    if not isinstance(churn, dict):
+        err("'churn' must be an object")
+        return errors
+    for field in ("attributed_allocs", "attributed_bytes", "window_allocated_bytes"):
+        v = churn.get(field)
+        if not isinstance(v, int) or isinstance(v, bool):
+            err(f"churn field '{field}' is not an integer: {v!r}")
+    if not is_number(churn.get("coverage")):
+        err("churn field 'coverage' is not a number")
+    spans = churn.get("spans")
+    if not isinstance(spans, dict):
+        err("churn 'spans' must be an object")
+        return errors
+    total_allocs = total_bytes = 0
+    for span, s in spans.items():
+        if not isinstance(s, dict):
+            err(f"churn span '{span}' is not an object")
+            continue
+        for field in PROF_SPAN_INTS:
+            v = s.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                err(f"churn span '{span}' field '{field}' is not an integer: {v!r}")
+        if not is_number(s.get("bytes_per_step")):
+            err(f"churn span '{span}' field 'bytes_per_step' is not a number")
+        classes = s.get("size_classes")
+        if not isinstance(classes, list):
+            err(f"churn span '{span}' size_classes is not a list")
+        else:
+            class_total = 0
+            for i, b in enumerate(classes):
+                if not isinstance(b, dict) or "le" not in b or "count" not in b:
+                    err(f"churn span '{span}' size class {i} malformed: {b!r}")
+                    continue
+                if not (is_number(b["le"]) or b["le"] == "inf"):
+                    err(f"churn span '{span}' size class {i} 'le' invalid: {b['le']!r}")
+                if not isinstance(b["count"], int):
+                    err(f"churn span '{span}' size class {i} 'count' not an integer")
+                else:
+                    class_total += b["count"]
+            if isinstance(s.get("allocs"), int) and class_total != s["allocs"]:
+                err(
+                    f"churn span '{span}' size-class counts sum to "
+                    f"{class_total}, expected allocs = {s['allocs']}"
+                )
+        if isinstance(s.get("allocs"), int):
+            total_allocs += s["allocs"]
+        if isinstance(s.get("bytes"), int):
+            total_bytes += s["bytes"]
+    if (
+        isinstance(churn.get("attributed_allocs"), int)
+        and total_allocs != churn["attributed_allocs"]
+    ):
+        err(
+            f"span alloc counts sum to {total_allocs}, expected "
+            f"attributed_allocs = {churn['attributed_allocs']}"
+        )
+    if (
+        isinstance(churn.get("attributed_bytes"), int)
+        and total_bytes != churn["attributed_bytes"]
+    ):
+        err(
+            f"span byte counts sum to {total_bytes}, expected "
+            f"attributed_bytes = {churn['attributed_bytes']}"
+        )
     return errors
 
 
@@ -368,7 +485,7 @@ def validate_ckpt(path):
     return errors
 
 
-def validate(path, require_trace=False, require_diag=False):
+def validate(path, require_trace=False, require_diag=False, require_prof=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -385,7 +502,10 @@ def validate(path, require_trace=False, require_diag=False):
         return "tx.trace.v1", validate_trace(path, doc)
     if require_trace:
         return None, [f"{path}: expected a Chrome trace (no 'traceEvents' key)"]
-    return "tx.obs.v1", validate_snapshot(path, doc)
+    if require_prof and "prof" not in doc:
+        return None, [f"{path}: expected a profiled snapshot (no 'prof' section)"]
+    kind = "tx.obs.v1+prof" if "prof" in doc else "tx.obs.v1"
+    return kind, validate_snapshot(path, doc)
 
 
 def main(argv):
@@ -393,6 +513,7 @@ def main(argv):
     require_trace = False
     require_diag = False
     require_ckpt = False
+    require_prof = False
     if args and args[0] == "--trace":
         require_trace = True
         args = args[1:]
@@ -401,6 +522,9 @@ def main(argv):
         args = args[1:]
     elif args and args[0] == "--ckpt":
         require_ckpt = True
+        args = args[1:]
+    elif args and args[0] == "--prof":
+        require_prof = True
         args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
@@ -411,7 +535,8 @@ def main(argv):
             kind, errs = "tx.ckpt.v1", validate_ckpt(path)
         else:
             kind, errs = validate(path, require_trace=require_trace,
-                                  require_diag=require_diag)
+                                  require_diag=require_diag,
+                                  require_prof=require_prof)
         if errs:
             all_errors.extend(errs)
         else:

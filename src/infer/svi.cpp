@@ -88,6 +88,7 @@ double SVI::step() {
     }
   }
   obs::diag::svi_step_end(loss_value, std::sqrt(total_grad_sq));
+  obs::prof::on_step();
 
   if (instrument) {
     const double grad_sq = total_grad_sq;

@@ -13,6 +13,7 @@
 #include <set>
 
 #include "obs/event_sink.h"
+#include "obs/flags.h"
 #include "obs/timer.h"
 
 namespace tx::obs::diag {
@@ -648,20 +649,7 @@ bool write_snapshot(const std::string& path, const std::string& bench_name) {
 #endif  // TX_OBS_DISABLED
 
 std::string diag_path_from_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--diag") != 0) continue;
-    if (i + 1 < argc) return argv[i + 1];
-    // A trailing --diag means the path was forgotten; say so instead of
-    // silently running with diagnostics off.
-    std::fprintf(stderr,
-                 "warning: --diag given without a path; "
-                 "falling back to TYXE_DIAG\n");
-    break;
-  }
-  if (const char* env = std::getenv("TYXE_DIAG")) {
-    if (*env != '\0') return env;
-  }
-  return "";
+  return obs::detail::path_flag(argc, argv, "--diag", "TYXE_DIAG");
 }
 
 }  // namespace tx::obs::diag

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/mem.h"
+#include "obs/prof.h"
 
 namespace tx::obs {
 
@@ -113,6 +114,8 @@ bool EventSink::write_snapshot(
     MetricsRegistry& reg,
     const std::map<std::string, std::vector<double>>& series) {
   mem::publish(reg);
+  const std::string prof_section = prof::section_json("  ");
+  if (!prof_section.empty()) prof::publish(reg);
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     registry().counter("obs.sink_errors").add(1);
@@ -172,7 +175,15 @@ bool EventSink::write_snapshot(
         << "\": " << render_series(values);
     first = false;
   }
-  out << (first ? "" : "\n  ") << "}\n";
+  out << (first ? "" : "\n  ") << "}";
+
+  // The profiler section is optional so snapshots from non-profiled runs
+  // stay byte-identical to the pre-prof schema.
+  if (!prof_section.empty()) {
+    out << ",\n  \"prof\": " << prof_section << "\n";
+  } else {
+    out << "\n";
+  }
   out << "}\n";
   out.flush();
   if (!out.good()) {

@@ -1,0 +1,60 @@
+#include "obs/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tx::obs {
+
+namespace detail {
+
+std::string path_flag(int argc, char** argv, const char* flag,
+                      const char* env) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    if (i + 1 < argc) return argv[i + 1];
+    // A trailing path flag means the path was forgotten; say so instead of
+    // silently running with the feature off.
+    std::fprintf(stderr, "warning: %s given without a path; falling back to %s\n",
+                 flag, env);
+    break;
+  }
+  if (const char* v = std::getenv(env)) {
+    if (*v != '\0') return v;
+  }
+  return "";
+}
+
+}  // namespace detail
+
+BenchFlags parse_bench_flags(int& argc, char** argv) {
+  BenchFlags flags;
+  flags.trace_path = detail::path_flag(argc, argv, "--trace", "TYXE_TRACE");
+  flags.diag_path = detail::path_flag(argc, argv, "--diag", "TYXE_DIAG");
+
+  // Strip consumed arguments so downstream parsers never see them.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 ||
+        std::strcmp(argv[i], "--diag") == 0) {
+      if (i + 1 < argc) ++i;  // skip the path operand too
+      continue;
+    }
+    if (std::strcmp(argv[i], "--prof") == 0) {
+      flags.prof = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  argc = out;
+
+  if (!flags.prof) {
+    if (const char* v = std::getenv("TYXE_PROF")) {
+      flags.prof = *v != '\0' && std::strcmp(v, "0") != 0;
+    }
+  }
+  return flags;
+}
+
+}  // namespace tx::obs

@@ -1,0 +1,43 @@
+// Shared observability command-line flags for benchmark binaries.
+//
+// Every bench accepts the same three switches:
+//
+//   --trace <path>   write a Chrome-trace timeline (obs/trace.h)
+//   --diag <path>    write streaming inference diagnostics (obs/diag.h)
+//   --prof           enable the kernel/churn profiler (obs/prof.h); the
+//                    "prof" section lands inside the bench's BENCH_*.json
+//
+// parse_bench_flags recognizes them in one place (replacing per-bench
+// copies), warns on a trailing path flag with no path instead of silently
+// dropping it, falls back to the TYXE_TRACE / TYXE_DIAG / TYXE_PROF
+// environment variables, and *strips* everything it consumed from argv so
+// the remaining arguments can be handed to another parser (e.g. google
+// benchmark) without "unrecognized flag" failures.
+#pragma once
+
+#include <string>
+
+namespace tx::obs {
+
+/// Resolved observability flags for one bench invocation.
+struct BenchFlags {
+  std::string trace_path;  ///< "" when tracing is off
+  std::string diag_path;   ///< "" when diagnostics are off
+  bool prof = false;       ///< profiler on (--prof or TYXE_PROF=1)
+};
+
+/// Parse --trace/--diag/--prof out of argv (see file comment). Consumed
+/// arguments are removed in place and argc is updated; argv[0] and
+/// unrecognized arguments are preserved in order.
+BenchFlags parse_bench_flags(int& argc, char** argv);
+
+namespace detail {
+/// Scan argv for `flag <path>`; a trailing `flag` with no path prints a
+/// warning naming the env fallback. Returns the path, else the non-empty
+/// value of `env`, else "". Non-stripping — shared by the legacy
+/// trace_path_from_args / diag_path_from_args entry points.
+std::string path_flag(int argc, char** argv, const char* flag,
+                      const char* env);
+}  // namespace detail
+
+}  // namespace tx::obs

@@ -1,12 +1,15 @@
 // Umbrella header for tx::obs — the observability substrate: metrics
 // registry, RAII span timers, the JSONL event sink / BENCH snapshot writer,
-// the Chrome-trace timeline recorder, tensor memory accounting, and the
-// streaming inference-health diagnostics. See docs/observability.md.
+// the Chrome-trace timeline recorder, tensor memory accounting, the streaming
+// inference-health diagnostics, and the kernel roofline / allocator-churn
+// profiler. See docs/observability.md.
 #pragma once
 
 #include "obs/diag.h"
 #include "obs/event_sink.h"
+#include "obs/flags.h"
 #include "obs/mem.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flags.h"
 #include "obs/registry.h"
 
 namespace tx::obs {
@@ -295,13 +296,7 @@ bool write_trace(const std::string& path) {
 #endif  // !TX_OBS_DISABLED
 
 std::string trace_path_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
-  }
-  if (const char* env = std::getenv("TYXE_TRACE")) {
-    if (*env != '\0') return env;
-  }
-  return "";
+  return detail::path_flag(argc, argv, "--trace", "TYXE_TRACE");
 }
 
 }  // namespace tx::obs

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/event_sink.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -88,6 +89,9 @@ struct Job {
                                                 .to_json()
                                           : std::string());
           body(b, e);
+          // Merge this thread's churn shard before completion is counted:
+          // once the caller wakes from wait() the aggregates must be final.
+          obs::prof::flush_thread_cache();
         } catch (...) {
           bool expected = false;
           if (failed.compare_exchange_strong(expected, true,

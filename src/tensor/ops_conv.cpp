@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "obs/event_sink.h"
+#include "obs/prof.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -164,32 +165,43 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const std::int64_t patch = d.ic * d.kh * d.kw;
   const std::int64_t spatial = d.oh * d.ow;
   std::vector<float> out(static_cast<std::size_t>(d.n * d.oc * spatial), 0.0f);
+  const bool has_bias = bias.defined();
+  const std::int64_t out_numel = d.n * d.oc * spatial;
   {
-    obs::ScopedTimer span("par.conv2d",
-                          obs::tracing() ? conv_trace_args(d) : std::string());
-    const std::int64_t flops = d.n * patch * spatial * d.oc;
-    const std::int64_t grain = flops < kConvParThreshold ? d.n : 1;
-    par::parallel_for(0, d.n, grain, [&](std::int64_t i0, std::int64_t i1) {
-      std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
-      for (std::int64_t img = i0; img < i1; ++img) {
-        im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
-        // weight (oc, patch) * cols (patch, spatial) -> out (oc, spatial)
-        gemm_acc(weight.data(), cols.data(), out.data() + img * d.oc * spatial,
-                 d.oc, patch, spatial);
-      }
-    });
-  }
-  if (bias.defined()) {
-    TX_CHECK(bias.rank() == 1 && bias.dim(0) == d.oc, "conv2d: bias mismatch");
-    for (std::int64_t img = 0; img < d.n; ++img) {
-      for (std::int64_t c = 0; c < d.oc; ++c) {
-        float* dst = out.data() + (img * d.oc + c) * spatial;
-        const float bv = bias.at(c);
-        for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+    // 2·n·patch·spatial·oc gemm flops, plus one add per output for the bias;
+    // traffic model: x/w read once, out written once, bias adds a re-walk of
+    // the output plus the bias vector itself.
+    obs::prof::KernelScope prof(
+        "conv2d",
+        2 * d.n * patch * spatial * d.oc + (has_bias ? d.n * d.oc * spatial : 0),
+        4 * (x.numel() + weight.numel() + out_numel) +
+            (has_bias ? 4 * (d.oc + out_numel) : 0));
+    {
+      obs::ScopedTimer span(
+          "par.conv2d", obs::tracing() ? conv_trace_args(d) : std::string());
+      const std::int64_t flops = d.n * patch * spatial * d.oc;
+      const std::int64_t grain = flops < kConvParThreshold ? d.n : 1;
+      par::parallel_for(0, d.n, grain, [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
+        for (std::int64_t img = i0; img < i1; ++img) {
+          im2col(x.data() + img * d.ic * d.ih * d.iw, d, cols.data());
+          // weight (oc, patch) * cols (patch, spatial) -> out (oc, spatial)
+          gemm_acc(weight.data(), cols.data(),
+                   out.data() + img * d.oc * spatial, d.oc, patch, spatial);
+        }
+      });
+    }
+    if (bias.defined()) {
+      TX_CHECK(bias.rank() == 1 && bias.dim(0) == d.oc, "conv2d: bias mismatch");
+      for (std::int64_t img = 0; img < d.n; ++img) {
+        for (std::int64_t c = 0; c < d.oc; ++c) {
+          float* dst = out.data() + (img * d.oc + c) * spatial;
+          const float bv = bias.at(c);
+          for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+        }
       }
     }
   }
-  const bool has_bias = bias.defined();
   std::vector<Tensor> inputs{x, weight};
   if (has_bias) inputs.push_back(bias);
   return make_tensor_from_op(
@@ -201,6 +213,16 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
             "par.conv2d_bwd",
             obs::tracing() ? conv_trace_args(d) : std::string());
         const std::int64_t wsize = weight.numel();
+        const std::int64_t g_numel = d.n * d.oc * spatial;
+        // Two gemms per image (dW and dcols): 4·n·patch·spatial·oc flops;
+        // g is read by both products, x/w are each read once and their
+        // gradients written once. The bias grad re-reads g and writes gb.
+        obs::prof::KernelScope prof(
+            "conv2d_bwd",
+            4 * d.n * patch * spatial * d.oc +
+                (has_bias ? d.n * d.oc * spatial : 0),
+            4 * (2 * x.numel() + 2 * wsize + 2 * g_numel) +
+                (has_bias ? 4 * (g_numel + d.oc) : 0));
         const std::int64_t flops = d.n * patch * spatial * d.oc;
         const bool fan_out = d.n > 1 && flops >= kConvParThreshold &&
                              d.n * wsize <= kConvPartialCap;

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "obs/event_sink.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "par/pool.h"
 #include "resil/fault.h"
@@ -38,6 +39,8 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
       obs::TraceSpan trace(
           "par.elementwise",
           obs::tracing() ? obs::Event().set("n", n).to_json() : std::string());
+      // One op per element; both inputs read, the output written.
+      obs::prof::KernelScope prof("elementwise", n, 12 * n);
       float* po = out.data();
       par::parallel_for(0, n, kElemGrain,
                         [&](std::int64_t i0, std::int64_t i1) {
@@ -78,6 +81,7 @@ Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
         "par.unary", obs::tracing()
                          ? obs::Event().set("op", name).set("n", n).to_json()
                          : std::string());
+    obs::prof::KernelScope prof("unary", n, 8 * n);
     float* po = out.data();
     par::parallel_for(0, n, kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);

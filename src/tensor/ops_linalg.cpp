@@ -6,6 +6,7 @@
 // the same accumulation order as the single-threaded path, so results are
 // bitwise-identical for every TYXE_NUM_THREADS.
 #include "obs/event_sink.h"
+#include "obs/prof.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -143,6 +144,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     obs::ScopedTimer span("par.matmul", obs::tracing()
                                             ? gemm_trace_args(1, m, k, n)
                                             : std::string());
+    // Roofline model: 2mkn flops; each operand read once, output written once.
+    obs::prof::KernelScope prof("matmul", 2 * m * k * n,
+                                4 * (m * k + k * n + m * n));
     gemm_dispatch(a.data(), b.data(), out.data(), m, k, n);
   }
   return make_tensor_from_op(
@@ -154,6 +158,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         obs::ScopedTimer span("par.matmul_bwd", obs::tracing()
                                                     ? gemm_trace_args(1, m, k, n)
                                                     : std::string());
+        // Two products (dA = g B^T, dB = A^T g): 4mkn flops, each of g/A/B
+        // read once per product and each gradient written once.
+        obs::prof::KernelScope prof("matmul_bwd", 4 * m * k * n,
+                                    8 * (m * n + m * k + k * n));
         gemm_bt_dispatch(g.data(), b.data(), ga.data(), m, n, k);
         gemm_at_dispatch(a.data(), g.data(), gb.data(), m, k, n);
         return std::vector<Tensor>{ga, gb};
@@ -171,6 +179,8 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
     obs::ScopedTimer span("par.bmm", obs::tracing()
                                          ? gemm_trace_args(batch, m, k, n)
                                          : std::string());
+    obs::prof::KernelScope prof("bmm", 2 * batch * m * k * n,
+                                4 * batch * (m * k + k * n + m * n));
     // Batch entries are independent; below the threshold parallel_for
     // collapses to one inline call, the legacy loop.
     const std::int64_t grain =
@@ -190,6 +200,8 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
         obs::ScopedTimer span("par.bmm_bwd", obs::tracing()
                                                  ? gemm_trace_args(batch, m, k, n)
                                                  : std::string());
+        obs::prof::KernelScope prof("bmm_bwd", 4 * batch * m * k * n,
+                                    8 * batch * (m * n + m * k + k * n));
         const std::int64_t grain =
             batch * m * k * n < kParFlopThreshold ? batch : 1;
         par::parallel_for(

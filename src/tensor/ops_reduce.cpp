@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "obs/event_sink.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "par/pool.h"
 #include "tensor/tensor.h"
@@ -80,6 +81,7 @@ Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
         obs::tracing()
             ? obs::Event().set("n", n).set("out_n", out_n).to_json()
             : std::string());
+    obs::prof::KernelScope prof("reduce_sum", n, 4 * (n + out_n));
     // Per-output-cell kernel with disjoint writes. An input flat index
     // decomposes as base(cell) + offset(reduced coords); for a fixed cell,
     // ascending offset order equals ascending input flat order, so folding

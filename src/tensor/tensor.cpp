@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/mem.h"
+#include "obs/prof.h"
 #include "par/pool.h"
 #include <cmath>
 #include <sstream>
@@ -23,6 +24,8 @@ void TensorImpl::account() {
       (data.capacity() + grad.capacity()) * sizeof(float));
   if (now != accounted_bytes_) {
     obs::mem::on_bytes_delta(now - accounted_bytes_);
+    // Buffer growth is allocator churn; attribute it to the open span.
+    if (now > accounted_bytes_) obs::prof::on_alloc(now - accounted_bytes_);
     accounted_bytes_ = now;
   }
 }
