@@ -31,6 +31,10 @@ Metrics fall into three classes with different noise characteristics:
 
 A metric present in the baseline but missing from CURRENT (or vice versa) is
 a schema drift: gating for EXACT/COUNT metrics, warn-only for TIMING.
+--allow-new-keys demotes only the "new metric not in baseline" direction to a
+warning (used by scripts/refresh_baselines.sh to sanity-check a fresh
+baseline against a build that may have grown kernels); a metric that is in
+the baseline but missing from CURRENT still gates.
 
 Exit codes: 0 clean (warnings allowed), 1 regression(s), 2 usage/IO error.
 """
@@ -147,6 +151,10 @@ def main(argv):
     ap.add_argument("--no-gate-counts", action="store_true",
                     help="demote COUNT violations to warnings (for "
                          "machine-dependent snapshots like microbench)")
+    ap.add_argument("--allow-new-keys", action="store_true",
+                    help="warn (don't fail) on metrics present in CURRENT "
+                         "but absent from BASELINE; baseline keys missing "
+                         "from CURRENT still gate")
     ap.add_argument("--no-gate-exact", action="store_true",
                     help="demote EXACT violations to warnings (for "
                          "time-adaptive google-benchmark snapshots whose "
@@ -186,7 +194,7 @@ def main(argv):
             continue
         if key not in base:
             record(cls, f"{key}: new metric not in baseline (re-baseline?)",
-                   gate_for(cls))
+                   gate_for(cls) and not args.allow_new_keys)
             continue
         b, c = base[key], cur[key]
         delta = rel_delta(b, c)

@@ -36,8 +36,10 @@ class Distribution {
   /// Log-density, elementwise over shape() (scalar for joint distributions).
   virtual Tensor log_prob(const Tensor& value) const = 0;
 
-  /// Scalar sum of log_prob — the quantity inference accumulates.
-  Tensor log_prob_sum(const Tensor& value) const;
+  /// Scalar sum of log_prob — the quantity inference accumulates. Virtual so
+  /// factorized families can fuse the whole chain into one kernel (Normal
+  /// routes to gauss_logpdf_sum); the default sums log_prob.
+  virtual Tensor log_prob_sum(const Tensor& value) const;
 
   /// Differential entropy; throws if not implemented.
   virtual Tensor entropy() const;

@@ -24,13 +24,28 @@ Tensor Normal::sample(Generator* gen) const {
 
 Tensor Normal::rsample(Generator* gen) const {
   Tensor eps = randn(shape_, gen);
-  return add(broadcast_to(loc_, shape_), mul(broadcast_to(scale_, shape_), eps));
+  // One fused kernel instead of the mul+add chain; fp contraction is off, so
+  // this is bitwise scale*eps + loc as before.
+  return fma(broadcast_to(scale_, shape_), eps, broadcast_to(loc_, shape_));
 }
 
 Tensor Normal::log_prob(const Tensor& value) const {
   Tensor z = div(sub(value, loc_), scale_);
   return sub(sub(mul(Tensor::scalar(-0.5f), square(z)), log(scale_)),
              Tensor::scalar(kLogSqrt2Pi));
+}
+
+Tensor Normal::log_prob_sum(const Tensor& value) const {
+  // Fused single-pass kernel when the parameters broadcast *to* the value —
+  // the direction every inference path uses. The rare inverse direction
+  // (value smaller than the parameters) falls back to sum(log_prob).
+  if (broadcastable(value.shape(), loc_.shape()) &&
+      broadcastable(value.shape(), scale_.shape()) &&
+      broadcast_shapes(value.shape(), loc_.shape()) == value.shape() &&
+      broadcast_shapes(value.shape(), scale_.shape()) == value.shape()) {
+    return gauss_logpdf_sum(value, loc_, scale_);
+  }
+  return Distribution::log_prob_sum(value);
 }
 
 Tensor Normal::entropy() const {
@@ -87,8 +102,8 @@ Tensor LogNormal::sample(Generator* gen) const {
 
 Tensor LogNormal::rsample(Generator* gen) const {
   Tensor eps = randn(shape_, gen);
-  return exp(add(broadcast_to(loc_, shape_),
-                 mul(broadcast_to(scale_, shape_), eps)));
+  return exp(fma(broadcast_to(scale_, shape_), eps,
+                 broadcast_to(loc_, shape_)));
 }
 
 Tensor LogNormal::log_prob(const Tensor& value) const {

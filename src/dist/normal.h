@@ -18,6 +18,7 @@ class Normal : public Distribution {
   Tensor rsample(Generator* gen = nullptr) const override;
   bool has_rsample() const override { return true; }
   Tensor log_prob(const Tensor& value) const override;
+  Tensor log_prob_sum(const Tensor& value) const override;
   Tensor entropy() const override;
   Tensor mean() const override { return loc_; }
   DistPtr detach_params() const override;

@@ -7,6 +7,7 @@
 
 #include "obs/obs.h"
 #include "resil/fault.h"
+#include "tensor/alloc.h"
 
 namespace tx::infer {
 
@@ -33,6 +34,10 @@ double SVI::step() {
   // Open the diag step before the loss evaluation so the
   // DiagnosticsMessenger (if attached) records the sites this step touches.
   obs::diag::svi_step_begin(steps_);
+
+  // Recycle autograd temporaries for the whole step (forward, backward,
+  // optimizer, instrumentation) instead of round-tripping them to the heap.
+  alloc::StepScope arena_scope;
 
   obs::ScopedTimer step_span(
       "svi.step", obs::tracing()
@@ -72,7 +77,7 @@ double SVI::step() {
     for (const auto& [name, p] : store_->items()) {
       const Tensor g = p.grad();
       if (!g.defined()) continue;
-      const double gsq = static_cast<double>(sum(square(g)).item());
+      const double gsq = static_cast<double>(square_sum(g).item());
       total_grad_sq += gsq;
       // The extra sum(g) reduction (and its sync) is diag-only; the
       // instrument-only path stays at the single sum(square(g)).
@@ -113,6 +118,7 @@ double SVI::evaluate_loss() {
   std::optional<ppl::GeneratorScope> seed;
   if (gen_ != nullptr) seed.emplace(gen_);
   NoGradGuard ng;
+  alloc::StepScope arena_scope;
   return static_cast<double>(
       loss_->differentiable_loss(model_, guide_).item());
 }

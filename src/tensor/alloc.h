@@ -1,0 +1,106 @@
+// tx::alloc — a per-step buffer-recycling allocator for autograd temporaries.
+//
+// Motivation: one fig1 SVI/HMC run moves gigabytes through the heap while its
+// live set is a couple of megabytes — every op allocates a fresh
+// std::vector<float> that dies microseconds later. This module recycles those
+// buffers across ops *within* an inference step instead of round-tripping
+// them through the heap.
+//
+// Mechanics:
+//   * `StepScope` marks a step region (SVI::step, one HMC/NUTS leapfrog
+//     trajectory). While at least one StepScope is alive anywhere in the
+//     process, recycling is active for every thread.
+//   * `buffer(n)` / `buffer_uninit(n)` return an n-element vector, served
+//     from the calling thread's pool when a buffer of capacity in [n, 2n]
+//     is available, otherwise freshly heap-allocated. Pools are strictly
+//     thread-local: no locks, no cross-thread reuse, and — because buffer
+//     *values* are always fully written by the caller — recycling can never
+//     change numerical results or their thread-count invariance.
+//   * When a TensorImpl dies inside a step region it *donates* its data/grad
+//     vectors back to the pool instead of freeing them.
+//
+// Accounting contract (keeps obs::mem truthful and obs::prof churn coverage
+// exactly 1.0): obs::mem/obs::prof observe HEAP traffic, not logical tensor
+// lifetimes.
+//   * Fresh allocation (pool miss): reported by TensorImpl::account() as a
+//     positive mem delta and a churn event, exactly as before this module.
+//   * Pool hit: the pool's ledger already owns those bytes as live; acquiring
+//     transfers ownership to the tensor via a thread-local *credit* that
+//     account() consumes instead of re-reporting. Net mem delta: zero, no
+//     churn event. live_bytes stays exact.
+//   * Donation: bytes move from tensor accounting into the pool ledger; no
+//     mem delta (they are still resident).
+//   * Pool trim / thread-pool destruction: reports the ledger as a negative
+//     mem delta (the bytes really return to the heap).
+// Invariant: mem.live_bytes == sum of tensor-accounted bytes + pool ledgers,
+// and mem.total_allocated_bytes grows only on real heap allocations.
+//
+// Buffers larger than kMaxPooledBytes bypass the pool entirely (heap
+// fallback), and each thread pool is capped; donations beyond the cap are
+// freed normally.
+//
+// TYXE_ARENA=off disables recycling process-wide; set_enabled() does the
+// same programmatically for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tx::alloc {
+
+// RAII marker for one inference step; nestable and cheap. While any scope is
+// alive, buffer() may recycle and TensorImpl destruction donates.
+class StepScope {
+ public:
+  StepScope();
+  ~StepScope();
+  StepScope(const StepScope&) = delete;
+  StepScope& operator=(const StepScope&) = delete;
+};
+
+// True when recycling is enabled and at least one StepScope is alive.
+bool active();
+
+// Process-wide kill switch (also via env TYXE_ARENA=off). Disabling does not
+// free already-pooled buffers; call trim_thread_pool() for that.
+void set_enabled(bool on);
+bool enabled();
+
+// An n-element vector, recycled when possible. buffer() zero-fills;
+// buffer_uninit() leaves recycled contents unspecified and must only be used
+// when the caller overwrites all n elements before any read.
+std::vector<float> buffer(std::int64_t n);
+std::vector<float> buffer_uninit(std::int64_t n);
+
+// Offer a dying vector to the calling thread's pool. On acceptance the
+// vector is moved out and its capacity bytes join the pool ledger; the
+// caller must treat those bytes as still live (skip its negative mem
+// report). Returns the accepted byte count, or 0 if rejected (inactive,
+// out of size bounds, or pool at capacity) — then `v` is left untouched and
+// the caller frees/reports as usual.
+std::int64_t donate(std::vector<float>& v);
+
+// Consume up to `want` bytes of this thread's acquisition credit. Called by
+// TensorImpl::account() so recycled capacity is not double-reported.
+std::int64_t consume_credit(std::int64_t want);
+
+// Free every buffer pooled by the calling thread, reporting the released
+// bytes to obs::mem. Tests use this to return to an exact-live_bytes state.
+void trim_thread_pool();
+
+struct Stats {
+  std::int64_t hits = 0;           // buffer() served from the pool
+  std::int64_t misses = 0;         // buffer() fell back to the heap
+  std::int64_t donated = 0;        // vectors accepted into the pool
+  std::int64_t rejected = 0;       // donations declined
+  std::int64_t pooled_bytes = 0;   // current ledger (resident, idle)
+  std::int64_t pooled_buffers = 0; // current buffer count
+};
+// Counters for the calling thread's pool.
+Stats thread_stats();
+void reset_thread_stats();
+
+// Size bounds for pooling; larger requests/donations always use the heap.
+inline constexpr std::int64_t kMaxPooledBytes = std::int64_t{16} << 20;
+
+}  // namespace tx::alloc

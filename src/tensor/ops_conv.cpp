@@ -7,6 +7,11 @@
 // uses per-image partial buffers folded in image order, which reproduces the
 // sequential accumulation bit-for-bit (each image contributes exactly one
 // float per gw cell), so results match at every TYXE_NUM_THREADS.
+//
+// The inner gemms run on tx::simd kernels (axpy_n / dot8), which evaluate the
+// same canonical arithmetic at every dispatch level, so conv results are also
+// bitwise identical across TYXE_SIMD settings. Output buffers come from
+// tx::alloc; per-worker im2col scratch stays plain (never tensor-adopted).
 #include <algorithm>
 #include <limits>
 
@@ -15,6 +20,8 @@
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "tensor/alloc.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace tx {
@@ -102,47 +109,40 @@ void col2im(const float* cols, const ConvDims& d, float* img) {
   }
 }
 
-/// C(M,N) += A(M,K) * B(K,N).
+/// C(M,N) += A(M,K) * B(K,N). Per output cell, k contributions accumulate in
+/// ascending-p order (each axpy adds exactly one product per cell).
 void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
               std::int64_t k, std::int64_t n) {
   for (std::int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      simd::axpy_n(arow[p], b + p * n, crow, n);
     }
   }
 }
 
-/// C(M,N) += A(K,M)^T * B(K,N).
+/// C(M,N) += A(K,M)^T * B(K,N). Per cell, p ascends outermost, so the
+/// accumulation order per cell is ascending-p, same as gemm_acc.
 void gemm_at_acc(const float* a, const float* b, float* c, std::int64_t k,
                  std::int64_t m, std::int64_t n) {
   for (std::int64_t p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;
     for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      simd::axpy_n(arow[i], brow, c + i * n, n);
     }
   }
 }
 
-/// C(M,N) += A(M,K) * B(N,K)^T.
+/// C(M,N) += A(M,K) * B(N,K)^T. Each cell is one canonical 8-lane dot.
 void gemm_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
                  std::int64_t k, std::int64_t n) {
   for (std::int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+      crow[j] += simd::dot8(arow, b + j * k, k);
     }
   }
 }
@@ -164,7 +164,7 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const ConvDims d = conv_dims(x, weight, stride, padding);
   const std::int64_t patch = d.ic * d.kh * d.kw;
   const std::int64_t spatial = d.oh * d.ow;
-  std::vector<float> out(static_cast<std::size_t>(d.n * d.oc * spatial), 0.0f);
+  std::vector<float> out = alloc::buffer(d.n * d.oc * spatial);
   const bool has_bias = bias.defined();
   const std::int64_t out_numel = d.n * d.oc * spatial;
   {
@@ -247,8 +247,7 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           });
           float* pw = gw.data();
           for (std::int64_t img = 0; img < d.n; ++img) {
-            const float* part = gw_parts.data() + img * wsize;
-            for (std::int64_t i = 0; i < wsize; ++i) pw[i] += part[i];
+            simd::add_n(pw, gw_parts.data() + img * wsize, pw, wsize);
           }
         } else {
           std::vector<float> cols(static_cast<std::size_t>(patch * spatial));
@@ -289,7 +288,7 @@ Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
   const std::int64_t ow = (iw - kernel) / stride + 1;
   TX_CHECK(oh > 0 && ow > 0, "max_pool2d: empty output");
   const std::int64_t planes = n * c;
-  std::vector<float> out(static_cast<std::size_t>(planes * oh * ow));
+  std::vector<float> out = alloc::buffer_uninit(planes * oh * ow);
   std::vector<std::int64_t> arg(out.size());
   const float* px = x.data();
   for (std::int64_t p = 0; p < planes; ++p) {
@@ -335,7 +334,7 @@ Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
   TX_CHECK(oh > 0 && ow > 0, "avg_pool2d: empty output");
   const std::int64_t planes = n * c;
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  std::vector<float> out(static_cast<std::size_t>(planes * oh * ow), 0.0f);
+  std::vector<float> out = alloc::buffer_uninit(planes * oh * ow);
   const float* px = x.data();
   for (std::int64_t p = 0; p < planes; ++p) {
     const float* plane = px + p * ih * iw;

@@ -1,9 +1,16 @@
 // Elementwise binary ops with NumPy broadcasting and unary math ops.
 //
 // The same-shape binary fast path and the unary maps fan out over flat index
-// ranges via tx::par above kElemParThreshold elements. Each output element
-// is a pure function of its inputs, so results are bitwise-identical at
-// every TYXE_NUM_THREADS. The generic broadcast path stays sequential.
+// ranges via tx::par above kElemParThreshold elements, and dispatch to
+// tx::simd kernels where one exists. Each output element is a pure function
+// of its inputs and the simd kernels are lane-independent mirrors of the
+// scalar arithmetic, so results are bitwise-identical at every
+// TYXE_NUM_THREADS and every TYXE_SIMD level. The generic broadcast path
+// stays sequential and scalar; a scalar-operand fast path covers the
+// ubiquitous tensor-op-scalar case without per-element index arithmetic.
+//
+// Output buffers come from tx::alloc (recycled within inference steps) and
+// are moved straight into the result tensor — one allocation per op.
 #include <cmath>
 
 #include "obs/event_sink.h"
@@ -11,6 +18,8 @@
 #include "obs/trace.h"
 #include "par/pool.h"
 #include "resil/fault.h"
+#include "tensor/alloc.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace tx {
@@ -22,16 +31,27 @@ constexpr std::int64_t kElemParThreshold = std::int64_t{1} << 15;
 /// Minimum elements per chunk.
 constexpr std::int64_t kElemGrain = std::int64_t{1} << 12;
 
-/// Applies `fn(av, bv)` over the broadcast of a and b.
+using BinaryKernel = void (*)(const float*, const float*, float*,
+                              std::int64_t);
+using UnaryKernel = void (*)(const float*, float*, std::int64_t);
+
+struct BinaryResult {
+  Shape shape;
+  std::vector<float> data;
+};
+
+/// Applies `fn(av, bv)` over the broadcast of a and b, returning the raw
+/// output buffer (callers move it into the result tensor). `vk`, when given,
+/// must compute exactly `fn` per lane; it serves the same-shape fast path.
 template <typename Fn>
-Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
+BinaryResult broadcast_binary_buffer(const Tensor& a, const Tensor& b, Fn fn,
+                                     BinaryKernel vk = nullptr) {
   const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
-  const Shape sa = broadcast_strides(a.shape(), out_shape);
-  const Shape sb = broadcast_strides(b.shape(), out_shape);
   const std::int64_t n = numel_of(out_shape);
-  std::vector<float> out(static_cast<std::size_t>(n));
+  std::vector<float> out = alloc::buffer_uninit(n);
   const float* pa = a.data();
   const float* pb = b.data();
+  float* po = out.data();
   if (a.shape() == b.shape()) {  // fast path: no index arithmetic
     if (n >= kElemParThreshold) {
       // Trace-only slice: elementwise ops are too hot for a per-call
@@ -41,19 +61,31 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
           obs::tracing() ? obs::Event().set("n", n).to_json() : std::string());
       // One op per element; both inputs read, the output written.
       obs::prof::KernelScope prof("elementwise", n, 12 * n);
-      float* po = out.data();
       par::parallel_for(0, n, kElemGrain,
                         [&](std::int64_t i0, std::int64_t i1) {
-                          for (std::int64_t i = i0; i < i1; ++i) {
-                            po[i] = fn(pa[i], pb[i]);
+                          if (vk) {
+                            vk(pa + i0, pb + i0, po + i0, i1 - i0);
+                          } else {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              po[i] = fn(pa[i], pb[i]);
+                            }
                           }
                         });
+    } else if (vk) {
+      vk(pa, pb, po, n);
     } else {
-      for (std::int64_t i = 0; i < n; ++i) {
-        out[static_cast<std::size_t>(i)] = fn(pa[i], pb[i]);
-      }
+      for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
     }
+  } else if (b.numel() == 1 && numel_of(a.shape()) == n) {
+    // Scalar (or single-element) right operand: no index arithmetic needed.
+    const float bv = pb[0];
+    for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], bv);
+  } else if (a.numel() == 1 && numel_of(b.shape()) == n) {
+    const float av = pa[0];
+    for (std::int64_t i = 0; i < n; ++i) po[i] = fn(av, pb[i]);
   } else {
+    const Shape sa = broadcast_strides(a.shape(), out_shape);
+    const Shape sb = broadcast_strides(b.shape(), out_shape);
     const std::size_t rank = out_shape.size();
     for_each_index(out_shape, [&](const std::vector<std::int64_t>& idx,
                                   std::int64_t flat) {
@@ -62,69 +94,90 @@ Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
         oa += idx[d] * sa[d];
         ob += idx[d] * sb[d];
       }
-      out[static_cast<std::size_t>(flat)] = fn(pa[oa], pb[ob]);
+      po[flat] = fn(pa[oa], pb[ob]);
     });
   }
-  return Tensor(out_shape, std::move(out));
+  return {out_shape, std::move(out)};
+}
+
+/// Tensor-returning wrapper, used by backward closures computing masks.
+template <typename Fn>
+Tensor broadcast_binary_forward(const Tensor& a, const Tensor& b, Fn fn) {
+  BinaryResult r = broadcast_binary_buffer(a, b, fn);
+  return Tensor(std::move(r.shape), std::move(r.data));
 }
 
 /// Shared machinery for unary ops: forward map plus a backward closure that
-/// receives (input, detached output, upstream grad).
+/// receives (input, output alias, upstream grad). `vk`, when given, must
+/// compute exactly `fwd` per element (same rounding) and serves both the
+/// fanned-out and sequential paths.
 template <typename Fwd, typename Bwd>
-Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd) {
+Tensor map_unary(const char* name, const Tensor& a, Fwd fwd, Bwd bwd,
+                 UnaryKernel vk = nullptr) {
   TX_CHECK(a.defined(), name, " on undefined tensor");
   const std::int64_t n = a.numel();
-  std::vector<float> out(static_cast<std::size_t>(n));
+  std::vector<float> out = alloc::buffer_uninit(n);
   const float* pa = a.data();
+  float* po = out.data();
   if (n >= kElemParThreshold) {
     obs::TraceSpan trace(
         "par.unary", obs::tracing()
                          ? obs::Event().set("op", name).set("n", n).to_json()
                          : std::string());
     obs::prof::KernelScope prof("unary", n, 8 * n);
-    float* po = out.data();
     par::parallel_for(0, n, kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
+      if (vk) {
+        vk(pa + i0, po + i0, i1 - i0);
+      } else {
+        for (std::int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
+      }
     });
+  } else if (vk) {
+    vk(pa, po, n);
   } else {
-    for (std::int64_t i = 0; i < n; ++i) {
-      out[static_cast<std::size_t>(i)] = fwd(pa[i]);
-    }
+    for (std::int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
   }
-  Tensor result(a.shape(), std::move(out));
-  Tensor y = result.detach();
-  return make_tensor_from_op(
-      name, a.shape(), result.to_vector(), {a},
-      [a, y, bwd](const Tensor& g) { return std::vector<Tensor>{bwd(a, y, g)}; });
+  return make_tensor_from_op_with_out(
+      name, a.shape(), std::move(out), {a},
+      [a, bwd](const Tensor& g, const Tensor& y) {
+        return std::vector<Tensor>{bwd(a, y, g)};
+      });
+}
+
+void square_kernel(const float* a, float* o, std::int64_t n) {
+  simd::mul_n(a, a, o, n);
 }
 
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
   fault::check_alloc("tensor.add");
-  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x + y; });
+  BinaryResult out = broadcast_binary_buffer(
+      a, b, [](float x, float y) { return x + y; }, simd::add_n);
   const Shape as = a.shape(), bs = b.shape();
   return make_tensor_from_op(
-      "add", out.shape(), out.to_vector(), {a, b},
+      "add", std::move(out.shape), std::move(out.data), {a, b},
       [as, bs](const Tensor& g) {
         return std::vector<Tensor>{sum_to(g, as), sum_to(g, bs)};
       });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x - y; });
+  BinaryResult out = broadcast_binary_buffer(
+      a, b, [](float x, float y) { return x - y; }, simd::sub_n);
   const Shape as = a.shape(), bs = b.shape();
   return make_tensor_from_op(
-      "sub", out.shape(), out.to_vector(), {a, b},
+      "sub", std::move(out.shape), std::move(out.data), {a, b},
       [as, bs](const Tensor& g) {
         return std::vector<Tensor>{sum_to(g, as), sum_to(neg(g), bs)};
       });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x * y; });
+  BinaryResult out = broadcast_binary_buffer(
+      a, b, [](float x, float y) { return x * y; }, simd::mul_n);
   return make_tensor_from_op(
-      "mul", out.shape(), out.to_vector(), {a, b},
+      "mul", std::move(out.shape), std::move(out.data), {a, b},
       [a, b](const Tensor& g) {
         return std::vector<Tensor>{sum_to(mul(g, b), a.shape()),
                                    sum_to(mul(g, a), b.shape())};
@@ -132,9 +185,10 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  Tensor out = broadcast_binary_forward(a, b, [](float x, float y) { return x / y; });
+  BinaryResult out = broadcast_binary_buffer(
+      a, b, [](float x, float y) { return x / y; }, simd::div_n);
   return make_tensor_from_op(
-      "div", out.shape(), out.to_vector(), {a, b},
+      "div", std::move(out.shape), std::move(out.data), {a, b},
       [a, b](const Tensor& g) {
         Tensor ga = sum_to(div(g, b), a.shape());
         Tensor gb = sum_to(neg(div(mul(g, a), mul(b, b))), b.shape());
@@ -143,10 +197,13 @@ Tensor div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor maximum(const Tensor& a, const Tensor& b) {
-  Tensor out = broadcast_binary_forward(
+  // Scalar on purpose (no simd kernel): the x >= y tie-break routing
+  // gradients to `a` is part of the documented contract, and vmaxps breaks
+  // ties the other way.
+  BinaryResult out = broadcast_binary_buffer(
       a, b, [](float x, float y) { return x >= y ? x : y; });
   return make_tensor_from_op(
-      "maximum", out.shape(), out.to_vector(), {a, b},
+      "maximum", std::move(out.shape), std::move(out.data), {a, b},
       [a, b](const Tensor& g) {
         NoGradGuard ng;
         Tensor mask = broadcast_binary_forward(
@@ -158,10 +215,10 @@ Tensor maximum(const Tensor& a, const Tensor& b) {
 }
 
 Tensor minimum(const Tensor& a, const Tensor& b) {
-  Tensor out = broadcast_binary_forward(
+  BinaryResult out = broadcast_binary_buffer(
       a, b, [](float x, float y) { return x <= y ? x : y; });
   return make_tensor_from_op(
-      "minimum", out.shape(), out.to_vector(), {a, b},
+      "minimum", std::move(out.shape), std::move(out.data), {a, b},
       [a, b](const Tensor& g) {
         NoGradGuard ng;
         Tensor mask = broadcast_binary_forward(
@@ -175,7 +232,8 @@ Tensor minimum(const Tensor& a, const Tensor& b) {
 Tensor neg(const Tensor& a) {
   return map_unary(
       "neg", a, [](float x) { return -x; },
-      [](const Tensor&, const Tensor&, const Tensor& g) { return neg(g); });
+      [](const Tensor&, const Tensor&, const Tensor& g) { return neg(g); },
+      simd::neg_n);
 }
 
 Tensor exp(const Tensor& a) {
@@ -195,7 +253,8 @@ Tensor sqrt(const Tensor& a) {
       "sqrt", a, [](float x) { return std::sqrt(x); },
       [](const Tensor&, const Tensor& y, const Tensor& g) {
         return div(g, mul(Tensor::scalar(2.0f), y));
-      });
+      },
+      simd::sqrt_n);
 }
 
 Tensor square(const Tensor& a) {
@@ -203,7 +262,8 @@ Tensor square(const Tensor& a) {
       "square", a, [](float x) { return x * x; },
       [](const Tensor& x, const Tensor&, const Tensor& g) {
         return mul(g, mul(Tensor::scalar(2.0f), x));
-      });
+      },
+      square_kernel);
 }
 
 Tensor abs(const Tensor& a) {
@@ -215,7 +275,8 @@ Tensor abs(const Tensor& a) {
             x, Tensor::scalar(0.0f),
             [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
         return mul(g, sign);
-      });
+      },
+      simd::abs_n);
 }
 
 Tensor tanh(const Tensor& a) {
@@ -248,7 +309,8 @@ Tensor relu(const Tensor& a) {
             x, Tensor::scalar(0.0f),
             [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
         return mul(g, mask);
-      });
+      },
+      simd::relu_n);
 }
 
 Tensor softplus(const Tensor& a) {

@@ -1,17 +1,23 @@
 // Matrix products. Kernels use the i-k-j loop order so the inner loop streams
-// contiguously through both the B matrix and the output row.
+// contiguously through both the B matrix and the output row; the K dimension
+// is cache-blocked and the inner loops dispatch through tx::simd.
 //
 // Above kParFlopThreshold flops the kernels split over output rows via
-// tx::par. Every output element is computed by the same sequential code in
-// the same accumulation order as the single-threaded path, so results are
-// bitwise-identical for every TYXE_NUM_THREADS.
+// tx::par. Every output element is computed in the same accumulation order
+// as the single-threaded scalar path (tiling keeps k ascending per cell; the
+// simd kernels mirror the scalar arithmetic exactly), so results are
+// bitwise-identical for every TYXE_NUM_THREADS and every TYXE_SIMD level.
 #include "obs/event_sink.h"
 #include "obs/prof.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/pool.h"
 #include "resil/fault.h"
+#include "tensor/alloc.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
+
+#include <algorithm>
 
 namespace tx {
 
@@ -31,33 +37,38 @@ std::string gemm_trace_args(std::int64_t batch, std::int64_t m, std::int64_t k,
 constexpr std::int64_t kParFlopThreshold = std::int64_t{1} << 16;
 /// Minimum output rows per chunk.
 constexpr std::int64_t kRowGrain = 4;
+/// K-dimension tile: keeps a ~kKTile x n panel of B hot in cache while it is
+/// streamed over every output row. Tiles are visited in ascending order and
+/// each cell accumulates k ascending within a tile, so the per-cell
+/// accumulation order is identical to the untiled loop — tiling never
+/// reassociates sums.
+constexpr std::int64_t kKTile = 128;
 
-/// C(M,N) += A(M,K) * B(K,N) over raw buffers.
+/// C(M,N) += A(M,K) * B(K,N) over raw buffers. The inner loop over the
+/// output row is a simd axpy (two roundings per element, exactly the scalar
+/// crow[j] += av * brow[j]).
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKTile) {
+    const std::int64_t p1 = std::min(k, p0 + kKTile);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t p = p0; p < p1; ++p) {
+        simd::axpy_n(arow[p], b + p * n, crow, n);
+      }
     }
   }
 }
 
-/// C(M,N) += A(M,K) * B(N,K)^T.
+/// C(M,N) += A(M,K) * B(N,K)^T. Each cell is one canonical 8-lane dot.
 void gemm_bt_accumulate(const float* a, const float* b, float* c,
                         std::int64_t m, std::int64_t k, std::int64_t n) {
   for (std::int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+      crow[j] += simd::dot8(arow, b + j * k, k);
     }
   }
 }
@@ -69,10 +80,7 @@ void gemm_at_accumulate(const float* a, const float* b, float* c,
     const float* arow = a + i * k;
     const float* brow = b + i * n;
     for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      simd::axpy_n(arow[p], brow, c + p * n, n);
     }
   }
 }
@@ -87,10 +95,7 @@ void gemm_at_rows(const float* a, const float* b, float* c, std::int64_t m,
   for (std::int64_t p = p0; p < p1; ++p) {
     float* crow = c + p * n;
     for (std::int64_t i = 0; i < m; ++i) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      simd::axpy_n(a[i * k + p], b + i * n, crow, n);
     }
   }
 }
@@ -139,7 +144,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
            join(a.shape()), "] x [", join(b.shape()), "]");
   const std::int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   TX_CHECK(k == k2, "matmul inner dims mismatch: ", k, " vs ", k2);
-  std::vector<float> out(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> out = alloc::buffer(m * n);
   {
     obs::ScopedTimer span("par.matmul", obs::tracing()
                                             ? gemm_trace_args(1, m, k, n)
@@ -174,7 +179,7 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   TX_CHECK(b.dim(0) == batch && b.dim(1) == k, "bmm shape mismatch: [",
            join(a.shape()), "] x [", join(b.shape()), "]");
   const std::int64_t n = b.dim(2);
-  std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
+  std::vector<float> out = alloc::buffer(batch * m * n);
   {
     obs::ScopedTimer span("par.bmm", obs::tracing()
                                          ? gemm_trace_args(batch, m, k, n)

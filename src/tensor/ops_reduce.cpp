@@ -2,10 +2,12 @@
 // logsumexp, softmax, log_softmax, cumsum, argmax.
 //
 // Axis sums above kReduceParThreshold elements fan out over output cells via
-// tx::par. Each cell folds its contributions in ascending input flat order —
-// exactly the per-cell order of the sequential input-order loop — so results
-// are bitwise-identical at every TYXE_NUM_THREADS. Full sums, extremum scans
-// and cumsum are order-sensitive across the whole buffer and stay sequential.
+// tx::par. Each cell folds its contributions in a fixed per-cell order that
+// is a pure function of the shape — never of the thread count or SIMD level —
+// so results are bitwise-identical at every TYXE_NUM_THREADS and TYXE_SIMD.
+// The full sum uses the canonical 8-lane double reduction (tx::simd::sum8);
+// contiguous-innermost axis cells use the canonical float reduction (sum8f).
+// Extremum scans and cumsum are order-sensitive and stay sequential scalar.
 #include <algorithm>
 #include <cmath>
 
@@ -13,6 +15,8 @@
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "tensor/alloc.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace tx {
@@ -57,8 +61,7 @@ ReducePlan make_reduce_plan(const Shape& in_shape,
 }  // namespace
 
 Tensor sum(const Tensor& a) {
-  double s = 0.0;
-  for (std::int64_t i = 0; i < a.numel(); ++i) s += a.at(i);
+  const double s = simd::sum8(a.data(), a.numel());
   const Shape in_shape = a.shape();
   return make_tensor_from_op(
       "sum", Shape{}, {static_cast<float>(s)}, {a},
@@ -72,7 +75,7 @@ Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
   TX_CHECK(!axes.empty(), "sum: empty axis list (use sum(a) for full sum)");
   const ReducePlan plan = make_reduce_plan(a.shape(), axes);
   const std::int64_t out_n = numel_of(plan.keep_shape);
-  std::vector<float> out(static_cast<std::size_t>(out_n), 0.0f);
+  std::vector<float> out = alloc::buffer(out_n);
   const float* pa = a.data();
   const std::int64_t n = a.numel();
   if (n >= kReduceParThreshold && out_n > 1) {
@@ -125,9 +128,19 @@ Tensor sum(const Tensor& a, const std::vector<std::int64_t>& axes,
     const auto r = static_cast<std::int64_t>(offsets.size());
     const std::int64_t grain = std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, r));
     float* po = out.data();
+    // When the reduced dims form the innermost contiguous block, offsets are
+    // exactly 0..r-1 (strictly ascending from 0, so back()==r-1 suffices) and
+    // each cell is a dense run: use the canonical 8-lane float reduction.
+    // The choice is a pure function of the shape, so it cannot vary across
+    // thread counts or SIMD levels.
+    const bool dense_cells = !offsets.empty() && offsets.back() == r - 1;
     par::parallel_for(0, out_n, grain, [&](std::int64_t o0, std::int64_t o1) {
       for (std::int64_t o = o0; o < o1; ++o) {
         const std::int64_t base = bases[static_cast<std::size_t>(o)];
+        if (dense_cells) {
+          po[o] = simd::sum8f(pa + base, r);
+          continue;
+        }
         float acc = 0.0f;
         for (std::int64_t j = 0; j < r; ++j) {
           acc += pa[base + offsets[static_cast<std::size_t>(j)]];
@@ -174,8 +187,8 @@ Tensor extremum(const Tensor& a, std::int64_t axis, bool keepdim, float sign,
   axis = normalize_axis(axis, rank);
   const ReducePlan plan = make_reduce_plan(a.shape(), {axis});
   const std::int64_t out_n = numel_of(plan.keep_shape);
-  std::vector<float> out(static_cast<std::size_t>(out_n),
-                         -std::numeric_limits<float>::infinity());
+  std::vector<float> out = alloc::buffer_uninit(out_n);
+  std::fill(out.begin(), out.end(), -std::numeric_limits<float>::infinity());
   std::vector<std::int64_t> arg(static_cast<std::size_t>(out_n), -1);
   const float* pa = a.data();
   for (std::int64_t i = 0; i < a.numel(); ++i) {
@@ -248,8 +261,9 @@ Tensor cumsum(const Tensor& a, std::int64_t axis) {
   const std::int64_t len = shape[static_cast<std::size_t>(axis)];
   const std::int64_t stride = strides[static_cast<std::size_t>(axis)];
   // Iterate over all "lines" along the axis.
-  std::vector<float> out = a.to_vector();
   const std::int64_t n = a.numel();
+  std::vector<float> out = alloc::buffer_uninit(n);
+  simd::copy_n(a.data(), out.data(), n);
   const std::int64_t line_block = stride * len;
   for (std::int64_t base = 0; base < n; base += line_block) {
     for (std::int64_t off = 0; off < stride; ++off) {
@@ -266,7 +280,8 @@ Tensor cumsum(const Tensor& a, std::int64_t axis) {
       "cumsum", shape, std::move(out), {a},
       [shape, strides, len, stride, ax](const Tensor& g) {
         // d/dx_i sum over outputs j>=i -> reverse cumulative sum of g.
-        std::vector<float> gv = g.to_vector();
+        std::vector<float> gv = alloc::buffer_uninit(g.numel());
+        simd::copy_n(g.data(), gv.data(), g.numel());
         const std::int64_t total = static_cast<std::int64_t>(gv.size());
         const std::int64_t block = stride * len;
         for (std::int64_t base = 0; base < total; base += block) {

@@ -1,0 +1,242 @@
+// AVX2 backend for tx::simd. Compiled with -mavx2 (and ONLY -mavx2: FMA is
+// deliberately not enabled, and the build passes -ffp-contract=off, so every
+// multiply and add rounds separately — exactly like the scalar canonical
+// kernels). Only the dispatch layer calls into this file, and only after
+// __builtin_cpu_supports("avx2") confirmed the ISA at startup.
+//
+// Reductions keep 8 accumulator lanes in ymm registers; lane l holds the
+// partial over elements l, l+8, l+16, ... — the identical layout the scalar
+// canonical implementation maintains in its p[8] array — and the final
+// combine uses the same fixed tree ((p0+p1)+(p2+p3)) + ((p4+p5)+(p6+p7)).
+#if defined(TX_SIMD_BUILD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace tx::simd::avx2 {
+
+namespace {
+
+// Combine one float accumulator register with the canonical tree.
+inline float combine8(__m256 acc) {
+  alignas(32) float p[8];
+  _mm256_store_ps(p, acc);
+  return ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + (p[6] + p[7]));
+}
+
+// Combine two double accumulator registers (lanes 0-3 and 4-7).
+inline double combine8d(__m256d lo, __m256d hi) {
+  alignas(32) double a[4];
+  alignas(32) double b[4];
+  _mm256_store_pd(a, lo);
+  _mm256_store_pd(b, hi);
+  return ((a[0] + a[1]) + (a[2] + a[3])) + ((b[0] + b[1]) + (b[2] + b[3]));
+}
+
+}  // namespace
+
+void add_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void sub_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void mul_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void div_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] / b[i];
+}
+
+void max_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = (a[i] > b[i]) ? a[i] : b[i];
+}
+
+void min_n(const float* a, const float* b, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_min_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = (a[i] < b[i]) ? a[i] : b[i];
+}
+
+void mul_add_n(const float* a, const float* b, const float* c, float* o,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(o + i, _mm256_add_ps(prod, _mm256_loadu_ps(c + i)));
+  }
+  for (; i < n; ++i) {
+    const float prod = a[i] * b[i];
+    o[i] = prod + c[i];
+  }
+}
+
+void axpy_n(float s, const float* x, float* o, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(vs, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(o + i), prod));
+  }
+  for (; i < n; ++i) {
+    const float prod = s * x[i];
+    o[i] = o[i] + prod;
+  }
+}
+
+void scale_n(const float* a, float s, float* o, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(vs, _mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = s * a[i];
+}
+
+void neg_n(const float* a, float* o, std::int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+  }
+  for (; i < n; ++i) o[i] = -a[i];
+}
+
+void abs_n(const float* a, float* o, std::int64_t n) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_and_ps(_mm256_loadu_ps(a + i), mask));
+  }
+  for (; i < n; ++i) o[i] = __builtin_fabsf(a[i]);
+}
+
+void relu_n(const float* a, float* o, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) o[i] = (a[i] > 0.0f) ? a[i] : 0.0f;
+}
+
+void sqrt_n(const float* a, float* o, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_sqrt_ps(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = __builtin_sqrtf(a[i]);
+}
+
+void clamp_n(const float* a, float lo, float hi, float* o, std::int64_t n) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vhi = _mm256_set1_ps(hi);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_max_ps(_mm256_loadu_ps(a + i), vlo);
+    _mm256_storeu_ps(o + i, _mm256_min_ps(v, vhi));
+  }
+  for (; i < n; ++i) {
+    const float v = (a[i] > lo) ? a[i] : lo;
+    o[i] = (v < hi) ? v : hi;
+  }
+}
+
+float dot8(const float* a, const float* b, std::int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::int64_t main_n = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < main_n; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, prod);
+  }
+  float total = combine8(acc);
+  for (std::int64_t i = main_n; i < n; ++i) {
+    const float prod = a[i] * b[i];
+    total = total + prod;
+  }
+  return total;
+}
+
+float sum8f(const float* x, std::int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::int64_t main_n = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < main_n; i += 8) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+  }
+  float total = combine8(acc);
+  for (std::int64_t i = main_n; i < n; ++i) total = total + x[i];
+  return total;
+}
+
+double sum8(const float* x, std::int64_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const std::int64_t main_n = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < main_n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double total = combine8d(acc_lo, acc_hi);
+  for (std::int64_t i = main_n; i < n; ++i) {
+    total = total + static_cast<double>(x[i]);
+  }
+  return total;
+}
+
+double sumsq8(const float* x, std::int64_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const std::int64_t main_n = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < main_n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 sq = _mm256_mul_ps(v, v);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(sq)));
+    acc_hi =
+        _mm256_add_pd(acc_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(sq, 1)));
+  }
+  double total = combine8d(acc_lo, acc_hi);
+  for (std::int64_t i = main_n; i < n; ++i) {
+    const float sq = x[i] * x[i];
+    total = total + static_cast<double>(sq);
+  }
+  return total;
+}
+
+}  // namespace tx::simd::avx2
+
+#endif  // TX_SIMD_BUILD_AVX2

@@ -5,6 +5,8 @@
 #include "obs/mem.h"
 #include "obs/prof.h"
 #include "par/pool.h"
+#include "tensor/alloc.h"
+#include "tensor/simd.h"
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
@@ -15,19 +17,48 @@ namespace tx {
 TensorImpl::TensorImpl() { obs::mem::on_tensor_create(); }
 
 TensorImpl::~TensorImpl() {
-  if (accounted_bytes_ != 0) obs::mem::on_bytes_delta(-accounted_bytes_);
+  std::int64_t remaining = accounted_bytes_;
+  if (remaining != 0) {
+    // Inside a step region the buffers are donated to the thread's pool
+    // (tx::alloc keeps them accounted as live); only the non-donated
+    // remainder actually returns to the heap.
+    remaining -= alloc::donate(data);
+    remaining -= alloc::donate(grad);
+    if (remaining != 0) obs::mem::on_bytes_delta(-remaining);
+  }
   obs::mem::on_tensor_destroy();
 }
 
 void TensorImpl::account() {
   const std::int64_t now = static_cast<std::int64_t>(
       (data.capacity() + grad.capacity()) * sizeof(float));
-  if (now != accounted_bytes_) {
-    obs::mem::on_bytes_delta(now - accounted_bytes_);
-    // Buffer growth is allocator churn; attribute it to the open span.
-    if (now > accounted_bytes_) obs::prof::on_alloc(now - accounted_bytes_);
-    accounted_bytes_ = now;
+  if (now == accounted_bytes_) return;
+  const std::int64_t delta = now - accounted_bytes_;
+  if (delta > 0) {
+    // Growth served from the step pool was already live under the pool's
+    // ledger (tracked by the thread's acquisition credit); only the fresh
+    // remainder is new heap traffic and allocator churn.
+    const std::int64_t fresh = delta - alloc::consume_credit(delta);
+    if (fresh > 0) {
+      obs::mem::on_bytes_delta(fresh);
+      obs::prof::on_alloc(fresh);
+    }
+  } else {
+    obs::mem::on_bytes_delta(delta);
   }
+  accounted_bytes_ = now;
+}
+
+void TensorImpl::release_grad() {
+  if (grad.capacity() == 0) return;
+  const std::int64_t absorbed = alloc::donate(grad);
+  if (absorbed != 0) {
+    // The bytes moved into the pool ledger and are still live.
+    accounted_bytes_ -= absorbed;
+  } else {
+    std::vector<float>().swap(grad);
+  }
+  account();
 }
 
 namespace {
@@ -64,7 +95,12 @@ Tensor::Tensor(Shape shape, float fill) {
   const std::int64_t n = numel_of(shape);
   impl_ = std::make_shared<TensorImpl>();
   impl_->shape = std::move(shape);
-  impl_->data.assign(static_cast<std::size_t>(n), fill);
+  if (fill == 0.0f) {
+    impl_->data = alloc::buffer(n);
+  } else {
+    impl_->data = alloc::buffer_uninit(n);
+    std::fill(impl_->data.begin(), impl_->data.end(), fill);
+  }
   impl_->account();
 }
 
@@ -151,7 +187,10 @@ bool Tensor::has_grad() const { return defined() && !impl_->grad.empty(); }
 Tensor Tensor::grad() const {
   TX_CHECK(defined(), "grad() on undefined tensor");
   if (impl_->grad.empty()) return zeros(impl_->shape);
-  return Tensor(impl_->shape, impl_->grad);
+  const auto n = static_cast<std::int64_t>(impl_->grad.size());
+  std::vector<float> v = alloc::buffer_uninit(n);
+  simd::copy_n(impl_->grad.data(), v.data(), n);
+  return Tensor(impl_->shape, std::move(v));
 }
 
 const std::vector<float>& Tensor::grad_buffer() const {
@@ -162,20 +201,26 @@ const std::vector<float>& Tensor::grad_buffer() const {
 void Tensor::zero_grad() {
   TX_CHECK(defined(), "zero_grad() on undefined tensor");
   // Release the buffer (not just clear) so live-bytes accounting reflects
-  // the drop between backward passes.
-  std::vector<float>().swap(impl_->grad);
-  impl_->account();
+  // the drop between backward passes; inside a step region the buffer is
+  // donated for reuse instead of freed.
+  impl_->release_grad();
 }
 
 Tensor Tensor::detach() const {
   TX_CHECK(defined(), "detach() on undefined tensor");
-  return Tensor(impl_->shape, impl_->data);
+  const std::int64_t n = numel();
+  std::vector<float> v = alloc::buffer_uninit(n);
+  simd::copy_n(impl_->data.data(), v.data(), n);
+  return Tensor(impl_->shape, std::move(v));
 }
 
 Tensor Tensor::clone() const {
   TX_CHECK(defined(), "clone() on undefined tensor");
+  const std::int64_t n = numel();
+  std::vector<float> v = alloc::buffer_uninit(n);
+  simd::copy_n(impl_->data.data(), v.data(), n);
   return make_tensor_from_op(
-      "clone", impl_->shape, impl_->data, {*this},
+      "clone", impl_->shape, std::move(v), {*this},
       [](const Tensor& g) { return std::vector<Tensor>{g}; });
 }
 
@@ -184,15 +229,14 @@ void Tensor::add_(const Tensor& other, float alpha) {
   TX_CHECK(is_leaf(), "in-place add_ only allowed on leaf tensors");
   TX_CHECK(numel() == other.numel(), "add_ numel mismatch: ", numel(), " vs ",
            other.numel());
-  const float* src = other.data();
-  float* dst = data();
-  for (std::int64_t i = 0; i < numel(); ++i) dst[i] += alpha * src[i];
+  simd::axpy_n(alpha, other.data(), data(), numel());
 }
 
 void Tensor::mul_(float s) {
   TX_CHECK(defined(), "mul_ on undefined tensor");
   TX_CHECK(is_leaf(), "in-place mul_ only allowed on leaf tensors");
-  for (auto& v : impl_->data) v *= s;
+  simd::scale_n(impl_->data.data(), s, impl_->data.data(),
+                static_cast<std::int64_t>(impl_->data.size()));
 }
 
 void Tensor::fill_(float v) {
@@ -253,18 +297,43 @@ Tensor make_tensor_from_op(
   return out;
 }
 
+Tensor make_tensor_from_op_with_out(
+    std::string op_name, Shape shape, std::vector<float> data,
+    std::vector<Tensor> inputs,
+    std::function<std::vector<Tensor>(const Tensor&, const Tensor&)>
+        backward_fn) {
+  Tensor out(std::move(shape), std::move(data));
+  if (!grad_enabled()) return out;
+  bool needs_grad = false;
+  for (const auto& in : inputs) {
+    if (in.defined() && in.requires_grad()) {
+      needs_grad = true;
+      break;
+    }
+  }
+  if (!needs_grad) return out;
+  auto node = std::make_shared<GradNode>();
+  node->op_name = std::move(op_name);
+  node->inputs = std::move(inputs);
+  node->backward_with_out_fn = std::move(backward_fn);
+  out.impl()->grad_fn = std::move(node);
+  out.impl()->requires_grad = true;
+  return out;
+}
+
 namespace {
 
 void accumulate_grad(const std::shared_ptr<TensorImpl>& impl, const Tensor& g) {
   TX_CHECK(g.defined(), "accumulating undefined gradient");
   TX_CHECK(g.numel() == static_cast<std::int64_t>(impl->data.size()),
            "gradient numel ", g.numel(), " != tensor numel ", impl->data.size());
+  const auto n = static_cast<std::int64_t>(impl->data.size());
   if (impl->grad.empty()) {
-    impl->grad = g.to_vector();
+    impl->grad = alloc::buffer_uninit(n);
+    simd::copy_n(g.data(), impl->grad.data(), n);
     impl->account();
   } else {
-    const float* src = g.data();
-    for (std::size_t i = 0; i < impl->grad.size(); ++i) impl->grad[i] += src[i];
+    simd::add_n(impl->grad.data(), g.data(), impl->grad.data(), n);
   }
 }
 
@@ -307,8 +376,13 @@ void Tensor::backward() const {
     const auto& fn = node->grad_fn;
     if (!fn) continue;
     if (node->grad.empty()) continue;  // branch never reached by the root
-    Tensor grad_out(node->shape, node->grad);
-    std::vector<Tensor> input_grads = fn->backward_fn(grad_out);
+    const auto gn = static_cast<std::int64_t>(node->grad.size());
+    std::vector<float> gbuf = alloc::buffer_uninit(gn);
+    simd::copy_n(node->grad.data(), gbuf.data(), gn);
+    Tensor grad_out(node->shape, std::move(gbuf));
+    std::vector<Tensor> input_grads =
+        fn->backward_fn ? fn->backward_fn(grad_out)
+                        : fn->backward_with_out_fn(grad_out, Tensor(node));
     TX_CHECK(input_grads.size() == fn->inputs.size(), "op ", fn->op_name,
              " backward returned ", input_grads.size(), " grads for ",
              fn->inputs.size(), " inputs");
@@ -331,14 +405,14 @@ Tensor zeros_like(const Tensor& t) { return zeros(t.shape()); }
 Tensor ones_like(const Tensor& t) { return ones(t.shape()); }
 
 Tensor arange(std::int64_t n) {
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = static_cast<float>(i);
   return Tensor(Shape{n}, std::move(v));
 }
 
 Tensor linspace(float lo, float hi, std::int64_t n) {
   TX_CHECK(n >= 2, "linspace needs n >= 2");
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   const float step = (hi - lo) / static_cast<float>(n - 1);
   for (std::int64_t i = 0; i < n; ++i) {
     v[static_cast<std::size_t>(i)] = lo + step * static_cast<float>(i);
@@ -355,7 +429,7 @@ Tensor eye(std::int64_t n) {
 Tensor randn(Shape shape, Generator* gen) {
   Generator& g = gen ? *gen : global_generator();
   const std::int64_t n = numel_of(shape);
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   for (auto& x : v) x = static_cast<float>(g.normal());
   return Tensor(std::move(shape), std::move(v));
 }
@@ -363,7 +437,7 @@ Tensor randn(Shape shape, Generator* gen) {
 Tensor rand_uniform(Shape shape, float lo, float hi, Generator* gen) {
   Generator& g = gen ? *gen : global_generator();
   const std::int64_t n = numel_of(shape);
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   for (auto& x : v) x = static_cast<float>(g.uniform(lo, hi));
   return Tensor(std::move(shape), std::move(v));
 }
@@ -371,7 +445,7 @@ Tensor rand_uniform(Shape shape, float lo, float hi, Generator* gen) {
 Tensor randint(Shape shape, std::int64_t lo, std::int64_t hi, Generator* gen) {
   Generator& g = gen ? *gen : global_generator();
   const std::int64_t n = numel_of(shape);
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   for (auto& x : v) x = static_cast<float>(g.randint(lo, hi));
   return Tensor(std::move(shape), std::move(v));
 }
@@ -379,7 +453,7 @@ Tensor randint(Shape shape, std::int64_t lo, std::int64_t hi, Generator* gen) {
 Tensor rand_sign(Shape shape, Generator* gen) {
   Generator& g = gen ? *gen : global_generator();
   const std::int64_t n = numel_of(shape);
-  std::vector<float> v(static_cast<std::size_t>(n));
+  std::vector<float> v = alloc::buffer_uninit(n);
   for (auto& x : v) x = g.bernoulli(0.5) ? 1.0f : -1.0f;
   return Tensor(std::move(shape), std::move(v));
 }

@@ -35,6 +35,12 @@ struct GradNode {
   std::string op_name;
   std::vector<Tensor> inputs;
   std::function<std::vector<Tensor>(const Tensor& grad_out)> backward_fn;
+  // Alternative backward that additionally receives the op's own output as a
+  // zero-copy alias. Ops whose gradient reuses forward results register this
+  // (via make_tensor_from_op_with_out) instead of capturing a detached copy
+  // of the output in the closure. Exactly one of the two is set.
+  std::function<std::vector<Tensor>(const Tensor& grad_out, const Tensor& out)>
+      backward_with_out_fn;
 };
 
 struct TensorImpl {
@@ -51,7 +57,13 @@ struct TensorImpl {
 
   /// Re-sync tx::obs::mem accounting with the current data/grad capacity.
   /// Every code path that resizes either buffer calls this afterwards.
+  /// Growth served from the tx::alloc step pool is recognized via the
+  /// thread's acquisition credit and not re-reported as fresh heap traffic.
   void account();
+
+  /// Release the grad buffer, donating it to the step pool when one is
+  /// active (otherwise freeing it), with exact accounting either way.
+  void release_grad();
 
  private:
   std::int64_t accounted_bytes_ = 0;
@@ -176,6 +188,16 @@ Tensor make_tensor_from_op(
     std::vector<Tensor> inputs,
     std::function<std::vector<Tensor>(const Tensor&)> backward_fn);
 
+/// Variant whose backward receives (grad_out, out): `out` aliases the op's
+/// output impl (no copy, no shared_ptr cycle — the tape node does not own
+/// it). Use when the gradient is a function of the forward result, e.g.
+/// y' = y for exp or y' = 1 - y^2 for tanh.
+Tensor make_tensor_from_op_with_out(
+    std::string op_name, Shape shape, std::vector<float> data,
+    std::vector<Tensor> inputs,
+    std::function<std::vector<Tensor>(const Tensor&, const Tensor&)>
+        backward_fn);
+
 // ---- factories -----------------------------------------------------------
 
 Tensor zeros(Shape shape);
@@ -245,6 +267,21 @@ Tensor pow_scalar(const Tensor& a, float p);
 Tensor clamp(const Tensor& a, float lo, float hi);
 Tensor clamp_min(const Tensor& a, float lo);
 Tensor clamp_max(const Tensor& a, float hi);
+
+// ---- fused single-pass kernels ---------------------------------------------
+
+/// Elementwise a*b + c with NumPy broadcasting in one pass (multiply and add
+/// round separately — not a hardware FMA — so the result is bitwise equal to
+/// add(mul(a, b), c)). Collapses the rsample/leapfrog mul+add chains.
+Tensor fma(const Tensor& a, const Tensor& b, const Tensor& c);
+/// sum(square(a)) as a rank-0 tensor in one pass (canonical order-fixed
+/// reduction; bitwise-invariant to thread count and SIMD level).
+Tensor square_sum(const Tensor& a);
+/// Sum of elementwise Normal(loc, scale) log-densities of `value` in one
+/// pass; loc/scale broadcast to value's shape. The fused ELBO/leapfrog
+/// log_prob_sum kernel.
+Tensor gauss_logpdf_sum(const Tensor& value, const Tensor& loc,
+                        const Tensor& scale);
 
 // ---- reductions ------------------------------------------------------------
 

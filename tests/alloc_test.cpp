@@ -1,0 +1,198 @@
+// tx::alloc — per-step buffer recycling. These tests pin down the three
+// contracts the module makes:
+//   1. recycling semantics: buffers donated by dying tensors inside a
+//      StepScope are served back for later allocations of compatible size,
+//      oversized requests always bypass the pool;
+//   2. accounting exactness: obs::mem live bytes return to baseline once
+//      tensors die and the pool is trimmed, and churn attribution covers the
+//      memory window exactly (coverage == 1.0) with recycling active;
+//   3. the payoff: a fig1-shaped SVI training loop allocates < 1/5 of the
+//      bytes per step that the same loop allocates with the arena disabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributions.h"
+#include "infer/infer.h"
+#include "obs/mem.h"
+#include "obs/prof.h"
+#include "tensor/alloc.h"
+
+namespace tx::infer {
+namespace {
+
+using dist::Normal;
+
+/// Restores the process-wide arena switch (tests toggle it).
+class ArenaGuard {
+ public:
+  ArenaGuard() : saved_(alloc::enabled()) {}
+  ~ArenaGuard() { alloc::set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Arena, RecyclesTensorBuffersWithinStepScope) {
+  ArenaGuard guard;
+  alloc::set_enabled(true);
+  alloc::trim_thread_pool();
+  alloc::reset_thread_stats();
+  const std::int64_t live0 = obs::mem::live_bytes();
+  const std::int64_t total0 = obs::mem::total_allocated_bytes();
+  {
+    alloc::StepScope step;
+    { Tensor t = zeros(Shape{1024}); }  // dies inside the scope -> donated
+    { Tensor u = zeros(Shape{1000}); }  // capacity 1024 in [1000, 2000] -> hit
+  }
+  const alloc::Stats s = alloc::thread_stats();
+  EXPECT_GE(s.donated, 1);
+  EXPECT_GE(s.hits, 1);
+  // One real heap allocation total: the second tensor reused the first's
+  // buffer, so cumulative allocation grew by exactly one 1024-float buffer.
+  EXPECT_EQ(obs::mem::total_allocated_bytes() - total0, 1024 * 4);
+  // The recycled buffer is still resident in the pool (counted live) until
+  // trimmed; after the trim the books are exactly back at baseline.
+  alloc::trim_thread_pool();
+  EXPECT_EQ(obs::mem::live_bytes(), live0);
+}
+
+TEST(Arena, InactiveWithoutStepScope) {
+  ArenaGuard guard;
+  alloc::set_enabled(true);
+  EXPECT_FALSE(alloc::active());
+  alloc::trim_thread_pool();
+  alloc::reset_thread_stats();
+  { Tensor t = zeros(Shape{512}); }
+  { Tensor u = zeros(Shape{512}); }
+  const alloc::Stats s = alloc::thread_stats();
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.donated, 0);
+  EXPECT_EQ(s.pooled_bytes, 0);
+}
+
+TEST(Arena, KillSwitchDisablesRecycling) {
+  ArenaGuard guard;
+  alloc::set_enabled(false);
+  alloc::trim_thread_pool();
+  alloc::reset_thread_stats();
+  {
+    alloc::StepScope step;
+    EXPECT_FALSE(alloc::active());
+    { Tensor t = zeros(Shape{512}); }
+    { Tensor u = zeros(Shape{512}); }
+  }
+  const alloc::Stats s = alloc::thread_stats();
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.donated, 0);
+}
+
+TEST(Arena, OversizedBuffersBypassThePool) {
+  ArenaGuard guard;
+  alloc::set_enabled(true);
+  alloc::trim_thread_pool();
+  alloc::reset_thread_stats();
+  const std::int64_t big = alloc::kMaxPooledBytes / 4 + 1;  // floats
+  const std::int64_t live0 = obs::mem::live_bytes();
+  {
+    alloc::StepScope step;
+    { Tensor t = zeros(Shape{big}); }
+    { Tensor u = zeros(Shape{big}); }
+  }
+  const alloc::Stats s = alloc::thread_stats();
+  EXPECT_EQ(s.donated, 0);
+  EXPECT_EQ(s.pooled_bytes, 0);
+  // Oversized buffers free normally, so no trim is needed to balance.
+  EXPECT_EQ(obs::mem::live_bytes(), live0);
+}
+
+/// A small fig1-shaped model: two-layer MLP regression with Gaussian weight
+/// priors and a Normal likelihood — the op mix (matmul, relu, broadcast,
+/// gauss_logpdf_sum, optimizer updates) of the fig1 bench at reduced size.
+struct MlpModel {
+  Tensor x, y;
+  void operator()() const {
+    Tensor w1 = ppl::sample(
+        "w1", std::make_shared<Normal>(zeros(Shape{32, 64}),
+                                       full(Shape{32, 64}, 1.0f)));
+    Tensor w2 = ppl::sample(
+        "w2", std::make_shared<Normal>(zeros(Shape{64, 16}),
+                                       full(Shape{64, 16}, 1.0f)));
+    Tensor h = relu(matmul(x, w1));
+    Tensor mu = matmul(h, w2);
+    ppl::sample("obs",
+                std::make_shared<Normal>(mu, full(Shape{64, 16}, 0.1f)), y);
+  }
+};
+
+/// Total heap bytes (as seen by obs::mem) allocated by `steps` SVI steps.
+std::int64_t bytes_for_steps(SVI& svi, int steps) {
+  const std::int64_t t0 = obs::mem::total_allocated_bytes();
+  for (int i = 0; i < steps; ++i) svi.step();
+  return obs::mem::total_allocated_bytes() - t0;
+}
+
+TEST(Arena, SviStepsAllocateUnderOneFifthOfUnpooledBytes) {
+  ArenaGuard guard;
+  manual_seed(7);
+  MlpModel m{randn(Shape{64, 32}), randn(Shape{64, 16})};
+
+  auto make_svi = [&](ppl::ParamStore& store,
+                      std::shared_ptr<AutoNormal>& guide) {
+    guide = std::make_shared<AutoNormal>([m] { m(); }, AutoNormalConfig{}, "g",
+                                         &store);
+    return SVI([m] { m(); }, [guide] { (*guide)(); },
+               std::make_shared<Adam>(0.01),
+               std::make_shared<TraceMeanFieldELBO>(1), &store);
+  };
+
+  alloc::set_enabled(false);
+  ppl::ParamStore store_off;
+  std::shared_ptr<AutoNormal> guide_off;
+  SVI svi_off = make_svi(store_off, guide_off);
+  bytes_for_steps(svi_off, 3);  // warm up lazy params + optimizer state
+  const std::int64_t bytes_off = bytes_for_steps(svi_off, 10);
+
+  alloc::set_enabled(true);
+  alloc::trim_thread_pool();
+  ppl::ParamStore store_on;
+  std::shared_ptr<AutoNormal> guide_on;
+  SVI svi_on = make_svi(store_on, guide_on);
+  bytes_for_steps(svi_on, 3);  // warm-up also populates the pool
+  const std::int64_t bytes_on = bytes_for_steps(svi_on, 10);
+  alloc::trim_thread_pool();
+
+  ASSERT_GT(bytes_off, 0);
+  EXPECT_LT(bytes_on * 5, bytes_off)
+      << "arena-on steps allocated " << bytes_on << " bytes vs " << bytes_off
+      << " with the arena off";
+}
+
+TEST(Arena, ChurnCoverageStaysExactlyOneUnderRecycling) {
+  ArenaGuard guard;
+  manual_seed(11);
+  alloc::set_enabled(true);
+  alloc::trim_thread_pool();
+  MlpModel m{randn(Shape{64, 32}), randn(Shape{64, 16})};
+  ppl::ParamStore store;
+  auto guide = std::make_shared<AutoNormal>([m] { m(); }, AutoNormalConfig{},
+                                            "g", &store);
+  SVI svi([m] { m(); }, [guide] { (*guide)(); }, std::make_shared<Adam>(0.01),
+          std::make_shared<TraceMeanFieldELBO>(1), &store);
+  svi.step();  // outside the profiled window: lazy param/optimizer setup
+
+  obs::prof::reset();
+  obs::prof::set_enabled(true);
+  for (int i = 0; i < 5; ++i) svi.step();
+  obs::prof::flush_thread_cache();
+  // Every byte obs::mem saw in the window must be attributed to a span:
+  // pool hits report neither, fresh allocations report both — identically.
+  EXPECT_EQ(obs::prof::attributed_bytes(),
+            obs::prof::window_allocated_bytes());
+  obs::prof::set_enabled(false);
+  obs::prof::reset();
+  alloc::trim_thread_pool();
+}
+
+}  // namespace
+}  // namespace tx::infer

@@ -1,0 +1,251 @@
+// tx::simd determinism contract: every dispatch level computes bitwise
+// identical results — elementwise kernels because each output lane is one
+// IEEE expression, reductions because every level implements the same
+// 8-virtual-lane + fixed-combine-tree algorithm. On hosts without AVX2 the
+// cross-level tests skip (only the scalar level exists to compare).
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/simd.h"
+
+namespace tx {
+namespace {
+
+using simd::Level;
+
+/// Restores the startup dispatch level when a test that forces levels exits.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::active_level()) {}
+  ~LevelGuard() { simd::set_level_for_testing(saved_); }
+
+ private:
+  Level saved_;
+};
+
+std::vector<Level> vector_levels() {
+  std::vector<Level> out;
+  if (simd::level_available(Level::kAVX2)) out.push_back(Level::kAVX2);
+  if (simd::level_available(Level::kNEON)) out.push_back(Level::kNEON);
+  return out;
+}
+
+/// Deterministic data mix: magnitudes across many exponents, both signs,
+/// exact zeros of both signs sprinkled in.
+std::vector<float> test_data(std::int64_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> mant(-1.0f, 1.0f);
+  std::uniform_int_distribution<int> expo(-20, 20);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    const int roll = static_cast<int>(rng() % 16u);
+    if (roll == 0) {
+      x = 0.0f;
+    } else if (roll == 1) {
+      x = -0.0f;
+    } else {
+      x = std::ldexp(mant(rng), expo(rng));
+    }
+  }
+  return v;
+}
+
+/// Sizes that exercise empty input, sub-lane tails, exact lane multiples,
+/// and a large buffer.
+const std::int64_t kSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 1000, 4099};
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+template <typename Fn>
+void expect_levels_agree(const char* what, Fn&& run) {
+  LevelGuard guard;
+  const auto vecs = vector_levels();
+  if (vecs.empty()) GTEST_SKIP() << "no vector level available on this host";
+  simd::set_level_for_testing(Level::kScalar);
+  const std::vector<float> ref = run();
+  for (Level lvl : vecs) {
+    ASSERT_EQ(simd::set_level_for_testing(lvl), lvl);
+    const std::vector<float> got = run();
+    ASSERT_TRUE(bitwise_equal(ref, got))
+        << what << " diverges between scalar and level "
+        << static_cast<int>(lvl);
+  }
+}
+
+TEST(SimdDispatch, StartupLevelIsAvailableAndNamed) {
+  EXPECT_TRUE(simd::level_available(simd::active_level()));
+  const std::string name = simd::level_name();
+  EXPECT_TRUE(name == "off" || name == "avx2" || name == "neon") << name;
+}
+
+TEST(SimdDispatch, ForcingUnavailableLevelFallsBackToScalar) {
+  LevelGuard guard;
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_EQ(simd::set_level_for_testing(Level::kNEON), Level::kScalar);
+#else
+  EXPECT_EQ(simd::set_level_for_testing(Level::kAVX2), Level::kScalar);
+#endif
+}
+
+TEST(SimdKernels, BinaryElementwiseBitwiseAcrossLevels) {
+  struct Case {
+    const char* name;
+    void (*fn)(const float*, const float*, float*, std::int64_t);
+  };
+  const Case cases[] = {
+      {"add_n", simd::add_n}, {"sub_n", simd::sub_n}, {"mul_n", simd::mul_n},
+      {"div_n", simd::div_n}, {"max_n", simd::max_n}, {"min_n", simd::min_n},
+  };
+  for (const auto& c : cases) {
+    for (std::int64_t n : kSizes) {
+      const auto a = test_data(n, 1);
+      auto b = test_data(n, 2);
+      // Keep div well-defined: no zero denominators (0/0 NaN payloads are
+      // implementation detail territory, not part of the contract).
+      for (auto& x : b) {
+        if (x == 0.0f) x = 0.5f;
+      }
+      expect_levels_agree(c.name, [&] {
+        std::vector<float> o(static_cast<std::size_t>(n), -777.0f);
+        c.fn(a.data(), b.data(), o.data(), n);
+        return o;
+      });
+    }
+  }
+}
+
+TEST(SimdKernels, UnaryElementwiseBitwiseAcrossLevels) {
+  struct Case {
+    const char* name;
+    void (*fn)(const float*, float*, std::int64_t);
+  };
+  const Case cases[] = {
+      {"neg_n", simd::neg_n},
+      {"abs_n", simd::abs_n},
+      {"relu_n", simd::relu_n},
+  };
+  for (const auto& c : cases) {
+    for (std::int64_t n : kSizes) {
+      const auto a = test_data(n, 3);
+      expect_levels_agree(c.name, [&] {
+        std::vector<float> o(static_cast<std::size_t>(n), -777.0f);
+        c.fn(a.data(), o.data(), n);
+        return o;
+      });
+    }
+  }
+}
+
+TEST(SimdKernels, SqrtScaleClampAxpyMulAddBitwiseAcrossLevels) {
+  for (std::int64_t n : kSizes) {
+    auto a = test_data(n, 4);
+    const auto b = test_data(n, 5);
+    const auto c = test_data(n, 6);
+    expect_levels_agree("scale_n", [&] {
+      std::vector<float> o(static_cast<std::size_t>(n));
+      simd::scale_n(a.data(), 1.7f, o.data(), n);
+      return o;
+    });
+    expect_levels_agree("clamp_n", [&] {
+      std::vector<float> o(static_cast<std::size_t>(n));
+      simd::clamp_n(a.data(), -0.25f, 0.75f, o.data(), n);
+      return o;
+    });
+    expect_levels_agree("mul_add_n", [&] {
+      std::vector<float> o(static_cast<std::size_t>(n));
+      simd::mul_add_n(a.data(), b.data(), c.data(), o.data(), n);
+      return o;
+    });
+    expect_levels_agree("axpy_n", [&] {
+      std::vector<float> o = c;
+      simd::axpy_n(0.37f, b.data(), o.data(), n);
+      return o;
+    });
+    for (auto& x : a) x = std::fabs(x);  // sqrt stays on non-negative input
+    expect_levels_agree("sqrt_n", [&] {
+      std::vector<float> o(static_cast<std::size_t>(n));
+      simd::sqrt_n(a.data(), o.data(), n);
+      return o;
+    });
+  }
+}
+
+TEST(SimdKernels, MaxMinMatchVectorSemanticsOnNaN) {
+  // Contract: (a OP b) ? a : b — the second operand wins on any unordered
+  // compare, mirroring vmaxps/vminps. Verified identical across levels.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a = {nan, 1.0f, -0.0f, 3.0f};
+  const std::vector<float> b = {2.0f, nan, 0.0f, -1.0f};
+  expect_levels_agree("max_n(nan)", [&] {
+    std::vector<float> o(a.size());
+    simd::max_n(a.data(), b.data(), o.data(),
+                static_cast<std::int64_t>(a.size()));
+    return o;
+  });
+  LevelGuard guard;
+  simd::set_level_for_testing(Level::kScalar);
+  std::vector<float> o(a.size());
+  simd::max_n(a.data(), b.data(), o.data(),
+              static_cast<std::int64_t>(a.size()));
+  EXPECT_EQ(o[0], 2.0f);          // nan OP b is false -> b
+  EXPECT_TRUE(std::isnan(o[1]));  // a OP nan is false -> b (nan)
+}
+
+/// Reference implementation of the canonical 8-lane reduction, written
+/// independently of src/tensor/simd.cpp.
+template <typename Acc, typename Load>
+Acc reference_lanes8(std::int64_t n, Load&& load) {
+  Acc p[8] = {};
+  const std::int64_t main_n = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < main_n; i += 8) {
+    for (int l = 0; l < 8; ++l) p[l] = p[l] + load(i + l);
+  }
+  Acc tree = ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + (p[6] + p[7]));
+  for (std::int64_t i = main_n; i < n; ++i) tree = tree + load(i);
+  return tree;
+}
+
+TEST(SimdReductions, MatchCanonicalLaneAlgorithmAtEveryLevel) {
+  LevelGuard guard;
+  std::vector<Level> levels = {Level::kScalar};
+  for (Level lvl : vector_levels()) levels.push_back(lvl);
+  for (std::int64_t n : kSizes) {
+    const auto a = test_data(n, 7);
+    const auto b = test_data(n, 8);
+    const float want_dot = reference_lanes8<float>(
+        n, [&](std::int64_t i) { return a[i] * b[i]; });
+    const float want_sumf =
+        reference_lanes8<float>(n, [&](std::int64_t i) { return a[i]; });
+    const double want_sum = reference_lanes8<double>(
+        n, [&](std::int64_t i) { return static_cast<double>(a[i]); });
+    const double want_sumsq = reference_lanes8<double>(n, [&](std::int64_t i) {
+      return static_cast<double>(a[i] * a[i]);
+    });
+    for (Level lvl : levels) {
+      simd::set_level_for_testing(lvl);
+      EXPECT_EQ(simd::dot8(a.data(), b.data(), n), want_dot) << n;
+      EXPECT_EQ(simd::sum8f(a.data(), n), want_sumf) << n;
+      EXPECT_EQ(simd::sum8(a.data(), n), want_sum) << n;
+      EXPECT_EQ(simd::sumsq8(a.data(), n), want_sumsq) << n;
+    }
+  }
+}
+
+TEST(SimdKernels, CopyIsExact) {
+  const auto a = test_data(257, 9);
+  std::vector<float> o(a.size(), 0.0f);
+  simd::copy_n(a.data(), o.data(), static_cast<std::int64_t>(a.size()));
+  EXPECT_TRUE(bitwise_equal(a, o));
+}
+
+}  // namespace
+}  // namespace tx
