@@ -69,6 +69,16 @@ int main(int argc, char** argv) {
   const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
   const std::string& trace_path = obs_flags.trace_path;
   if (obs_flags.prof) tx::obs::prof::set_enabled(true);
+  tx::obs::manifest::set_field("seed", static_cast<std::int64_t>(seed));
+
+  // --obs-http[=PORT] / TYXE_OBS_HTTP: live telemetry for the whole run
+  // (/metrics, /healthz, /snapshot, /manifest). Scraping is read-only, so
+  // results stay bitwise-identical to a server-off run (CI enforces this).
+  tx::obs::live::Server live_server({obs_flags.http_port, "fig1_regression"});
+  if (obs_flags.http_port >= 0 && live_server.start()) {
+    std::printf("obs-http: serving on http://127.0.0.1:%d\n",
+                live_server.port());
+  }
   if (!trace_path.empty()) {
     tx::obs::set_trace_thread_name("main");
     tx::obs::start_tracing();

@@ -7,6 +7,8 @@
 #include "metrics/metrics.h"
 #include "obs/diag.h"
 #include "obs/flags.h"
+#include "obs/live.h"
+#include "obs/manifest.h"
 #include "obs/prof.h"
 #include "ppl/diag.h"
 #include "ppl/messenger.h"
@@ -21,6 +23,16 @@ int main(int argc, char** argv) {
   const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
   const std::string& diag_path = obs_flags.diag_path;
   if (obs_flags.prof) tx::obs::prof::set_enabled(true);
+
+  // --obs-http[=PORT] / TYXE_OBS_HTTP: live telemetry for the whole run
+  // (/metrics, /healthz, /snapshot, /manifest); read-only, so results stay
+  // bitwise-identical to a server-off run.
+  tx::obs::live::Server live_server({obs_flags.http_port, "fig2_calibration"});
+  if (obs_flags.http_port >= 0 && live_server.start()) {
+    std::printf("obs-http: serving on http://127.0.0.1:%d\n",
+                live_server.port());
+  }
+
   tx::ppl::DiagnosticsMessenger diag_messenger;
   std::optional<tx::ppl::HandlerScope> diag_scope;
   if (!diag_path.empty()) {
@@ -34,6 +46,7 @@ int main(int argc, char** argv) {
   cfg.num_pred_samples = 8;
   cfg.metrics_path = "BENCH_fig2_calibration.json";
   cfg.events_path = "BENCH_fig2_calibration.jsonl";
+  tx::obs::manifest::set_field("seed", static_cast<std::int64_t>(cfg.seed));
   std::printf("Figure 2 reproduction (seed %llu)\n",
               static_cast<unsigned long long>(cfg.seed));
   auto run = bench::run_table1(cfg);

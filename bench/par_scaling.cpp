@@ -65,6 +65,16 @@ int main(int argc, char** argv) {
     tx::obs::set_trace_thread_name("main");
     tx::obs::start_tracing();
   }
+  tx::obs::manifest::set_field("seed", std::int64_t{0});
+
+  // --obs-http[=PORT] / TYXE_OBS_HTTP: live telemetry for the whole run
+  // (/metrics, /healthz, /snapshot, /manifest); read-only, so the bitwise
+  // determinism checks below hold with the server on or off.
+  tx::obs::live::Server live_server({obs_flags.http_port, "par_scaling"});
+  if (obs_flags.http_port >= 0 && live_server.start()) {
+    std::printf("obs-http: serving on http://127.0.0.1:%d\n",
+                live_server.port());
+  }
 
   // --- 512x512 matmul.
   tx::Generator gen(0);

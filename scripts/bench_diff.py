@@ -36,6 +36,12 @@ warning (used by scripts/refresh_baselines.sh to sanity-check a fresh
 baseline against a build that may have grown kernels); a metric that is in
 the baseline but missing from CURRENT still gates.
 
+Snapshots carrying a tx.manifest.v1 "manifest" section have their run
+provenance compared as well: manifest fields never become diff keys, but a
+baseline/candidate mismatch in SIMD dispatch level, thread count, or build
+type prints a MANIFEST warning so apples-to-oranges timing comparisons are
+visible in the gate log.
+
 Exit codes: 0 clean (warnings allowed), 1 regression(s), 2 usage/IO error.
 """
 import argparse
@@ -64,7 +70,11 @@ def flatten(doc):
 
     Covers counters, gauges, histogram summary fields, and the prof section.
     Series are skipped (their shape is workload-defined, not comparable
-    pointwise across runs).
+    pointwise across runs). The "manifest" section (tx.manifest.v1 run
+    provenance) is deliberately NOT flattened: provenance fields are not
+    metrics and must never produce diff keys — they are compared separately
+    by compare_manifests(), which warns when the two runs were produced
+    under different SIMD levels or thread counts.
     """
     out = {}
     for name, v in (doc.get("counters") or {}).items():
@@ -128,6 +138,43 @@ def load(path):
     return doc
 
 
+def compare_manifests(baseline_doc, current_docs, current_paths):
+    """Warn when baseline and candidate provenance disagree on the fields
+    that make timing/count comparisons apples-to-oranges.
+
+    A baseline snapshot that predates tx.manifest.v1 has no manifest; that
+    is fine and produces no warnings. Differences never gate — the metric
+    classes already decide what gates — but an operator reading a perf-gate
+    log must see that the machines differed before trusting the numbers.
+    """
+    warnings = []
+    base_m = baseline_doc.get("manifest")
+    if not isinstance(base_m, dict):
+        return warnings
+    for doc, path in zip(current_docs, current_paths):
+        cur_m = doc.get("manifest")
+        if not isinstance(cur_m, dict):
+            warnings.append(
+                f"[MANIFEST] {path}: baseline has a manifest but this run "
+                "does not (old binary?)"
+            )
+            continue
+        for key in ("simd_level", "threads"):
+            b, c = base_m.get(key), cur_m.get(key)
+            if b is not None and c is not None and b != c:
+                warnings.append(
+                    f"[MANIFEST] {key}: baseline ran with {b!r}, {path} ran "
+                    f"with {c!r} — timing comparisons are apples-to-oranges"
+                )
+        for key in ("build_type",):
+            b, c = base_m.get(key), cur_m.get(key)
+            if b is not None and c is not None and b != c:
+                warnings.append(
+                    f"[MANIFEST] {key}: baseline {b!r} vs {path} {c!r}"
+                )
+    return warnings
+
+
 def rel_delta(base, cur):
     if base == cur:
         return 0.0
@@ -163,8 +210,10 @@ def main(argv):
                     help="print violations/warnings only, no per-metric OK lines")
     args = ap.parse_args(argv[1:])
 
-    base = flatten(load(args.baseline))
-    currents = [flatten(load(p)) for p in args.current]
+    base_doc = load(args.baseline)
+    current_docs = [load(p) for p in args.current]
+    base = flatten(base_doc)
+    currents = [flatten(doc) for doc in current_docs]
     # Median-of-N per metric; a metric must appear in every CURRENT file to
     # count as present (a partial appearance is itself schema drift).
     cur = {}
@@ -174,7 +223,7 @@ def main(argv):
     dropped = set().union(*currents) - set(cur)
 
     failures = []
-    warnings = []
+    warnings = compare_manifests(base_doc, current_docs, args.current)
 
     def record(cls, msg, gate):
         (failures if gate else warnings).append(f"[{cls}] {msg}")

@@ -23,6 +23,19 @@ fi
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
 
+# --- snapshot validation: every BENCH_*.json anywhere under the build tree
+# (benches write into their cwd, which varies: build/, build/prof-run*/,
+# build/simd-*/...). Discovered by find rather than a hand-maintained list so
+# a new bench cannot ship unvalidated snapshots. Event streams (*.jsonl) are
+# not snapshots and are skipped.
+mapfile -t BENCH_JSON < <(find "${BUILD_DIR}" -name 'BENCH_*.json' -type f | sort)
+if [[ "${#BENCH_JSON[@]}" -gt 0 ]]; then
+  echo "check.sh: validating ${#BENCH_JSON[@]} BENCH snapshot(s)"
+  python3 scripts/validate_bench.py "${BENCH_JSON[@]}"
+else
+  echo "check.sh: no BENCH_*.json under ${BUILD_DIR} (no benches ran); skipping"
+fi
+
 # --- sanitizer pass: the obs registry/timer code and the tx::par pool are
 # the concurrent parts of the tree; run their test binaries sanitized.
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Strict checker for the /metrics Prometheus text exposition of tx::obs::live.
+
+Usage:
+  scripts/check_prometheus.py SCRAPE [SCRAPE2]
+
+Validates one scrape (a file containing the raw /metrics body):
+
+* every non-comment line is `name value` or `name{le="bound"} value` with
+  the metric name restricted to the Prometheus charset
+  [a-zA-Z_:][a-zA-Z0-9_:]* and a parseable value (numbers, +Inf, -Inf, NaN);
+* every sample is preceded by a `# TYPE <name> <counter|gauge|histogram>`
+  line for its family (histogram samples belong to the family named by
+  stripping the _bucket/_sum/_count suffix), and no family is declared twice;
+* counters are non-negative;
+* histograms are internally consistent: le= bounds strictly increasing,
+  bucket values cumulative (non-decreasing), a final le="+Inf" bucket equal
+  to the family's _count sample, and _sum/_count present.
+
+With a second scrape (taken later from the same live process), additionally
+checks monotonicity across time: every counter and every histogram _count /
+_bucket value in SCRAPE2 must be >= its SCRAPE value, and no family may
+disappear — the registry never removes metrics, so a shrinking value means
+the server handed out a torn or stale view.
+
+Exits nonzero with one line per violation, so CI can gate on it.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{le=\"(?P<le>[^\"]+)\"\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|histogram)$")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name):
+    """Histogram samples roll up to the family named in their TYPE line."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_scrape(path):
+    """Returns (families, samples, errors).
+
+    families: {name: kind}; samples: list of (name, le, value, line_no).
+    """
+    errors = []
+    families = {}
+    samples = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return {}, [], [f"{path}: unreadable ({e})"]
+
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                name = m.group("name")
+                if not NAME_RE.match(name):
+                    errors.append(f"{path}:{i}: bad metric name {name!r}")
+                if name in families:
+                    errors.append(f"{path}:{i}: family {name!r} declared twice")
+                families[name] = m.group("kind")
+            elif line.startswith("# TYPE"):
+                errors.append(f"{path}:{i}: malformed TYPE line: {line!r}")
+            # other comments (# HELP etc.) are allowed and ignored
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{path}:{i}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"{path}:{i}: bad value {m.group('value')!r}")
+            continue
+        fam = family_of(name)
+        if fam not in families:
+            errors.append(
+                f"{path}:{i}: sample {name!r} has no preceding TYPE line "
+                f"for family {fam!r}"
+            )
+            continue
+        kind = families[fam]
+        is_hist_part = name != fam
+        if is_hist_part and kind != "histogram":
+            errors.append(
+                f"{path}:{i}: {name!r} looks like a histogram sample but "
+                f"family {fam!r} is a {kind}"
+            )
+        if not is_hist_part and kind == "histogram":
+            errors.append(
+                f"{path}:{i}: bare sample {name!r} for histogram family"
+            )
+        if m.group("le") is not None and not name.endswith("_bucket"):
+            errors.append(f"{path}:{i}: le label on non-bucket sample {name!r}")
+        samples.append((name, m.group("le"), value, i))
+    return families, samples, errors
+
+
+def check_scrape(path, families, samples):
+    errors = []
+    counters = {}
+    hist = {}  # family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    for name, le, value, line_no in samples:
+        fam = family_of(name)
+        kind = families.get(fam)
+        if kind == "counter":
+            counters[name] = value
+            if not value >= 0:
+                errors.append(f"{path}:{line_no}: counter {name!r} is negative")
+        elif kind == "histogram":
+            h = hist.setdefault(fam, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(f"{path}:{line_no}: bucket without le label")
+                    continue
+                bound = parse_value(le)
+                h["buckets"].append((bound, value, line_no))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+
+    for fam, h in sorted(hist.items()):
+        if h["sum"] is None:
+            errors.append(f"{path}: histogram {fam!r} missing _sum")
+        if h["count"] is None:
+            errors.append(f"{path}: histogram {fam!r} missing _count")
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"{path}: histogram {fam!r} has no buckets")
+            continue
+        prev_bound = None
+        prev_value = None
+        for bound, value, line_no in buckets:
+            if prev_bound is not None and not bound > prev_bound:
+                errors.append(
+                    f"{path}:{line_no}: histogram {fam!r} le bounds not "
+                    f"strictly increasing ({prev_bound} then {bound})"
+                )
+            if prev_value is not None and value < prev_value:
+                errors.append(
+                    f"{path}:{line_no}: histogram {fam!r} buckets not "
+                    f"cumulative ({prev_value} then {value})"
+                )
+            prev_bound, prev_value = bound, value
+        last_bound, last_value, _ = buckets[-1]
+        if last_bound != float("inf"):
+            errors.append(f"{path}: histogram {fam!r} missing +Inf bucket")
+        elif h["count"] is not None and last_value != h["count"]:
+            errors.append(
+                f"{path}: histogram {fam!r} +Inf bucket ({last_value}) != "
+                f"_count ({h['count']})"
+            )
+    return errors
+
+
+def monotone_values(families, samples):
+    """Every value that must be non-decreasing over the process lifetime,
+    keyed to compare across scrapes."""
+    out = {}
+    for name, le, value, _line in samples:
+        fam = family_of(name)
+        kind = families.get(fam)
+        if kind == "counter":
+            out[name] = value
+        elif kind == "histogram" and (
+            name.endswith("_count") or name.endswith("_bucket")
+        ):
+            out[(name, le)] = value
+    return out
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    parsed = []
+    for path in argv[1:]:
+        families, samples, errs = parse_scrape(path)
+        errors.extend(errs)
+        errors.extend(check_scrape(path, families, samples))
+        parsed.append((path, families, samples))
+        if not errs:
+            n_fam = len(families)
+            print(f"{path}: OK ({n_fam} families, {len(samples)} samples)")
+
+    if len(parsed) == 2:
+        (path1, fam1, s1), (path2, fam2, s2) = parsed
+        for fam in fam1:
+            if fam not in fam2:
+                errors.append(
+                    f"{path2}: family {fam!r} present in {path1} disappeared"
+                )
+        first = monotone_values(fam1, s1)
+        second = monotone_values(fam2, s2)
+        for key, v1 in sorted(first.items(), key=str):
+            v2 = second.get(key)
+            if v2 is None:
+                errors.append(f"{path2}: monotone sample {key!r} disappeared")
+            elif v2 < v1:
+                errors.append(
+                    f"{path2}: {key!r} went backwards across scrapes "
+                    f"({v1} -> {v2})"
+                )
+        if not errors:
+            print(
+                f"monotonicity: OK ({len(first)} counter/bucket samples "
+                f"compared across scrapes)"
+            )
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json snapshots, tx.trace.v1 Chrome-trace exports,
-tx.diag.v1 inference-health snapshots, and tx.ckpt.v1 checkpoint bundles.
+tx.diag.v1 inference-health snapshots, tx.manifest.v1 run manifests, and
+tx.ckpt.v1 checkpoint bundles.
 
-Usage: scripts/validate_bench.py [--trace | --diag | --ckpt | --prof] FILE ...
+Usage: scripts/validate_bench.py [--trace | --diag | --ckpt | --prof | --manifest] FILE ...
 
-Four file kinds are understood; the first three are JSON and auto-detected
-by shape, checkpoints are text-framed binary selected with --ckpt:
+Five file kinds are understood; all but checkpoints are JSON and
+auto-detected by shape, checkpoints are text-framed binary selected with
+--ckpt:
 
 * Metric snapshots (tx.obs.v1, written by EventSink::write_snapshot): checks
   the structural contract documented in docs/observability.md — top-level
@@ -39,10 +41,17 @@ gflops/gbps/intensity, and the allocator-churn table (per-span allocs, bytes,
 size-class histogram, coverage vs mem.total_allocated_bytes). The section is
 validated whenever present; `--prof` additionally *requires* it.
 
-`--trace` / `--diag` / `--prof` additionally *require* each named file to be
-of that kind, so a glob that accidentally matches the wrong file fails loudly
-instead of passing under the wrong checker. Exits non-zero with one line per
-violation, so CI can gate on it.
+Snapshots may also embed a "manifest" section (schema tx.manifest.v1,
+obs/manifest.h): run provenance — git sha, build type, SIMD dispatch level,
+arena state, thread count, seed, and the full TYXE_* environment table.
+Validated whenever present; the same document served standalone by the live
+server's /manifest endpoint is auto-detected by its schema string (or
+required with `--manifest`).
+
+`--trace` / `--diag` / `--prof` / `--manifest` additionally *require* each
+named file to be of that kind, so a glob that accidentally matches the wrong
+file fails loudly instead of passing under the wrong checker. Exits non-zero
+with one line per violation, so CI can gate on it.
 """
 import json
 import sys
@@ -159,6 +168,60 @@ def validate_snapshot(path, doc):
 
     if "prof" in doc:
         errors.extend(validate_prof_section(path, doc["prof"]))
+    if "manifest" in doc:
+        errors.extend(validate_manifest(path, doc["manifest"]))
+
+    return errors
+
+
+def validate_manifest(path, m):
+    """Validate a tx.manifest.v1 document (standalone or embedded)."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: manifest: {msg}")
+
+    if not isinstance(m, dict):
+        return [f"{path}: 'manifest' must be an object"]
+    if m.get("schema") != "tx.manifest.v1":
+        err(f"schema is {m.get('schema')!r}, expected 'tx.manifest.v1'")
+    for key in ("git_sha", "build_type"):
+        if not isinstance(m.get(key), str) or not m.get(key):
+            err(f"'{key}' must be a non-empty string")
+    # Provider fields are optional (a binary that does not link a provider
+    # omits its fields) but typed when present.
+    if "simd_level" in m and m["simd_level"] not in ("off", "scalar", "avx2", "neon"):
+        err(f"'simd_level' invalid: {m['simd_level']!r}")
+    for key in ("threads", "arena_cap_mb", "seed"):
+        if key in m and (not isinstance(m[key], int) or isinstance(m[key], bool)):
+            err(f"'{key}' must be an integer: {m[key]!r}")
+    if "arena" in m and m["arena"] not in ("on", "off"):
+        err(f"'arena' invalid: {m['arena']!r}")
+
+    env = m.get("env")
+    if not isinstance(env, dict) or not env:
+        err("'env' must be a non-empty object")
+    else:
+        for name, e in env.items():
+            if not name.startswith("TYXE_"):
+                err(f"env var '{name}' does not start with TYXE_")
+            if not isinstance(e, dict):
+                err(f"env var '{name}' entry is not an object")
+                continue
+            if not isinstance(e.get("set"), bool):
+                err(f"env var '{name}' field 'set' is not a bool")
+            if e.get("set") and not isinstance(e.get("value"), str):
+                err(f"env var '{name}' is set but 'value' is not a string")
+            if not e.get("set") and e.get("value") is not None:
+                err(f"env var '{name}' is unset but 'value' is not null")
+            if not isinstance(e.get("default"), str):
+                err(f"env var '{name}' field 'default' is not a string")
+
+    unknown = m.get("unknown_env")
+    if not isinstance(unknown, list) or not all(
+        isinstance(u, str) for u in unknown
+    ):
+        err("'unknown_env' must be a list of strings")
 
     return errors
 
@@ -485,7 +548,8 @@ def validate_ckpt(path):
     return errors
 
 
-def validate(path, require_trace=False, require_diag=False, require_prof=False):
+def validate(path, require_trace=False, require_diag=False, require_prof=False,
+             require_manifest=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -494,6 +558,10 @@ def validate(path, require_trace=False, require_diag=False, require_prof=False):
 
     if not isinstance(doc, dict):
         return None, [f"{path}: top level is not an object"]
+    if doc.get("schema") == "tx.manifest.v1":
+        return "tx.manifest.v1", validate_manifest(path, doc)
+    if require_manifest:
+        return None, [f"{path}: expected a run manifest (schema != 'tx.manifest.v1')"]
     if doc.get("schema") == "tx.diag.v1":
         return "tx.diag.v1", validate_diag(path, doc)
     if require_diag:
@@ -514,6 +582,7 @@ def main(argv):
     require_diag = False
     require_ckpt = False
     require_prof = False
+    require_manifest = False
     if args and args[0] == "--trace":
         require_trace = True
         args = args[1:]
@@ -526,6 +595,9 @@ def main(argv):
     elif args and args[0] == "--prof":
         require_prof = True
         args = args[1:]
+    elif args and args[0] == "--manifest":
+        require_manifest = True
+        args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -536,7 +608,8 @@ def main(argv):
         else:
             kind, errs = validate(path, require_trace=require_trace,
                                   require_diag=require_diag,
-                                  require_prof=require_prof)
+                                  require_prof=require_prof,
+                                  require_manifest=require_manifest)
         if errs:
             all_errors.extend(errs)
         else:

@@ -96,7 +96,10 @@ std::vector<double> instrumented_step(MCMCKernel& kernel,
       auto& reg = obs::registry();
       reg.counter(warmup ? "mcmc.warmup_steps" : "mcmc.samples").add(1);
       reg.gauge("mcmc.accept_prob").set(p.mean_accept_prob);
-      reg.histogram("mcmc.step_seconds").record(p.seconds);
+      // Log-bucketed so per-chain timings merge exactly (obs/hist.h); the
+      // heartbeat feeds the live server's /healthz staleness check.
+      reg.log_histogram("mcmc.step_seconds").record(p.seconds);
+      reg.gauge("obs.heartbeat_seconds").set(obs::now_seconds());
     }
     if (progress) progress(p);
   };

@@ -107,7 +107,10 @@ double SVI::step() {
       reg.counter("svi.steps").add(1);
       reg.gauge("svi.loss").set(info.loss);
       reg.gauge("svi.grad_norm").set(info.grad_norm);
-      reg.histogram("svi.step_seconds").record(info.seconds);
+      // Log-bucketed so per-worker step timings merge exactly (obs/hist.h);
+      // the heartbeat feeds the live server's /healthz staleness check.
+      reg.log_histogram("svi.step_seconds").record(info.seconds);
+      reg.gauge("obs.heartbeat_seconds").set(obs::now_seconds());
     }
     if (callback_) callback_(info);
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/manifest.h"
 #include "obs/mem.h"
 #include "obs/prof.h"
 
@@ -109,82 +110,105 @@ void EventSink::emit(const Event& e) {
   ++events_written_;
 }
 
-bool EventSink::write_snapshot(
-    const std::string& path, const std::string& bench_name,
-    MetricsRegistry& reg,
+std::string EventSink::render_snapshot_json(
+    const std::string& bench_name, MetricsRegistry& reg,
     const std::map<std::string, std::vector<double>>& series) {
   mem::publish(reg);
   const std::string prof_section = prof::section_json("  ");
   if (!prof_section.empty()) prof::publish(reg);
+
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + escape_json(bench_name) + "\",\n";
+  out += "  \"schema\": \"tx.obs.v1\",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    out += (first ? "\n" : ",\n");
+    out += "    \"" + escape_json(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += (first ? "" : "\n  ");
+  out += "},\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    out += (first ? "\n" : ",\n");
+    out += "    \"" + escape_json(name) + "\": " + render_number(value);
+    first = false;
+  }
+  out += (first ? "" : "\n  ");
+  out += "},\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    out += (first ? "\n" : ",\n");
+    out += "    \"" + escape_json(name) + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + render_number(h.sum);
+    out += ", \"mean\": " + render_number(h.mean());
+    out += ", \"min\": " + render_number(h.min);
+    out += ", \"max\": " + render_number(h.max);
+    out += ", \"p50\": " + render_number(h.quantile(0.5));
+    out += ", \"p90\": " + render_number(h.quantile(0.9));
+    out += ", \"p99\": " + render_number(h.quantile(0.99));
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      // Log-bucketed histograms carry an explicit +inf overflow bound;
+      // fixed-bucket ones leave the final overflow bucket boundless. Both
+      // render as the string "inf" (JSON numbers cannot spell infinity).
+      const bool finite_bound =
+          i < h.bounds.size() && std::isfinite(h.bounds[i]);
+      out += "{\"le\": ";
+      out += finite_bound ? render_number(h.bounds[i]) : std::string("\"inf\"");
+      out += ", \"count\": " + std::to_string(h.bucket_counts[i]) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += (first ? "" : "\n  ");
+  out += "},\n";
+
+  out += "  \"series\": {";
+  first = true;
+  for (const auto& [name, values] : series) {
+    out += (first ? "\n" : ",\n");
+    out += "    \"" + escape_json(name) + "\": " + render_series(values);
+    first = false;
+  }
+  out += (first ? "" : "\n  ");
+  out += "},\n";
+
+  // Run provenance — which build/SIMD level/thread count/environment
+  // produced these numbers. bench_diff.py excludes it from metric diffs.
+  out += "  \"manifest\": " + manifest::json("  ");
+
+  // The profiler section is optional so snapshots from non-profiled runs
+  // keep the pre-prof shape.
+  if (!prof_section.empty()) {
+    out += ",\n  \"prof\": " + prof_section + "\n";
+  } else {
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool EventSink::write_snapshot(
+    const std::string& path, const std::string& bench_name,
+    MetricsRegistry& reg,
+    const std::map<std::string, std::vector<double>>& series) {
+  const std::string doc = render_snapshot_json(bench_name, reg, series);
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     registry().counter("obs.sink_errors").add(1);
     return false;
   }
-
-  out << "{\n";
-  out << "  \"bench\": \"" << escape_json(bench_name) << "\",\n";
-  out << "  \"schema\": \"tx.obs.v1\",\n";
-
-  out << "  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, value] : reg.counters()) {
-    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
-        << "\": " << value;
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "},\n";
-
-  out << "  \"gauges\": {";
-  first = true;
-  for (const auto& [name, value] : reg.gauges()) {
-    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
-        << "\": " << render_number(value);
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "},\n";
-
-  out << "  \"histograms\": {";
-  first = true;
-  for (const auto& [name, h] : reg.histograms()) {
-    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name) << "\": {";
-    out << "\"count\": " << h.count << ", \"sum\": " << render_number(h.sum)
-        << ", \"mean\": " << render_number(h.mean())
-        << ", \"min\": " << render_number(h.min)
-        << ", \"max\": " << render_number(h.max)
-        << ", \"p50\": " << render_number(h.quantile(0.5))
-        << ", \"p90\": " << render_number(h.quantile(0.9))
-        << ", \"p99\": " << render_number(h.quantile(0.99))
-        << ", \"buckets\": [";
-    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
-      if (i > 0) out << ", ";
-      out << "{\"le\": "
-          << (i < h.bounds.size() ? render_number(h.bounds[i])
-                                  : std::string("\"inf\""))
-          << ", \"count\": " << h.bucket_counts[i] << "}";
-    }
-    out << "]}";
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "},\n";
-
-  out << "  \"series\": {";
-  first = true;
-  for (const auto& [name, values] : series) {
-    out << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
-        << "\": " << render_series(values);
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "}";
-
-  // The profiler section is optional so snapshots from non-profiled runs
-  // stay byte-identical to the pre-prof schema.
-  if (!prof_section.empty()) {
-    out << ",\n  \"prof\": " << prof_section << "\n";
-  } else {
-    out << "\n";
-  }
-  out << "}\n";
+  out << doc;
   out.flush();
   if (!out.good()) {
     registry().counter("obs.sink_errors").add(1);

@@ -76,6 +76,14 @@ class EventSink {
       MetricsRegistry& reg = registry(),
       const std::map<std::string, std::vector<double>>& series = {});
 
+  /// The same tx.obs.v1 document as a string — what write_snapshot writes
+  /// and what the live telemetry server (obs/live.h) serves on /snapshot.
+  /// Includes the run manifest (obs/manifest.h) and, when the profiler ran,
+  /// the "prof" section.
+  static std::string render_snapshot_json(
+      const std::string& bench_name, MetricsRegistry& reg = registry(),
+      const std::map<std::string, std::vector<double>>& series = {});
+
  private:
   std::string path_;
   std::ofstream out_;

@@ -4,7 +4,35 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/manifest.h"
+#include "util/env.h"
+
 namespace tx::obs {
+
+namespace {
+
+// ""/off/0 -> off (-1), auto -> ephemeral (0), else the literal port.
+// Unparsable values warn and leave the server off rather than aborting a
+// long run over a telemetry typo.
+int parse_http_port(const char* spec, const char* origin) {
+  if (spec == nullptr || *spec == '\0' || std::strcmp(spec, "off") == 0 ||
+      std::strcmp(spec, "0") == 0) {
+    return -1;
+  }
+  if (std::strcmp(spec, "auto") == 0) return 0;
+  char* end = nullptr;
+  const long port = std::strtol(spec, &end, 10);
+  if (end == spec || *end != '\0' || port < 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "warning: %s: bad port '%s' (want off, auto, or 1-65535); "
+                 "telemetry server disabled\n",
+                 origin, spec);
+    return -1;
+  }
+  return static_cast<int>(port);
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -44,6 +72,14 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
       flags.prof = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--obs-http") == 0) {
+      flags.http_port = 0;  // bare flag: ephemeral port
+      continue;
+    }
+    if (std::strncmp(argv[i], "--obs-http=", 11) == 0) {
+      flags.http_port = parse_http_port(argv[i] + 11, "--obs-http");
+      continue;
+    }
     argv[out++] = argv[i];
   }
   for (int i = out; i < argc; ++i) argv[i] = nullptr;
@@ -54,6 +90,16 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
       flags.prof = *v != '\0' && std::strcmp(v, "0") != 0;
     }
   }
+  if (flags.http_port < 0) {
+    if (const char* v = std::getenv("TYXE_OBS_HTTP")) {
+      if (*v != '\0') flags.http_port = parse_http_port(v, "TYXE_OBS_HTTP");
+    }
+  }
+
+  // Every bench passes through here, so this is the natural startup hook:
+  // catch TYXE_* typos once, then freeze the run manifest.
+  env::warn_unknown_once();
+  manifest::capture();
   return flags;
 }
 

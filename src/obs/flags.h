@@ -1,18 +1,24 @@
 // Shared observability command-line flags for benchmark binaries.
 //
-// Every bench accepts the same three switches:
+// Every bench accepts the same switches:
 //
-//   --trace <path>   write a Chrome-trace timeline (obs/trace.h)
-//   --diag <path>    write streaming inference diagnostics (obs/diag.h)
-//   --prof           enable the kernel/churn profiler (obs/prof.h); the
-//                    "prof" section lands inside the bench's BENCH_*.json
+//   --trace <path>     write a Chrome-trace timeline (obs/trace.h)
+//   --diag <path>      write streaming inference diagnostics (obs/diag.h)
+//   --prof             enable the kernel/churn profiler (obs/prof.h); the
+//                      "prof" section lands inside the bench's BENCH_*.json
+//   --obs-http[=PORT]  serve live telemetry over HTTP (obs/live.h); bare
+//                      --obs-http binds an ephemeral port
 //
 // parse_bench_flags recognizes them in one place (replacing per-bench
 // copies), warns on a trailing path flag with no path instead of silently
-// dropping it, falls back to the TYXE_TRACE / TYXE_DIAG / TYXE_PROF
-// environment variables, and *strips* everything it consumed from argv so
-// the remaining arguments can be handed to another parser (e.g. google
-// benchmark) without "unrecognized flag" failures.
+// dropping it, falls back to the TYXE_TRACE / TYXE_DIAG / TYXE_PROF /
+// TYXE_OBS_HTTP environment variables, and *strips* everything it consumed
+// from argv so the remaining arguments can be handed to another parser
+// (e.g. google benchmark) without "unrecognized flag" failures.
+//
+// It is also the benches' startup hook: it audits the environment for
+// unrecognized TYXE_* variables (util/env.h) and captures the tx.manifest.v1
+// run manifest (obs/manifest.h), so every bench gets both for free.
 #pragma once
 
 #include <string>
@@ -24,6 +30,10 @@ struct BenchFlags {
   std::string trace_path;  ///< "" when tracing is off
   std::string diag_path;   ///< "" when diagnostics are off
   bool prof = false;       ///< profiler on (--prof or TYXE_PROF=1)
+  /// Live telemetry server port: -1 = off, 0 = bind an ephemeral port,
+  /// otherwise the literal TCP port. From --obs-http[=PORT] or TYXE_OBS_HTTP
+  /// (""/"off"/"0" off, "auto" ephemeral, number = port).
+  int http_port = -1;
 };
 
 /// Parse --trace/--diag/--prof out of argv (see file comment). Consumed

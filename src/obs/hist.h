@@ -1,0 +1,96 @@
+// Deterministic log-bucketed (HDR-style) latency histograms.
+//
+// The reservoir-based quantiles of obs::Histogram are cheap but not
+// mergeable: two workers' reservoirs cannot be combined into the reservoir
+// of the concatenated stream, so p50/p99 over a tx::par run (or, later,
+// over serving replicas) were only estimates of one shard. LogHistogram
+// replaces them for duration metrics with the classic HDR construction:
+//
+//   * Every instance shares ONE fixed bucket layout: the seconds axis from
+//     2^kMinExp (~0.93 ns) to 2^kMaxExp (1024 s) is split into octaves
+//     [2^e, 2^(e+1)), each divided into kSub = 2^kSubBits linear subbuckets,
+//     plus an underflow bucket (<= 0, NaN, and anything below the range) and
+//     an overflow bucket. The value -> index map is a pure O(1) function of
+//     the double's exponent and top mantissa bits (std::frexp), identical on
+//     every platform, so bucket counts are bitwise-reproducible.
+//   * record() is lock-free: one fetch_add on the bucket, plus the same
+//     count/sum/min/max cells obs::Histogram maintains.
+//   * merge_from() adds bucket counts integer-for-integer, so
+//     merge(h(A), h(B)) has exactly the bucket counts of h(A ++ B) — the
+//     property tested in tests/hist_test.cpp and relied on by anything that
+//     aggregates per-worker histograms.
+//   * Quantiles come from the buckets: the estimate is the midpoint of the
+//     bucket containing the target rank, clamped to the observed [min, max].
+//     Relative error is bounded by half a subbucket width over the bucket's
+//     lower edge: kMaxRelativeError = 1 / (2 * kSub) (1.5625% at kSubBits
+//     = 5). The bound is enforced against exact sorted quantiles by the
+//     property tests.
+//
+// The registry exposes these via MetricsRegistry::log_histogram(); snapshots
+// fold into the same HistogramSnapshot shape as fixed-bucket histograms
+// (trimmed to the non-empty bucket range) so the tx.obs.v1 schema, the
+// Prometheus renderer, and bench_diff.py see one histogram namespace.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "obs/registry.h"
+
+namespace tx::obs {
+
+class LogHistogram {
+ public:
+  // Layout constants. Shared by every instance (merge compatibility is
+  // guaranteed by construction, never negotiated at runtime).
+  static constexpr int kSubBits = 5;
+  static constexpr int kSub = 1 << kSubBits;  // subbuckets per octave
+  static constexpr int kMinExp = -30;         // lowest octave: [2^-30, 2^-29)
+  static constexpr int kMaxExp = 10;          // first out-of-range power: 2^10 s
+  static constexpr int kOctaves = kMaxExp - kMinExp;
+  static constexpr int kBuckets = kOctaves * kSub + 2;  // + under/overflow
+  /// Worst-case relative error of a bucket-midpoint quantile estimate for
+  /// in-range values: half a subbucket width over the bucket's lower edge.
+  static constexpr double kMaxRelativeError = 1.0 / (2 * kSub);
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// O(1), lock-free. v <= 0, NaN, and v < 2^kMinExp land in the underflow
+  /// bucket (represented as 0); v >= 2^kMaxExp lands in the overflow bucket.
+  void record(double v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Exact merge: integer-adds other's bucket counts (and count/min/max;
+  /// sum is a double accumulation, exact only up to FP addition order).
+  void merge_from(const LogHistogram& other);
+
+  /// Zero every cell (tests / bench isolation; not thread-safe vs record).
+  void reset();
+
+  /// Point-in-time view in the shared HistogramSnapshot shape: bounds are
+  /// the upper edges of the trimmed non-empty bucket range, representatives
+  /// their midpoints, samples empty (quantiles come from the buckets).
+  HistogramSnapshot snapshot() const;
+
+  // ---- the pure value <-> bucket mapping (unit-tested directly) ----------
+  static int index_of(double v);
+  static double lower_edge_of(int index);      // 0 for the underflow bucket
+  static double upper_edge_of(int index);      // +inf for the overflow bucket
+  static double representative_of(int index);  // midpoint; 0 for underflow
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{detail::pack_double(0.0)};
+  std::atomic<std::uint64_t> min_bits_{
+      detail::pack_double(std::numeric_limits<double>::infinity())};
+  std::atomic<std::uint64_t> max_bits_{
+      detail::pack_double(-std::numeric_limits<double>::infinity())};
+};
+
+}  // namespace tx::obs

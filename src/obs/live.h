@@ -1,0 +1,85 @@
+// tx::obs::live — embedded HTTP exposition server for live telemetry.
+//
+// A Server runs a blocking accept loop on one dedicated thread (plain POSIX
+// sockets, GET-only, Connection: close — no third-party dependencies) and
+// serves four read-only views of the process:
+//
+//   /metrics    Prometheus text exposition of the metrics registry
+//   /healthz    driver liveness from the obs.heartbeat_seconds gauge
+//               (200 ok / 200 idle when no driver ran yet / 503 stale)
+//   /snapshot   the live tx.obs.v1 document (EventSink::render_snapshot_json,
+//               including prof/diag metrics and the manifest section)
+//   /manifest   the tx.manifest.v1 run-provenance document alone
+//
+// The server only *reads* the registry (relaxed-atomic snapshots; the
+// registry mutex is taken only by name lookup), so scraping a live run
+// cannot perturb inference: results are bitwise-identical with the server
+// on or off — CI enforces this. The request counters it bumps
+// (obs.http_requests etc.) exist only in server-enabled runs, keeping
+// server-off BENCH snapshots unchanged for the perf gate.
+//
+// Benches enable it with --obs-http[=PORT] or TYXE_OBS_HTTP (obs/flags.h);
+// port 0 binds an ephemeral port, reported by port() after start().
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace tx::obs::live {
+
+struct Options {
+  int port = 0;             ///< TCP port; 0 = kernel-assigned ephemeral
+  std::string bench_name = "live";  ///< stamped into /snapshot documents
+  double health_staleness_seconds = 30.0;  ///< heartbeat age before "stale"
+};
+
+class Server {
+ public:
+  explicit Server(Options opts = {});
+  ~Server();  // stops if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and launch the accept thread. Returns false (with a
+  /// stderr diagnostic) if the port cannot be bound; the process continues
+  /// without telemetry rather than dying.
+  bool start();
+
+  /// Unblock the accept loop, join the thread, close the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves ephemeral binds); -1 before start().
+  int port() const { return port_; }
+
+ private:
+  void serve();
+  std::string respond(const std::string& target) const;
+
+  Options opts_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Prometheus text exposition of `reg` — exposed for tests so the format
+/// can be checked without sockets. Metric names are sanitized to the
+/// Prometheus charset ([a-zA-Z0-9_:]) and prefixed "tx_"; histograms render
+/// as cumulative le-buckets with _sum/_count.
+std::string render_prometheus(MetricsRegistry& reg = registry());
+
+/// One Prometheus metric name from a registry name: "span.fit/step" ->
+/// "tx_span_fit_step".
+std::string prometheus_name(const std::string& name);
+
+/// The /healthz JSON body; `http_status` receives 200 or 503. Reads the
+/// obs.heartbeat_seconds gauge via the gauges() snapshot (never creates it).
+std::string render_healthz(double staleness_seconds, int& http_status,
+                           MetricsRegistry& reg = registry());
+
+}  // namespace tx::obs::live

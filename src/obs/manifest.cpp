@@ -1,0 +1,133 @@
+#include "obs/manifest.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/event_sink.h"
+#include "util/env.h"
+
+#ifndef TX_GIT_SHA
+#define TX_GIT_SHA "unknown"
+#endif
+#ifndef TX_BUILD_TYPE
+#define TX_BUILD_TYPE "unknown"
+#endif
+
+namespace tx::obs::manifest {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  bool captured = false;
+  std::vector<std::function<void()>> providers;
+  std::map<std::string, std::string> fields;  // key -> rendered JSON value
+};
+
+State& state() {
+  static State* s = new State();  // never destroyed (static registrars)
+  return *s;
+}
+
+void set_rendered(const std::string& key, std::string rendered) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.fields[key] = std::move(rendered);
+}
+
+}  // namespace
+
+void register_provider(std::function<void()> provider) {
+  State& s = state();
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.captured) {
+      run_now = true;  // late registration: publish immediately
+    } else {
+      s.providers.push_back(std::move(provider));
+    }
+  }
+  if (run_now) provider();
+}
+
+void set_field(const std::string& key, const std::string& value) {
+  set_rendered(key, "\"" + escape_json(value) + "\"");
+}
+
+void set_field(const std::string& key, std::int64_t value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void set_field(const std::string& key, bool value) {
+  set_rendered(key, value ? "true" : "false");
+}
+
+void capture() {
+  State& s = state();
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.captured) return;
+    s.captured = true;
+    to_run.swap(s.providers);
+  }
+  // Run outside the lock: providers call set_field.
+  for (const auto& provider : to_run) provider();
+}
+
+std::string json(const std::string& indent) {
+  capture();
+  const std::string pad = indent + "  ";
+  std::string out = "{\n";
+  out += pad + "\"schema\": \"tx.manifest.v1\",\n";
+  out += pad + "\"git_sha\": \"" + escape_json(TX_GIT_SHA) + "\",\n";
+  out += pad + "\"build_type\": \"" + escape_json(TX_BUILD_TYPE) + "\",\n";
+
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, rendered] : s.fields) {
+      out += pad + "\"" + escape_json(key) + "\": " + rendered + ",\n";
+    }
+  }
+
+  out += pad + "\"env\": {";
+  bool first = true;
+  for (const auto& var : env::known_vars()) {
+    const char* v = std::getenv(var.name);
+    out += first ? "\n" : ",\n";
+    out += pad + "  \"" + escape_json(var.name) + "\": {\"set\": ";
+    out += v != nullptr ? "true" : "false";
+    out += ", \"value\": ";
+    out += v != nullptr ? "\"" + escape_json(v) + "\"" : std::string("null");
+    out += ", \"default\": \"" + escape_json(var.default_value) + "\"";
+    if (var.build_time) out += ", \"build_time\": true";
+    out += "}";
+    first = false;
+  }
+  out += first ? "" : "\n" + pad;
+  out += "},\n";
+
+  out += pad + "\"unknown_env\": [";
+  first = true;
+  for (const auto& name : env::unknown_set_vars()) {
+    if (!first) out += ", ";
+    out += "\"" + escape_json(name) + "\"";
+    first = false;
+  }
+  out += "]\n" + indent + "}";
+  return out;
+}
+
+void reset_for_testing() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.captured = false;
+  s.providers.clear();
+  s.fields.clear();
+}
+
+}  // namespace tx::obs::manifest

@@ -1,13 +1,18 @@
 // Umbrella header for tx::obs — the observability substrate: metrics
-// registry, RAII span timers, the JSONL event sink / BENCH snapshot writer,
-// the Chrome-trace timeline recorder, tensor memory accounting, the streaming
-// inference-health diagnostics, and the kernel roofline / allocator-churn
-// profiler. See docs/observability.md.
+// registry (with mergeable log-bucketed latency histograms), RAII span
+// timers, the JSONL event sink / BENCH snapshot writer, the Chrome-trace
+// timeline recorder, tensor memory accounting, the streaming
+// inference-health diagnostics, the kernel roofline / allocator-churn
+// profiler, the tx.manifest.v1 run manifest, and the live telemetry HTTP
+// server. See docs/observability.md.
 #pragma once
 
 #include "obs/diag.h"
 #include "obs/event_sink.h"
 #include "obs/flags.h"
+#include "obs/hist.h"
+#include "obs/live.h"
+#include "obs/manifest.h"
 #include "obs/mem.h"
 #include "obs/prof.h"
 #include "obs/registry.h"

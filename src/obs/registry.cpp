@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/hist.h"
 #include "util/stats.h"
 
 namespace tx::obs {
@@ -43,8 +44,22 @@ void atomic_max_double(std::atomic<std::uint64_t>& cell, double v) {
 }  // namespace detail
 
 double HistogramSnapshot::quantile(double q) const {
-  if (samples.empty()) return 0.0;
-  return quantile_of(samples, q);
+  if (!samples.empty()) return quantile_of(samples, q);
+  // Log-bucketed kind: locate the bucket holding the nearest-rank (lower)
+  // order statistic and return its midpoint, clamped to the observed range.
+  // Relative error vs the exact order statistic is bounded by
+  // LogHistogram::kMaxRelativeError.
+  if (count <= 0 || representatives.empty()) return 0.0;
+  const std::int64_t rank =
+      static_cast<std::int64_t>(q * static_cast<double>(count - 1));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    cum += bucket_counts[i];
+    if (cum > rank) {
+      return std::clamp(representatives[i], min, max);
+    }
+  }
+  return max;
 }
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -113,6 +128,11 @@ HistogramSnapshot Histogram::snapshot() const {
   return snap;
 }
 
+// Out of line so unique_ptr<LogHistogram> members destroy where the type is
+// complete (the header only forward-declares it).
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -152,10 +172,18 @@ std::map<std::string, double> MetricsRegistry::gauges() const {
   return out;
 }
 
+LogHistogram& MetricsRegistry::log_histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = log_histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
 std::map<std::string, HistogramSnapshot> MetricsRegistry::histograms() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, HistogramSnapshot> out;
   for (const auto& [name, h] : histograms_) out.emplace(name, h->snapshot());
+  for (const auto& [name, h] : log_histograms_) out.emplace(name, h->snapshot());
   return out;
 }
 
@@ -164,6 +192,7 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  log_histograms_.clear();
 }
 
 MetricsRegistry& registry() {

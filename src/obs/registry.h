@@ -77,7 +77,11 @@ class Gauge {
   std::atomic<std::uint64_t> bits_{detail::pack_double(0.0)};
 };
 
-/// Point-in-time view of a histogram, safe to keep after the fact.
+/// Point-in-time view of a histogram, safe to keep after the fact. Produced
+/// by both histogram kinds: fixed-bucket Histogram (raw-value reservoir,
+/// `representatives` empty) and log-bucketed LogHistogram (obs/hist.h;
+/// `samples` empty, `representatives` carries per-bucket midpoints and
+/// bounds/bucket_counts are trimmed to the non-empty range).
 struct HistogramSnapshot {
   std::int64_t count = 0;
   double sum = 0.0;
@@ -85,10 +89,15 @@ struct HistogramSnapshot {
   double max = 0.0;
   std::vector<double> bounds;               // ascending upper bounds
   std::vector<std::int64_t> bucket_counts;  // bounds.size() + 1 (last = +inf)
+                                            // (log kind: bounds.size())
   std::vector<double> samples;              // sorted reservoir of raw values
+  std::vector<double> representatives;      // log kind: bucket midpoints
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
-  /// Quantile estimate from the raw-value reservoir (util quantile_of).
+  /// Quantile estimate: from the raw-value reservoir when present (util
+  /// quantile_of), else from the bucket counts via `representatives`,
+  /// clamped to the observed [min, max] (relative error bounded by
+  /// LogHistogram::kMaxRelativeError).
   double quantile(double q) const;
 };
 
@@ -122,17 +131,28 @@ class Histogram {
   std::atomic<std::uint64_t> reservoir_next_{0};
 };
 
+class LogHistogram;  // obs/hist.h — log-bucketed, mergeable duration metrics
+
 /// Name -> metric map. get-or-create takes a mutex; returned references are
 /// stable (metrics are heap-allocated and never removed, only reset).
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `bounds` is only consulted on first creation; empty = time ladder.
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = {});
+  /// Log-bucketed histogram (obs/hist.h): O(1) record, bounded relative
+  /// error, exact merge. The duration metrics (svi.step_seconds,
+  /// mcmc.step_seconds, span.*) live here; names must not collide with
+  /// fixed-bucket histograms (the merged snapshot view keeps one namespace).
+  LogHistogram& log_histogram(const std::string& name);
 
-  /// Snapshot views (each takes the registration mutex once).
+  /// Snapshot views (each takes the registration mutex once). histograms()
+  /// merges both histogram kinds into one map.
   std::map<std::string, std::int64_t> counters() const;
   std::map<std::string, double> gauges() const;
   std::map<std::string, HistogramSnapshot> histograms() const;
@@ -145,6 +165,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> log_histograms_;
 };
 
 /// The process-global registry every instrumentation hook feeds.

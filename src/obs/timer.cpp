@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "obs/event_sink.h"
+#include "obs/hist.h"
 #include "obs/mem.h"
 #include "obs/trace.h"
 
@@ -72,7 +73,9 @@ ScopedTimer::~ScopedTimer() {
                    Histogram::exponential_bounds(1024.0, 4.0, 12))
         .record(static_cast<double>(net));
   }
-  registry().histogram("span." + path_).record(seconds);
+  // Log-bucketed (obs/hist.h) so per-worker span durations merge exactly
+  // across tx::par workers and quantiles stay mergeable.
+  registry().log_histogram("span." + path_).record(seconds);
 }
 
 #endif

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/event_sink.h"
+#include "obs/manifest.h"
 #include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
@@ -21,6 +22,16 @@ namespace tx::par {
 namespace {
 
 thread_local bool t_in_worker = false;
+
+// Pool width for the tx.manifest.v1 run manifest: timing comparisons across
+// different thread counts are apples-to-oranges, so provenance records it.
+const bool g_manifest_provider_registered = [] {
+  obs::manifest::register_provider([] {
+    obs::manifest::set_field("threads",
+                             static_cast<std::int64_t>(num_threads()));
+  });
+  return true;
+}();
 
 // Propagate the submitter's span path into pool workers: a ScopedTimer
 // opened inside a worker-side chunk then nests under the caller's path

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/manifest.h"
 #include "obs/mem.h"
 
 namespace tx::alloc {
@@ -39,6 +40,19 @@ std::atomic<bool>& enabled_flag() {
 }
 
 std::atomic<int> g_step_depth{0};
+
+// Arena state for the tx.manifest.v1 run manifest — whether recycling is on
+// and the per-thread cap, so provenance records the allocator configuration.
+const bool g_manifest_provider_registered = [] {
+  obs::manifest::register_provider([] {
+    obs::manifest::set_field("arena",
+                             enabled_flag().load(std::memory_order_relaxed)
+                                 ? std::string("on")
+                                 : std::string("off"));
+    obs::manifest::set_field("arena_cap_mb", default_pool_cap_bytes() >> 20);
+  });
+  return true;
+}();
 
 struct ThreadPool {
   // capacity (floats) -> idle buffers of that capacity.

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/manifest.h"
+
 namespace tx::simd {
 
 #if defined(TX_SIMD_BUILD_AVX2)
@@ -219,6 +221,17 @@ const char* level_name() {
       return "off";
   }
 }
+
+namespace {
+// Publish the dispatch level actually selected (not the requested one) into
+// the tx.manifest.v1 run manifest, so bench_diff.py can refuse to compare
+// an AVX2 baseline against a scalar candidate.
+const bool g_manifest_provider_registered = [] {
+  obs::manifest::register_provider(
+      [] { obs::manifest::set_field("simd_level", level_name()); });
+  return true;
+}();
+}  // namespace
 
 bool level_available(Level l) {
   switch (l) {

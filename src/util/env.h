@@ -1,0 +1,44 @@
+// tx::env — the one registry of every TYXE_* environment knob.
+//
+// Every subsystem that reads a TYXE_* variable declares it here (name,
+// default, one-line description). Three consumers:
+//
+//   * audit: warn_unknown_once() scans the process environment for TYXE_*
+//     variables that no subsystem registered and prints one stderr warning
+//     per process — catching TYXE_TREADS-style typos that were silently
+//     ignored before. Called from obs::parse_bench_flags, so every bench
+//     audits at startup.
+//   * the tx.manifest.v1 run manifest (obs/manifest.h) embeds the full
+//     table — which knobs exist, which are set, to what — in every BENCH
+//     snapshot and serves it live on /manifest.
+//   * docs/configuration.md mirrors this table for humans; keep the two in
+//     sync when adding a knob.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tx::env {
+
+struct Var {
+  const char* name;           // e.g. "TYXE_NUM_THREADS"
+  const char* default_value;  // human-readable default, e.g. "hardware"
+  const char* description;    // one line
+  bool build_time = false;    // consumed by CMake at configure, not runtime
+};
+
+/// The full knob table, sorted by name.
+const std::vector<Var>& known_vars();
+
+/// True when `name` is a registered knob.
+bool is_known(const std::string& name);
+
+/// Every TYXE_*-prefixed variable set in the environment that is NOT in the
+/// registry (sorted). Empty in a healthy environment.
+std::vector<std::string> unknown_set_vars();
+
+/// Print one stderr warning per process naming every unrecognized TYXE_*
+/// variable (no-op when there are none). Returns the number found.
+std::size_t warn_unknown_once();
+
+}  // namespace tx::env
