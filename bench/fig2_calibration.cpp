@@ -9,6 +9,7 @@
 #include "obs/flags.h"
 #include "obs/live.h"
 #include "obs/manifest.h"
+#include "obs/pq.h"
 #include "obs/prof.h"
 #include "ppl/diag.h"
 #include "ppl/messenger.h"
@@ -19,10 +20,14 @@ int main(int argc, char** argv) {
   // strategy's SVI fit into one tx.diag.v1 snapshot (the snapshot's step
   // indices are the global diag sequence, so restarts between strategies
   // keep them monotone). --prof adds the kernel roofline / churn section to
-  // the metrics snapshot. See docs/observability.md.
+  // the metrics snapshot. --pq streams predictive-quality telemetry (online
+  // calibration / uncertainty decomposition / OOD scores) from the predict
+  // path into a "pq" section and live pq.* metrics. See
+  // docs/observability.md.
   const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
   const std::string& diag_path = obs_flags.diag_path;
   if (obs_flags.prof) tx::obs::prof::set_enabled(true);
+  if (obs_flags.pq) tx::obs::pq::set_enabled(true);
 
   // --obs-http[=PORT] / TYXE_OBS_HTTP: live telemetry for the whole run
   // (/metrics, /healthz, /snapshot, /manifest); read-only, so results stay
@@ -89,6 +94,20 @@ int main(int argc, char** argv) {
               "OOD entropy CDFs right (more uncertainty on OOD)\nand MF gives "
               "the best-matching calibration curve (closest to the "
               "diagonal).\n");
+  if (obs_flags.pq) {
+    std::printf("\n-- Streaming predictive quality (tx.pq.v1; binned OOD "
+                "AUROC) --\n");
+    for (const auto& s : run.strategies) {
+      const std::string stream = s.name + "/test";
+      std::printf("  %-14s ece %.4f  nll %.4f  acc %.4f  brier %.4f  "
+                  "ood_auroc %.4f\n",
+                  s.name.c_str(), tx::obs::pq::streaming_ece(stream),
+                  tx::obs::pq::streaming_nll(stream),
+                  tx::obs::pq::streaming_accuracy(stream),
+                  tx::obs::pq::streaming_brier(stream),
+                  tx::obs::pq::ood_auroc(stream, s.name + "/ood"));
+    }
+  }
   if (!diag_path.empty()) {
     const bool ok =
         tx::obs::diag::write_snapshot(diag_path, "fig2_calibration");

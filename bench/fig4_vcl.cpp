@@ -6,10 +6,18 @@
 // forgets old tasks; VCL's posterior-to-prior update anchors it
 // (DESIGN.md, FIG4).
 #include <cstdio>
+#include <map>
 
 #include "core/tyxe.h"
 #include "data/datasets.h"
 #include "metrics/metrics.h"
+#include "obs/event_sink.h"
+#include "obs/flags.h"
+#include "obs/live.h"
+#include "obs/manifest.h"
+#include "obs/pq.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
 #include "util/stats.h"
 
 using tx::Tensor;
@@ -115,6 +123,21 @@ Curve run_ml(const std::vector<tx::data::SplitTask>& tasks,
   return curve;
 }
 
+/// Mean-over-runs accuracy curve, one point per task, for the BENCH
+/// snapshot's series section.
+void append_series(std::map<std::string, std::vector<double>>& series,
+                   const std::string& name, const std::vector<Curve>& curves) {
+  std::vector<double> mean;
+  for (int t = 0; t < kTasks; ++t) {
+    std::vector<double> at_t;
+    for (const auto& c : curves) {
+      at_t.push_back(c.mean_acc[static_cast<std::size_t>(t)]);
+    }
+    mean.push_back(tx::mean_of(at_t));
+  }
+  series[name] = std::move(mean);
+}
+
 void report(const char* title, const std::vector<Curve>& vcl,
             const std::vector<Curve>& ml) {
   std::printf("\n%s — mean accuracy on tasks seen so far (± 2 s.e., %zu runs)\n",
@@ -131,11 +154,26 @@ void report(const char* title, const std::vector<Curve>& vcl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Shared observability switches (--trace/--diag/--prof/--pq/--obs-http),
+  // same surface as fig1/fig2/par_scaling. parse_bench_flags also audits
+  // TYXE_* env vars and freezes the run manifest.
+  const tx::obs::BenchFlags obs_flags = tx::obs::parse_bench_flags(argc, argv);
+  if (obs_flags.prof) tx::obs::prof::set_enabled(true);
+  if (obs_flags.pq) tx::obs::pq::set_enabled(true);
+  tx::obs::live::Server live_server({obs_flags.http_port, "fig4_vcl"});
+  if (obs_flags.http_port >= 0 && live_server.start()) {
+    std::printf("obs-http: serving on http://127.0.0.1:%d\n",
+                live_server.port());
+  }
+  // Base data seed of run 0; per-run seeds derive from it (+run offsets).
+  tx::obs::manifest::set_field("seed", static_cast<std::int64_t>(500));
+
   const int kRuns = 3;
   std::printf("Figure 4 reproduction: VCL vs ML, multi-head split "
               "streams (%d runs each)\n",
               kRuns);
+  std::map<std::string, std::vector<double>> series;
 
   // Split-MNIST analogue: 8x8 single-channel patterns, MLP(64, 100, 10).
   {
@@ -153,6 +191,8 @@ int main() {
       ml.push_back(run_ml(tasks, 64, 10 + static_cast<std::uint64_t>(run), 200));
     }
     report("Split-MNIST analogue", vcl, ml);
+    append_series(series, "vcl_mean_acc.split_mnist", vcl);
+    append_series(series, "ml_mean_acc.split_mnist", ml);
   }
 
   // Split-CIFAR analogue: 3-channel 8x8 colour patterns.
@@ -171,9 +211,14 @@ int main() {
       ml.push_back(run_ml(tasks, 192, 20 + static_cast<std::uint64_t>(run), 300));
     }
     report("Split-CIFAR analogue", vcl, ml);
+    append_series(series, "vcl_mean_acc.split_cifar", vcl);
+    append_series(series, "ml_mean_acc.split_cifar", ml);
   }
 
   std::printf("\npaper shape: ML's mean accuracy decays across tasks "
               "(forgetting); VCL degrades far more slowly.\n");
+  tx::obs::EventSink::write_snapshot("BENCH_fig4_vcl.json", "fig4_vcl",
+                                     tx::obs::registry(), series);
+  std::printf("metrics: BENCH_fig4_vcl.json\n");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "metrics/metrics.h"
+#include "metrics/pq_feed.h"
 #include "obs/obs.h"
 
 namespace bench {
@@ -74,8 +75,11 @@ Tensor ml_probs(tx::nn::ResNet& net, const Tensor& images) {
 }
 
 /// Evaluate any probability table against labels + OOD probabilities.
+/// `streamed_via_predict` says the predict path already fed the label-free
+/// pq streams "<name>/test" and "<name>/ood" (false for point-estimate
+/// strategies whose probabilities bypass BNN::predict).
 StrategyResult finish(std::string name, Tensor test_probs, Tensor ood_probs,
-                      const Tensor& labels) {
+                      const Tensor& labels, bool streamed_via_predict) {
   StrategyResult r;
   r.name = std::move(name);
   r.test_probs = test_probs;
@@ -85,6 +89,28 @@ StrategyResult finish(std::string name, Tensor test_probs, Tensor ood_probs,
   r.ece = tx::metrics::expected_calibration_error(test_probs, labels);
   r.ood_auroc = tx::metrics::auroc(tx::metrics::max_probability(test_probs),
                                    tx::metrics::max_probability(ood_probs));
+  if (tx::obs::pq::enabled()) {
+    if (!streamed_via_predict) {
+      tx::obs::pq::StreamScope test_scope(r.name + "/test");
+      tx::metrics::pq_observe_probs(test_probs);
+      tx::obs::pq::StreamScope ood_scope(r.name + "/ood");
+      tx::metrics::pq_observe_probs(ood_probs);
+    }
+    const std::string stream = r.name + "/test";
+    {
+      tx::obs::pq::StreamScope scope(stream);
+      tx::metrics::pq_observe_labeled(test_probs, labels);
+    }
+    // Self-enforcing contract: the streaming aggregates must equal the batch
+    // metrics *bitwise* on the same data (this is what makes the telemetry
+    // trustworthy as a live stand-in for the paper's table values).
+    TX_CHECK(tx::obs::pq::streaming_ece(stream) == r.ece,
+             "pq: streaming ECE diverged from batch ECE");
+    TX_CHECK(tx::obs::pq::streaming_nll(stream) == r.nll,
+             "pq: streaming NLL diverged from batch NLL");
+    TX_CHECK(tx::obs::pq::streaming_accuracy(stream) == r.accuracy,
+             "pq: streaming accuracy diverged from batch accuracy");
+  }
   return r;
 }
 
@@ -143,9 +169,18 @@ StrategyResult run_bayesian(const std::string& name, const Table1Config& cfg,
   }
   if (series) (*series)["loss." + name] = std::move(losses);
   net->eval();
-  Tensor test_probs = bnn.predict(data.test.images, cfg.num_pred_samples);
-  Tensor ood_probs = bnn.predict(data.ood.images, cfg.num_pred_samples);
-  return finish(name, test_probs, ood_probs, data.test.labels);
+  // Label the pq streams so the predict path lands test and OOD telemetry
+  // in per-strategy buckets ("MF/test", "MF/ood", ...).
+  Tensor test_probs = [&] {
+    tx::obs::pq::StreamScope scope(name + "/test");
+    return bnn.predict(data.test.images, cfg.num_pred_samples);
+  }();
+  Tensor ood_probs = [&] {
+    tx::obs::pq::StreamScope scope(name + "/ood");
+    return bnn.predict(data.ood.images, cfg.num_pred_samples);
+  }();
+  return finish(name, test_probs, ood_probs, data.test.labels,
+                /*streamed_via_predict=*/true);
 }
 
 }  // namespace
@@ -175,7 +210,8 @@ Table1Run run_table1(const Table1Config& cfg) {
   const auto pretrained_state = ml_net->state_dict();
   run.strategies.push_back(finish("ML", ml_probs(*ml_net, data.test.images),
                                   ml_probs(*ml_net, data.ood.images),
-                                  data.test.labels));
+                                  data.test.labels,
+                                  /*streamed_via_predict=*/false));
   std::printf("  [done] ML\n");
 
   tyxe::HideExpose hide_bn;

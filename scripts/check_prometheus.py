@@ -2,7 +2,12 @@
 """Strict checker for the /metrics Prometheus text exposition of tx::obs::live.
 
 Usage:
-  scripts/check_prometheus.py SCRAPE [SCRAPE2]
+  scripts/check_prometheus.py [--expect-prefix=PREFIX] SCRAPE [SCRAPE2]
+
+With --expect-prefix=PREFIX, additionally requires every scrape to expose at
+least one metric family whose name starts with PREFIX (e.g.
+--expect-prefix=tx_pq_ gates on the predictive-quality metrics actually
+reaching /metrics, not just parsing cleanly).
 
 Validates one scrape (a file containing the raw /metrics body):
 
@@ -194,16 +199,32 @@ def monotone_values(families, samples):
 
 
 def main(argv):
-    if len(argv) not in (2, 3):
+    args = argv[1:]
+    expect_prefix = None
+    if args and args[0].startswith("--expect-prefix="):
+        expect_prefix = args[0][len("--expect-prefix="):]
+        args = args[1:]
+    if len(args) not in (1, 2) or not expect_prefix and expect_prefix is not None:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     errors = []
     parsed = []
-    for path in argv[1:]:
+    for path in args:
         families, samples, errs = parse_scrape(path)
         errors.extend(errs)
         errors.extend(check_scrape(path, families, samples))
         parsed.append((path, families, samples))
+        if expect_prefix is not None:
+            matching = [f for f in families if f.startswith(expect_prefix)]
+            if not matching:
+                errors.append(
+                    f"{path}: no metric family starts with {expect_prefix!r}"
+                )
+            else:
+                print(
+                    f"{path}: {len(matching)} families match "
+                    f"prefix {expect_prefix!r}"
+                )
         if not errs:
             n_fam = len(families)
             print(f"{path}: OK ({n_fam} families, {len(samples)} samples)")

@@ -3,7 +3,7 @@
 tx.diag.v1 inference-health snapshots, tx.manifest.v1 run manifests, and
 tx.ckpt.v1 checkpoint bundles.
 
-Usage: scripts/validate_bench.py [--trace | --diag | --ckpt | --prof | --manifest] FILE ...
+Usage: scripts/validate_bench.py [--trace | --diag | --ckpt | --prof | --pq | --manifest] FILE ...
 
 Five file kinds are understood; all but checkpoints are JSON and
 auto-detected by shape, checkpoints are text-framed binary selected with
@@ -40,6 +40,14 @@ when the run profiled with --prof): per-kernel calls/flops/bytes plus derived
 gflops/gbps/intensity, and the allocator-churn table (per-span allocs, bytes,
 size-class histogram, coverage vs mem.total_allocated_bytes). The section is
 validated whenever present; `--prof` additionally *requires* it.
+
+Snapshots may embed a "pq" section (schema tx.pq.v1, written when the run
+streamed predictive quality with --pq): per-stream calibration accumulators
+(reliability bins, streaming NLL/Brier/accuracy/ECE), the predictive-entropy
+decomposition (aleatoric + epistemic must reconstruct the predictive mean to
+a ulp-scaled tolerance), max-probability score histograms whose counts must
+sum to the stream's example totals, and binned OOD AUROCs in [0, 1]. The
+section is validated whenever present; `--pq` additionally *requires* it.
 
 Snapshots may also embed a "manifest" section (schema tx.manifest.v1,
 obs/manifest.h): run provenance — git sha, build type, SIMD dispatch level,
@@ -168,6 +176,8 @@ def validate_snapshot(path, doc):
 
     if "prof" in doc:
         errors.extend(validate_prof_section(path, doc["prof"]))
+    if "pq" in doc:
+        errors.extend(validate_pq_section(path, doc["pq"]))
     if "manifest" in doc:
         errors.extend(validate_manifest(path, doc["manifest"]))
 
@@ -331,6 +341,161 @@ def validate_prof_section(path, prof):
             f"span byte counts sum to {total_bytes}, expected "
             f"attributed_bytes = {churn['attributed_bytes']}"
         )
+    return errors
+
+
+PQ_STREAM_INTS = ("examples", "labeled", "correct")
+
+# 64-bit double epsilon; the entropy decomposition identity holds to the
+# rounding of one division, so a few ulps of the predictive mean.
+_EPS = 2.220446049250313e-16
+
+
+def validate_pq_section(path, pq):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: pq: {msg}")
+
+    if not isinstance(pq, dict):
+        return [f"{path}: 'pq' must be an object"]
+    if pq.get("schema") != "tx.pq.v1":
+        err(f"schema is {pq.get('schema')!r}, expected 'tx.pq.v1'")
+    reliability_bins = pq.get("reliability_bins")
+    score_bins = pq.get("score_bins")
+    for key, v in (("reliability_bins", reliability_bins), ("score_bins", score_bins)):
+        if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+            err(f"'{key}' is not a positive integer: {v!r}")
+
+    streams = pq.get("streams")
+    if not isinstance(streams, dict):
+        err("'streams' must be an object")
+        streams = {}
+    for name, s in streams.items():
+        if not isinstance(s, dict):
+            err(f"stream '{name}' is not an object")
+            continue
+        for field in PQ_STREAM_INTS:
+            v = s.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                err(f"stream '{name}' field '{field}' is not an integer: {v!r}")
+            elif v < 0:
+                err(f"stream '{name}' field '{field}' is negative: {v}")
+        labeled = s.get("labeled")
+        examples = s.get("examples")
+        if isinstance(s.get("correct"), int) and isinstance(labeled, int):
+            if s["correct"] > labeled:
+                err(f"stream '{name}' correct {s['correct']} > labeled {labeled}")
+
+        # The reliability bins are the streaming calibration accumulator:
+        # their counts must account for every labeled example exactly.
+        bins = s.get("reliability")
+        if not isinstance(bins, list):
+            err(f"stream '{name}' 'reliability' is not a list")
+        else:
+            if isinstance(reliability_bins, int) and len(bins) != reliability_bins:
+                err(
+                    f"stream '{name}' has {len(bins)} reliability bins, "
+                    f"expected {reliability_bins}"
+                )
+            count_total = 0
+            for i, b in enumerate(bins):
+                if not isinstance(b, dict) or "le" not in b or "count" not in b:
+                    err(f"stream '{name}' reliability bin {i} malformed: {b!r}")
+                    continue
+                if not isinstance(b["count"], int) or b["count"] < 0:
+                    err(f"stream '{name}' reliability bin {i} count invalid: {b['count']!r}")
+                else:
+                    count_total += b["count"]
+                for field in ("le", "confidence_sum", "accuracy_sum"):
+                    if not is_number(b.get(field)):
+                        err(f"stream '{name}' reliability bin {i} '{field}' is not a number")
+            if isinstance(labeled, int) and count_total != labeled:
+                err(
+                    f"stream '{name}' reliability counts sum to {count_total}, "
+                    f"expected labeled = {labeled}"
+                )
+
+        # Score histogram: one entry per prediction seen on the stream.
+        scores = s.get("scores")
+        if not isinstance(scores, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in scores
+        ):
+            err(f"stream '{name}' 'scores' is not a list of non-negative integers")
+        else:
+            if isinstance(score_bins, int) and len(scores) != score_bins:
+                err(
+                    f"stream '{name}' has {len(scores)} score bins, "
+                    f"expected {score_bins}"
+                )
+            if isinstance(examples, int) and sum(scores) != examples:
+                err(
+                    f"stream '{name}' score counts sum to {sum(scores)}, "
+                    f"expected examples = {examples}"
+                )
+
+        if isinstance(examples, int) and examples > 0:
+            if not is_number(s.get("confidence_mean")):
+                err(f"stream '{name}' 'confidence_mean' is not a number")
+            entropy = s.get("entropy")
+            if not isinstance(entropy, dict):
+                err(f"stream '{name}' 'entropy' is not an object")
+            else:
+                for field in (
+                    "predictive_sum",
+                    "aleatoric_sum",
+                    "predictive_mean",
+                    "aleatoric_mean",
+                    "epistemic_mean",
+                ):
+                    if not is_number(entropy.get(field)):
+                        err(f"stream '{name}' entropy '{field}' is not a number")
+                if all(
+                    is_number(entropy.get(f))
+                    for f in ("predictive_mean", "aleatoric_mean", "epistemic_mean")
+                ):
+                    pred = entropy["predictive_mean"]
+                    recon = entropy["aleatoric_mean"] + entropy["epistemic_mean"]
+                    tol = 4.0 * _EPS * max(1.0, abs(pred))
+                    if abs(recon - pred) > tol:
+                        err(
+                            f"stream '{name}' entropy decomposition broken: "
+                            f"aleatoric + epistemic = {recon!r} vs "
+                            f"predictive = {pred!r}"
+                        )
+
+        if isinstance(labeled, int) and labeled > 0:
+            for field in ("accuracy", "nll", "brier", "ece"):
+                if not is_number(s.get(field)):
+                    err(f"stream '{name}' '{field}' is not a number")
+            if is_number(s.get("accuracy")) and isinstance(s.get("correct"), int):
+                if s["accuracy"] != s["correct"] / labeled:
+                    err(
+                        f"stream '{name}' accuracy {s['accuracy']!r} != "
+                        f"correct/labeled = {s['correct'] / labeled!r}"
+                    )
+            if is_number(s.get("ece")) and not 0.0 <= s["ece"] <= 1.0:
+                err(f"stream '{name}' ece out of [0, 1]: {s['ece']!r}")
+
+        if "mc_samples" in s:
+            for field in ("mc_samples", "sample_batches"):
+                v = s.get(field)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    err(f"stream '{name}' '{field}' is not a non-negative integer: {v!r}")
+            v = s.get("across_sample_variance_mean")
+            if not is_number(v) or v < 0:
+                err(f"stream '{name}' 'across_sample_variance_mean' invalid: {v!r}")
+
+    ood = pq.get("ood")
+    if not isinstance(ood, dict):
+        err("'ood' must be an object")
+    else:
+        for prefix, v in ood.items():
+            if not is_number(v) or not 0.0 <= v <= 1.0:
+                err(f"ood '{prefix}' AUROC out of [0, 1]: {v!r}")
+            if f"{prefix}/test" not in streams or f"{prefix}/ood" not in streams:
+                err(f"ood '{prefix}' has no matching '/test' + '/ood' stream pair")
+
     return errors
 
 
@@ -549,7 +714,7 @@ def validate_ckpt(path):
 
 
 def validate(path, require_trace=False, require_diag=False, require_prof=False,
-             require_manifest=False):
+             require_pq=False, require_manifest=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -572,7 +737,13 @@ def validate(path, require_trace=False, require_diag=False, require_prof=False,
         return None, [f"{path}: expected a Chrome trace (no 'traceEvents' key)"]
     if require_prof and "prof" not in doc:
         return None, [f"{path}: expected a profiled snapshot (no 'prof' section)"]
-    kind = "tx.obs.v1+prof" if "prof" in doc else "tx.obs.v1"
+    if require_pq and "pq" not in doc:
+        return None, [f"{path}: expected a pq-streamed snapshot (no 'pq' section)"]
+    kind = "tx.obs.v1"
+    if "prof" in doc:
+        kind += "+prof"
+    if "pq" in doc:
+        kind += "+pq"
     return kind, validate_snapshot(path, doc)
 
 
@@ -582,6 +753,7 @@ def main(argv):
     require_diag = False
     require_ckpt = False
     require_prof = False
+    require_pq = False
     require_manifest = False
     if args and args[0] == "--trace":
         require_trace = True
@@ -594,6 +766,9 @@ def main(argv):
         args = args[1:]
     elif args and args[0] == "--prof":
         require_prof = True
+        args = args[1:]
+    elif args and args[0] == "--pq":
+        require_pq = True
         args = args[1:]
     elif args and args[0] == "--manifest":
         require_manifest = True
@@ -609,6 +784,7 @@ def main(argv):
             kind, errs = validate(path, require_trace=require_trace,
                                   require_diag=require_diag,
                                   require_prof=require_prof,
+                                  require_pq=require_pq,
                                   require_manifest=require_manifest)
         if errs:
             all_errors.extend(errs)

@@ -3,10 +3,23 @@
 #include <algorithm>
 
 #include "dist/kl.h"
+#include "obs/pq.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
 
 namespace tyxe {
 
 namespace {
+
+/// Posterior-predictive liveness: a predict-only workload (e.g. a serving
+/// loop) must keep /healthz fresh the same way SVI steps and MCMC
+/// transitions do.
+void touch_predict_heartbeat() {
+  if (!tx::obs::enabled()) return;
+  tx::obs::registry()
+      .gauge("obs.heartbeat_seconds")
+      .set(tx::obs::now_seconds());
+}
 
 /// Owner module path of a parameter slot ("" for root-owned parameters).
 std::string module_path_of(const tx::nn::ParamSlot& slot) {
@@ -163,6 +176,9 @@ std::pair<double, double> SupervisedBNN::evaluate(
   const double ll = likelihood_->log_predictive(stacked, targets).item();
   Tensor aggregated = likelihood_->aggregate_predictions(stacked);
   const double err = likelihood_->error(aggregated, targets).item();
+  if (tx::obs::pq::enabled()) {
+    likelihood_->record_predictive_quality(stacked, aggregated, &targets);
+  }
   return {ll, err};
 }
 
@@ -271,7 +287,15 @@ Tensor VariationalBNN::predict(const std::vector<Tensor>& inputs,
     draws.push_back(guided_forward(inputs).detach());
   }
   Tensor stacked = tx::stack(draws, 0);
-  return aggregate ? likelihood_->aggregate_predictions(stacked) : stacked;
+  touch_predict_heartbeat();
+  if (aggregate) {
+    Tensor aggregated = likelihood_->aggregate_predictions(stacked);
+    if (tx::obs::pq::enabled()) {
+      likelihood_->record_predictive_quality(stacked, aggregated, nullptr);
+    }
+    return aggregated;
+  }
+  return stacked;
 }
 
 MCMC_BNN::MCMC_BNN(tx::nn::ModulePtr net, PriorPtr prior,
@@ -314,7 +338,15 @@ Tensor MCMC_BNN::predict(const std::vector<Tensor>& inputs,
     draws.push_back(sampled_forward(inputs).detach());
   }
   Tensor stacked = tx::stack(draws, 0);
-  return aggregate ? likelihood_->aggregate_predictions(stacked) : stacked;
+  touch_predict_heartbeat();
+  if (aggregate) {
+    Tensor aggregated = likelihood_->aggregate_predictions(stacked);
+    if (tx::obs::pq::enabled()) {
+      likelihood_->record_predictive_quality(stacked, aggregated, nullptr);
+    }
+    return aggregated;
+  }
+  return stacked;
 }
 
 std::pair<double, double> MCMC_BNN::evaluate(const std::vector<Tensor>& inputs,
@@ -325,6 +357,9 @@ std::pair<double, double> MCMC_BNN::evaluate(const std::vector<Tensor>& inputs,
   const double ll = likelihood_->log_predictive(stacked, targets).item();
   Tensor aggregated = likelihood_->aggregate_predictions(stacked);
   const double err = likelihood_->error(aggregated, targets).item();
+  if (tx::obs::pq::enabled()) {
+    likelihood_->record_predictive_quality(stacked, aggregated, &targets);
+  }
   return {ll, err};
 }
 

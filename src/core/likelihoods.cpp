@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "metrics/pq_feed.h"
+
 namespace tyxe {
 
 namespace nd = tx::dist;
@@ -56,6 +58,10 @@ Tensor Likelihood::log_predictive(const Tensor& stacked,
   return tx::sum(mix);
 }
 
+void Likelihood::record_predictive_quality(const Tensor& /*stacked*/,
+                                           const Tensor& /*aggregated*/,
+                                           const Tensor* /*targets*/) const {}
+
 // ---- Bernoulli --------------------------------------------------------------
 
 nd::DistPtr Bernoulli::predictive_distribution(const Tensor& logits) const {
@@ -109,6 +115,15 @@ Tensor Categorical::error(const Tensor& aggregated, const Tensor& targets) const
     wrong.at(i) = picks.at(i) != targets.at(i) ? 1.0f : 0.0f;
   }
   return tx::mean(wrong);
+}
+
+void Categorical::record_predictive_quality(const Tensor& stacked,
+                                            const Tensor& aggregated,
+                                            const Tensor* targets) const {
+  tx::metrics::pq_observe_sample_stack(stacked, aggregated);
+  if (targets != nullptr) {
+    tx::metrics::pq_observe_labeled(aggregated, *targets);
+  }
 }
 
 // ---- HomoskedasticGaussian --------------------------------------------------

@@ -61,6 +61,17 @@ class Likelihood {
   /// rate or mean squared error), computed from aggregated predictions.
   virtual Tensor error(const Tensor& aggregated, const Tensor& targets) const = 0;
 
+  /// Feed streaming predictive-quality telemetry (tx::obs::pq) from one
+  /// predicted batch: `stacked` is the raw (S, batch, ...) sample stack,
+  /// `aggregated` its aggregate_predictions, `targets` the labels when the
+  /// caller has them (evaluate) or nullptr (predict). Only called when
+  /// pq is enabled; the default observes nothing — likelihoods opt in with
+  /// family-appropriate reductions (Categorical feeds calibration bins,
+  /// entropy decomposition, and OOD scores via metrics/pq_feed.h).
+  virtual void record_predictive_quality(const Tensor& stacked,
+                                         const Tensor& aggregated,
+                                         const Tensor* targets) const;
+
  protected:
   std::int64_t dataset_size_;
   std::string name_;
@@ -88,6 +99,10 @@ class Categorical : public Likelihood {
   Tensor log_predictive(const Tensor& stacked, const Tensor& targets) const override;
   /// Classification error rate.
   Tensor error(const Tensor& aggregated, const Tensor& targets) const override;
+  /// Streams calibration/uncertainty/OOD telemetry into tx::obs::pq.
+  void record_predictive_quality(const Tensor& stacked,
+                                 const Tensor& aggregated,
+                                 const Tensor* targets) const override;
 };
 
 /// Gaussian with one shared observation scale. The scale is either fixed, or

@@ -99,6 +99,25 @@ double nll(const Tensor& probs, const Tensor& labels) {
   return total / static_cast<double>(n);
 }
 
+double brier_score(const Tensor& probs, const Tensor& labels) {
+  check_probs(probs, labels);
+  const std::int64_t n = probs.dim(0), classes = probs.dim(1);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int64_t>(std::llround(labels.at(i)));
+    TX_CHECK(c >= 0 && c < classes, "brier_score: label out of range");
+    double b = 0.0;
+    for (std::int64_t k = 0; k < classes; ++k) {
+      const double p = probs.at(i * classes + k);
+      const double t = k == c ? 1.0 : 0.0;
+      const double d = p - t;
+      b += d * d;
+    }
+    total += b;
+  }
+  return total / static_cast<double>(n);
+}
+
 std::vector<double> predictive_entropy(const Tensor& probs) {
   TX_CHECK(probs.rank() == 2, "predictive_entropy: probs must be (N, classes)");
   const std::int64_t n = probs.dim(0), classes = probs.dim(1);

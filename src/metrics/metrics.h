@@ -32,6 +32,10 @@ double accuracy(const Tensor& probs, const Tensor& labels);
 /// Mean negative log-likelihood from a probability table.
 double nll(const Tensor& probs, const Tensor& labels);
 
+/// Mean multi-class Brier score: per-example squared error between the
+/// probability row and the one-hot label, summed over classes. In [0, 2].
+double brier_score(const Tensor& probs, const Tensor& labels);
+
 /// Per-example entropy of the predictive distribution, (N,) from (N, C).
 std::vector<double> predictive_entropy(const Tensor& probs);
 

@@ -1,0 +1,41 @@
+// Tensor-to-scalar reduction layer feeding tx::obs::pq (obs/pq.h).
+//
+// tx_obs is tensor-free by design, so the reductions from probability
+// tables and posterior sample stacks down to the per-example scalars pq
+// accumulates live here, one layer up. Each observe call replicates the
+// batch tx::metrics arithmetic term by term (same float argmax, same
+// 1e-12f clamp, same summation order), which is what makes the streaming
+// ECE / NLL / accuracy / Brier aggregates bitwise-equal to the batch
+// functions on the same data — the contract pq_test and the CI --pq leg
+// enforce.
+//
+// Every call is a no-op unless tx::obs::pq::enabled(); when it does record,
+// it finishes with pq::publish() so live /metrics scrapes stay fresh.
+// Examples land in the calling thread's current pq stream (StreamScope).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tx::metrics {
+
+/// Observe a categorical posterior-predictive batch from the full sample
+/// stack: `stacked_logits` is (S, N, classes) raw network outputs and
+/// `mean_probs` the (N, classes) aggregated mean probabilities
+/// (Categorical::aggregate_predictions of the same stack). Records, per
+/// example, the max-probability confidence, the predictive entropy of the
+/// mean distribution, and the aleatoric entropy (mean per-sample entropy) —
+/// plus one pool-health record (S, across-sample probability variance).
+void pq_observe_sample_stack(const Tensor& stacked_logits,
+                             const Tensor& mean_probs);
+
+/// Observe an (N, classes) probability table with no sample stack behind it
+/// (point estimates like the ML baseline): predictive == aleatoric entropy,
+/// epistemic 0, MC sample count 1.
+void pq_observe_probs(const Tensor& probs);
+
+/// Observe labelled outcomes for an (N, classes) probability table and (N,)
+/// float-encoded labels: streaming reliability bins, NLL, Brier, accuracy.
+/// Labels out of range throw, matching tx::metrics::nll.
+void pq_observe_labeled(const Tensor& probs, const Tensor& labels);
+
+}  // namespace tx::metrics

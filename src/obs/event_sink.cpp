@@ -5,6 +5,7 @@
 
 #include "obs/manifest.h"
 #include "obs/mem.h"
+#include "obs/pq.h"
 #include "obs/prof.h"
 
 namespace tx::obs {
@@ -116,6 +117,8 @@ std::string EventSink::render_snapshot_json(
   mem::publish(reg);
   const std::string prof_section = prof::section_json("  ");
   if (!prof_section.empty()) prof::publish(reg);
+  const std::string pq_section = pq::section_json("  ");
+  if (!pq_section.empty()) pq::publish(reg);
 
   std::string out;
   out += "{\n";
@@ -187,14 +190,15 @@ std::string EventSink::render_snapshot_json(
   // produced these numbers. bench_diff.py excludes it from metric diffs.
   out += "  \"manifest\": " + manifest::json("  ");
 
-  // The profiler section is optional so snapshots from non-profiled runs
-  // keep the pre-prof shape.
+  // The profiler and predictive-quality sections are optional so snapshots
+  // from runs without them keep their prior shape.
   if (!prof_section.empty()) {
-    out += ",\n  \"prof\": " + prof_section + "\n";
-  } else {
-    out += "\n";
+    out += ",\n  \"prof\": " + prof_section;
   }
-  out += "}\n";
+  if (!pq_section.empty()) {
+    out += ",\n  \"pq\": " + pq_section;
+  }
+  out += "\n}\n";
   return out;
 }
 

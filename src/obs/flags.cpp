@@ -72,6 +72,10 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
       flags.prof = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--pq") == 0) {
+      flags.pq = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--obs-http") == 0) {
       flags.http_port = 0;  // bare flag: ephemeral port
       continue;
@@ -88,6 +92,11 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
   if (!flags.prof) {
     if (const char* v = std::getenv("TYXE_PROF")) {
       flags.prof = *v != '\0' && std::strcmp(v, "0") != 0;
+    }
+  }
+  if (!flags.pq) {
+    if (const char* v = std::getenv("TYXE_PQ")) {
+      flags.pq = *v != '\0' && std::strcmp(v, "0") != 0;
     }
   }
   if (flags.http_port < 0) {

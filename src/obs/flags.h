@@ -6,13 +6,17 @@
 //   --diag <path>      write streaming inference diagnostics (obs/diag.h)
 //   --prof             enable the kernel/churn profiler (obs/prof.h); the
 //                      "prof" section lands inside the bench's BENCH_*.json
+//   --pq               enable streaming predictive-quality telemetry
+//                      (obs/pq.h); the "pq" section lands inside the bench's
+//                      BENCH_*.json
 //   --obs-http[=PORT]  serve live telemetry over HTTP (obs/live.h); bare
 //                      --obs-http binds an ephemeral port
 //
 // parse_bench_flags recognizes them in one place (replacing per-bench
 // copies), warns on a trailing path flag with no path instead of silently
 // dropping it, falls back to the TYXE_TRACE / TYXE_DIAG / TYXE_PROF /
-// TYXE_OBS_HTTP environment variables, and *strips* everything it consumed
+// TYXE_PQ / TYXE_OBS_HTTP environment variables, and *strips* everything it
+// consumed
 // from argv so the remaining arguments can be handed to another parser
 // (e.g. google benchmark) without "unrecognized flag" failures.
 //
@@ -30,6 +34,7 @@ struct BenchFlags {
   std::string trace_path;  ///< "" when tracing is off
   std::string diag_path;   ///< "" when diagnostics are off
   bool prof = false;       ///< profiler on (--prof or TYXE_PROF=1)
+  bool pq = false;         ///< predictive-quality telemetry (--pq / TYXE_PQ=1)
   /// Live telemetry server port: -1 = off, 0 = bind an ephemeral port,
   /// otherwise the literal TCP port. From --obs-http[=PORT] or TYXE_OBS_HTTP
   /// (""/"off"/"0" off, "auto" ephemeral, number = port).

@@ -14,6 +14,7 @@
 #include "obs/live.h"
 #include "obs/manifest.h"
 #include "obs/mem.h"
+#include "obs/pq.h"
 #include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/timer.h"

@@ -1,0 +1,457 @@
+#include "obs/pq.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/event_sink.h"
+#include "obs/registry.h"
+#include "util/common.h"
+
+namespace tx::obs::pq {
+
+namespace {
+
+/// "<prefix>/test" -> prefix; "" when the label has no such suffix. Shared
+/// by section_json and publish (the latter compiles even when obs is
+/// disabled, so this helper lives outside the guard).
+std::string test_prefix_of(const std::string& label) {
+  const std::string suffix = "/test";
+  if (label.size() <= suffix.size()) return "";
+  if (label.compare(label.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return "";
+  }
+  return label.substr(0, label.size() - suffix.size());
+}
+
+}  // namespace
+
+#ifndef TX_OBS_DISABLED
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Global state lives in a leaked singleton so thread-shard destructors
+/// running at any point of process teardown can still flush safely.
+struct Globals {
+  std::mutex mu;
+  Config config;
+  std::map<std::string, StreamStats> streams;
+  std::atomic<bool> any_data{false};
+};
+
+Globals& g() {
+  static Globals* globals = new Globals;
+  return *globals;
+}
+
+void size_stats(StreamStats& s, const Config& cfg) {
+  if (s.score_bins.empty()) {
+    s.score_bins.assign(static_cast<std::size_t>(cfg.score_bins), 0);
+  }
+  if (s.bin_count.empty()) {
+    const auto n = static_cast<std::size_t>(cfg.reliability_bins);
+    s.bin_confidence_sum.assign(n, 0.0);
+    s.bin_accuracy_sum.assign(n, 0.0);
+    s.bin_count.assign(n, 0);
+  }
+}
+
+void merge_stats(StreamStats& dst, const StreamStats& src, const Config& cfg) {
+  size_stats(dst, cfg);
+  dst.examples += src.examples;
+  dst.confidence_sum += src.confidence_sum;
+  dst.predictive_entropy_sum += src.predictive_entropy_sum;
+  dst.aleatoric_entropy_sum += src.aleatoric_entropy_sum;
+  for (std::size_t i = 0; i < src.score_bins.size(); ++i) {
+    dst.score_bins[i] += src.score_bins[i];
+  }
+  dst.labeled += src.labeled;
+  dst.correct += src.correct;
+  dst.nll_sum += src.nll_sum;
+  dst.brier_sum += src.brier_sum;
+  for (std::size_t i = 0; i < src.bin_count.size(); ++i) {
+    dst.bin_confidence_sum[i] += src.bin_confidence_sum[i];
+    dst.bin_accuracy_sum[i] += src.bin_accuracy_sum[i];
+    dst.bin_count[i] += src.bin_count[i];
+  }
+  dst.sample_batches += src.sample_batches;
+  dst.mc_samples = std::max(dst.mc_samples, src.mc_samples);
+  dst.variance_sum += src.variance_sum;
+  dst.variance_examples += src.variance_examples;
+}
+
+/// Per-thread shard: uncontended accumulation between flushes.
+struct ThreadShard {
+  std::unordered_map<std::string, StreamStats> streams;
+  std::string stream = "predict";
+
+  ~ThreadShard() { flush(); }
+
+  void flush() {
+    if (streams.empty()) return;
+    Globals& gl = g();
+    std::lock_guard<std::mutex> lock(gl.mu);
+    for (auto& [label, stats] : streams) {
+      merge_stats(gl.streams[label], stats, gl.config);
+    }
+    streams.clear();
+  }
+};
+
+ThreadShard& shard() {
+  thread_local ThreadShard s;
+  return s;
+}
+
+StreamStats& shard_stream() {
+  ThreadShard& sh = shard();
+  StreamStats& stats = sh.streams[sh.stream];
+  if (stats.score_bins.empty()) {
+    Globals& gl = g();
+    std::lock_guard<std::mutex> lock(gl.mu);
+    size_stats(stats, gl.config);
+    gl.any_data.store(true, std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+StreamStats stats_for(const std::string& stream) {
+  shard().flush();
+  Globals& gl = g();
+  std::lock_guard<std::mutex> lock(gl.mu);
+  auto it = gl.streams.find(stream);
+  return it != gl.streams.end() ? it->second : StreamStats{};
+}
+
+/// Binned Mann-Whitney U from two max-prob histograms; ties within a bin
+/// count half. Bins iterate low to high so `below` tracks negatives with
+/// strictly smaller scores.
+double auroc_from_bins(const std::vector<std::int64_t>& pos,
+                       const std::vector<std::int64_t>& neg) {
+  std::int64_t total_pos = 0, total_neg = 0;
+  for (std::int64_t c : pos) total_pos += c;
+  for (std::int64_t c : neg) total_neg += c;
+  if (total_pos == 0 || total_neg == 0) return 0.0;
+  double u = 0.0;
+  std::int64_t below = 0;
+  const std::size_t bins = std::min(pos.size(), neg.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    u += static_cast<double>(pos[b]) *
+         (static_cast<double>(below) + 0.5 * static_cast<double>(neg[b]));
+    below += neg[b];
+  }
+  return u / (static_cast<double>(total_pos) * static_cast<double>(total_neg));
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  if (on) g().any_data.store(true, std::memory_order_relaxed);
+}
+
+void configure(const Config& config) {
+  TX_CHECK(config.reliability_bins >= 1 && config.score_bins >= 1,
+           "pq::configure: bin counts must be >= 1");
+  shard().streams.clear();
+  Globals& gl = g();
+  std::lock_guard<std::mutex> lock(gl.mu);
+  gl.config = config;
+  gl.streams.clear();
+}
+
+Config config() {
+  Globals& gl = g();
+  std::lock_guard<std::mutex> lock(gl.mu);
+  return gl.config;
+}
+
+void reset() {
+  shard().streams.clear();
+  Globals& gl = g();
+  std::lock_guard<std::mutex> lock(gl.mu);
+  gl.streams.clear();
+  gl.any_data.store(enabled(), std::memory_order_relaxed);
+}
+
+bool has_data() {
+  return enabled() || g().any_data.load(std::memory_order_relaxed);
+}
+
+StreamScope::StreamScope(std::string label) {
+  ThreadShard& sh = shard();
+  prev_ = std::move(sh.stream);
+  sh.stream = std::move(label);
+}
+
+StreamScope::~StreamScope() { shard().stream = std::move(prev_); }
+
+const std::string& current_stream() { return shard().stream; }
+
+void record_prediction(float confidence, double predictive_entropy,
+                       double aleatoric_entropy) {
+  if (!enabled()) return;
+  StreamStats& s = shard_stream();
+  s.examples += 1;
+  s.confidence_sum += confidence;
+  s.predictive_entropy_sum += predictive_entropy;
+  s.aleatoric_entropy_sum += aleatoric_entropy;
+  const int bins = static_cast<int>(s.score_bins.size());
+  int bin = static_cast<int>(confidence * bins);
+  bin = std::clamp(bin, 0, bins - 1);
+  s.score_bins[static_cast<std::size_t>(bin)] += 1;
+  // Lock-free live mirror so /metrics scrapes see a tx_pq_* histogram
+  // filling mid-run, not just the end-of-batch gauges.
+  registry()
+      .histogram("pq.confidence." + current_stream(),
+                 {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+      .record(confidence);
+}
+
+void record_outcome(float confidence, bool correct, float p_true,
+                    double brier) {
+  if (!enabled()) return;
+  StreamStats& s = shard_stream();
+  s.labeled += 1;
+  s.correct += correct ? 1 : 0;
+  // Same clamp and float log as tx::metrics::nll — bitwise contract.
+  s.nll_sum -= std::log(std::max(p_true, 1e-12f));
+  s.brier_sum += brier;
+  // Same bin rule as tx::metrics::calibration_curve: float*int truncation,
+  // clamped so confidence == 1.0 lands in the top bin.
+  const int bins = static_cast<int>(s.bin_count.size());
+  int bin = static_cast<int>(confidence * bins);
+  bin = std::clamp(bin, 0, bins - 1);
+  s.bin_confidence_sum[static_cast<std::size_t>(bin)] += confidence;
+  s.bin_accuracy_sum[static_cast<std::size_t>(bin)] += correct ? 1.0 : 0.0;
+  s.bin_count[static_cast<std::size_t>(bin)] += 1;
+}
+
+void record_sample_pool(std::int64_t mc_samples, double variance_sum,
+                        std::int64_t examples) {
+  if (!enabled()) return;
+  StreamStats& s = shard_stream();
+  s.sample_batches += 1;
+  s.mc_samples = mc_samples;
+  s.variance_sum += variance_sum;
+  s.variance_examples += examples;
+}
+
+void flush_thread_cache() { shard().flush(); }
+
+std::map<std::string, StreamStats> stream_table() {
+  shard().flush();
+  Globals& gl = g();
+  std::lock_guard<std::mutex> lock(gl.mu);
+  return gl.streams;
+}
+
+std::int64_t examples(const std::string& stream) {
+  return stats_for(stream).examples;
+}
+
+std::int64_t labeled(const std::string& stream) {
+  return stats_for(stream).labeled;
+}
+
+double streaming_ece(const std::string& stream) {
+  const StreamStats s = stats_for(stream);
+  if (s.labeled == 0) return 0.0;
+  // Bin-by-bin replica of tx::metrics::expected_calibration_error on the
+  // calibration_curve of the same data: per-bin means then a count-weighted
+  // |accuracy - confidence| sum, empty bins skipped.
+  const double n = static_cast<double>(s.labeled);
+  double ece = 0.0;
+  for (std::size_t b = 0; b < s.bin_count.size(); ++b) {
+    const std::int64_t count = s.bin_count[b];
+    if (count == 0) continue;
+    const double confidence =
+        s.bin_confidence_sum[b] / static_cast<double>(count);
+    const double accuracy = s.bin_accuracy_sum[b] / static_cast<double>(count);
+    ece += (static_cast<double>(count) / n) * std::fabs(accuracy - confidence);
+  }
+  return ece;
+}
+
+double streaming_nll(const std::string& stream) {
+  const StreamStats s = stats_for(stream);
+  if (s.labeled == 0) return 0.0;
+  return s.nll_sum / static_cast<double>(s.labeled);
+}
+
+double streaming_accuracy(const std::string& stream) {
+  const StreamStats s = stats_for(stream);
+  if (s.labeled == 0) return 0.0;
+  return static_cast<double>(s.correct) / static_cast<double>(s.labeled);
+}
+
+double streaming_brier(const std::string& stream) {
+  const StreamStats s = stats_for(stream);
+  if (s.labeled == 0) return 0.0;
+  return s.brier_sum / static_cast<double>(s.labeled);
+}
+
+double ood_auroc(const std::string& pos_stream,
+                 const std::string& neg_stream) {
+  return auroc_from_bins(stats_for(pos_stream).score_bins,
+                         stats_for(neg_stream).score_bins);
+}
+
+std::string section_json(const std::string& indent) {
+  if (!has_data()) return "";
+  const Config cfg = config();
+  const auto streams = stream_table();
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  const std::string in3 = in2 + "  ";
+  const std::string in4 = in3 + "  ";
+
+  std::string out = "{\n";
+  out += in1 + "\"schema\": \"tx.pq.v1\",\n";
+  out += in1 + "\"reliability_bins\": " + std::to_string(cfg.reliability_bins) +
+         ",\n";
+  out += in1 + "\"score_bins\": " + std::to_string(cfg.score_bins) + ",\n";
+
+  out += in1 + "\"streams\": {";
+  bool first = true;
+  for (const auto& [label, s] : streams) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += in2 + "\"" + escape_json(label) + "\": {\n";
+    out += in3 + "\"examples\": " + std::to_string(s.examples) + ",\n";
+    out += in3 + "\"labeled\": " + std::to_string(s.labeled) + ",\n";
+    out += in3 + "\"correct\": " + std::to_string(s.correct) + ",\n";
+    if (s.examples > 0) {
+      const double n = static_cast<double>(s.examples);
+      const double pred = s.predictive_entropy_sum;
+      const double alea = s.aleatoric_entropy_sum;
+      out += in3 + "\"confidence_mean\": " +
+             render_json_number(s.confidence_sum / n) + ",\n";
+      out += in3 + "\"entropy\": {\n";
+      out += in4 + "\"predictive_sum\": " + render_json_number(pred) + ",\n";
+      out += in4 + "\"aleatoric_sum\": " + render_json_number(alea) + ",\n";
+      out += in4 + "\"predictive_mean\": " + render_json_number(pred / n) +
+             ",\n";
+      out += in4 + "\"aleatoric_mean\": " + render_json_number(alea / n) +
+             ",\n";
+      // Epistemic (mutual information) is the difference of the sums, so
+      // aleatoric_mean + epistemic_mean == predictive_mean to the rounding
+      // of one division — validate_bench.py holds this to a ulp-scaled tol.
+      out += in4 + "\"epistemic_mean\": " +
+             render_json_number((pred - alea) / n) + "\n";
+      out += in3 + "},\n";
+    }
+    if (s.labeled > 0) {
+      out += in3 + "\"accuracy\": " +
+             render_json_number(static_cast<double>(s.correct) /
+                                static_cast<double>(s.labeled)) +
+             ",\n";
+      out += in3 + "\"nll\": " +
+             render_json_number(s.nll_sum /
+                                static_cast<double>(s.labeled)) +
+             ",\n";
+      out += in3 + "\"brier\": " +
+             render_json_number(s.brier_sum /
+                                static_cast<double>(s.labeled)) +
+             ",\n";
+      out += in3 + "\"ece\": " + render_json_number(streaming_ece(label)) +
+             ",\n";
+    }
+    if (s.sample_batches > 0) {
+      out += in3 + "\"mc_samples\": " + std::to_string(s.mc_samples) + ",\n";
+      out += in3 + "\"sample_batches\": " + std::to_string(s.sample_batches) +
+             ",\n";
+      out += in3 + "\"across_sample_variance_mean\": " +
+             render_json_number(
+                 s.variance_examples > 0
+                     ? s.variance_sum /
+                           static_cast<double>(s.variance_examples)
+                     : 0.0) +
+             ",\n";
+    }
+    out += in3 + "\"reliability\": [";
+    for (std::size_t b = 0; b < s.bin_count.size(); ++b) {
+      if (b > 0) out += ", ";
+      const double le = static_cast<double>(b + 1) /
+                        static_cast<double>(cfg.reliability_bins);
+      out += "{\"le\": " + render_json_number(le);
+      out += ", \"count\": " + std::to_string(s.bin_count[b]);
+      out += ", \"confidence_sum\": " +
+             render_json_number(s.bin_confidence_sum[b]);
+      out += ", \"accuracy_sum\": " + render_json_number(s.bin_accuracy_sum[b]);
+      out += "}";
+    }
+    out += "],\n";
+    out += in3 + "\"scores\": [";
+    for (std::size_t b = 0; b < s.score_bins.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(s.score_bins[b]);
+    }
+    out += "]\n";
+    out += in2 + "}";
+  }
+  out += (first ? "" : "\n" + in1) + "},\n";
+
+  out += in1 + "\"ood\": {";
+  first = true;
+  for (const auto& [label, s] : streams) {
+    const std::string prefix = test_prefix_of(label);
+    if (prefix.empty()) continue;
+    const auto ood_it = streams.find(prefix + "/ood");
+    if (ood_it == streams.end()) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    // OOD examples are the positives: an OOD detector scores *low*
+    // max-probability as suspicious, so AUROC is P(test score > ood score).
+    out += in2 + "\"" + escape_json(prefix) + "\": " +
+           render_json_number(
+               auroc_from_bins(s.score_bins, ood_it->second.score_bins));
+  }
+  out += (first ? "" : "\n" + in1) + "}\n";
+  out += indent + "}";
+  return out;
+}
+
+#endif  // !TX_OBS_DISABLED
+
+void publish(MetricsRegistry& reg) {
+  const auto streams = stream_table();
+  reg.gauge("pq.streams").set(static_cast<double>(streams.size()));
+  for (const auto& [label, s] : streams) {
+    reg.gauge("pq.examples." + label).set(static_cast<double>(s.examples));
+    if (s.examples > 0) {
+      const double n = static_cast<double>(s.examples);
+      reg.gauge("pq.confidence_mean." + label).set(s.confidence_sum / n);
+      reg.gauge("pq.entropy.predictive." + label)
+          .set(s.predictive_entropy_sum / n);
+      reg.gauge("pq.entropy.aleatoric." + label)
+          .set(s.aleatoric_entropy_sum / n);
+      reg.gauge("pq.entropy.epistemic." + label)
+          .set((s.predictive_entropy_sum - s.aleatoric_entropy_sum) / n);
+    }
+    reg.gauge("pq.labeled." + label).set(static_cast<double>(s.labeled));
+    if (s.labeled > 0) {
+      reg.gauge("pq.accuracy." + label).set(streaming_accuracy(label));
+      reg.gauge("pq.nll." + label).set(streaming_nll(label));
+      reg.gauge("pq.brier." + label).set(streaming_brier(label));
+      reg.gauge("pq.ece." + label).set(streaming_ece(label));
+    }
+    if (s.sample_batches > 0) {
+      reg.gauge("pq.mc_samples." + label)
+          .set(static_cast<double>(s.mc_samples));
+    }
+    const std::string prefix = test_prefix_of(label);
+    if (!prefix.empty() && streams.count(prefix + "/ood") > 0) {
+      reg.gauge("pq.ood_auroc." + prefix)
+          .set(ood_auroc(label, prefix + "/ood"));
+    }
+  }
+}
+
+}  // namespace tx::obs::pq

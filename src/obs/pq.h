@@ -1,0 +1,235 @@
+// Streaming predictive-quality telemetry: online calibration, uncertainty
+// decomposition, and OOD monitoring on the posterior-predictive path.
+//
+// The rest of the obs stack (trace/diag/prof/live) watches training-time
+// health; this layer watches the *predictions* — the paper's actual
+// deliverable (Fig 2 calibration curves, Table 1 NLL/ECE/OOD rows). It is
+// off by default (one relaxed atomic load per hook while disabled;
+// -DTX_OBS_DISABLED compiles everything away) and is enabled by the shared
+// bench flag `--pq` / TYXE_PQ (obs/flags.h).
+//
+// Feeds arrive as per-example scalars — tx_obs is tensor-free by design
+// (it links tx_util only), so the tensor-to-scalar reductions live in the
+// callers: metrics/pq_feed.h reduces probability tables and posterior
+// sample stacks, and SupervisedBNN::predict/evaluate route through the
+// likelihood's record_predictive_quality hook. Examples land in the calling
+// thread's *stream*, a label installed with StreamScope ("predict" when no
+// scope is open); fig2/table1 label per-strategy test and OOD streams
+// ("MF/test", "MF/ood", ...).
+//
+// Every accumulator is one-pass and exactly mergeable:
+//
+//  * Reliability bins — fixed equal-width confidence bins carrying
+//    (confidence_sum, accuracy_sum, count), accumulated with *bitwise* the
+//    same arithmetic as tx::metrics::calibration_curve, so the streaming
+//    ECE equals the batch expected_calibration_error exactly on the same
+//    stream (CI-enforced by the fig2 --pq leg and pq_test).
+//  * Streaming NLL / Brier / accuracy — per-example terms replicate the
+//    batch metrics' float clamps and summation order, same bitwise
+//    contract.
+//  * Predictive-entropy decomposition — per example, predictive entropy
+//    H[mean_s p_s] splits into aleatoric (mean_s H[p_s]) plus epistemic
+//    (mutual information); epistemic is derived at snapshot time as the
+//    difference of the two sums, so the identity holds to rounding of one
+//    division.
+//  * OOD-score histograms — fixed-bin max-probability counts per stream;
+//    a binned Mann-Whitney AUROC (ties count half within a bin) is derived
+//    at snapshot time for every "<p>/test" vs "<p>/ood" stream pair.
+//  * Posterior-sample-pool health — MC sample count and mean across-sample
+//    variance of the class probabilities.
+//
+// Updates land in a per-thread shard; tx::par workers flush their shard
+// into the global table before a parallel job completes (same
+// drain-before-completion pattern as the prof churn shards), so aggregates
+// are complete once a parallel region returns. Merging is addition on
+// integers and double sums: integer fields are bitwise-identical at every
+// TYXE_NUM_THREADS unconditionally, and the double sums are too whenever
+// each stream is fed from one thread in a fixed order — which is how every
+// in-tree feeder (the predict path) works.
+//
+// The layer serializes as a "pq" section (schema tx.pq.v1) inside tx.obs.v1
+// snapshots, and publish() mirrors headline aggregates as pq.* registry
+// gauges (plus a live pq.confidence.<stream> histogram recorded per
+// example) for the Prometheus /metrics endpoint. This is the quality
+// surface the tx::serve arc and VCL shadow-evaluation plug into. See
+// docs/observability.md ("Predictive quality").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tx::obs {
+class MetricsRegistry;
+}  // namespace tx::obs
+
+namespace tx::obs::pq {
+
+/// Accumulator shape; reliability_bins must match the `num_bins` of the
+/// batch tx::metrics calls for the bitwise-ECE contract to hold (both
+/// default to 10). Reconfiguring drops recorded data.
+struct Config {
+  int reliability_bins = 10;
+  int score_bins = 64;
+};
+
+/// One stream's accumulators. All fields merge by addition, except
+/// mc_samples (last batch's sample count; merges by max across shards).
+struct StreamStats {
+  // Label-free prediction feed (record_prediction).
+  std::int64_t examples = 0;
+  double confidence_sum = 0.0;
+  double predictive_entropy_sum = 0.0;
+  double aleatoric_entropy_sum = 0.0;
+  std::vector<std::int64_t> score_bins;  // max-prob histogram, equal width
+
+  // Labelled outcome feed (record_outcome).
+  std::int64_t labeled = 0;
+  std::int64_t correct = 0;
+  double nll_sum = 0.0;    // sum of -log(max(p_true, 1e-12f))
+  double brier_sum = 0.0;  // sum of per-example squared one-hot error
+  std::vector<double> bin_confidence_sum;  // reliability bins
+  std::vector<double> bin_accuracy_sum;
+  std::vector<std::int64_t> bin_count;
+
+  // Posterior-sample-pool health (record_sample_pool).
+  std::int64_t sample_batches = 0;
+  std::int64_t mc_samples = 0;
+  double variance_sum = 0.0;  // across-sample variance, summed per example
+  std::int64_t variance_examples = 0;
+};
+
+#ifndef TX_OBS_DISABLED
+
+/// Master switch. Defaults to off; while off every record hook below is one
+/// relaxed atomic load and an early return.
+bool enabled();
+void set_enabled(bool on);
+
+/// Replace the accumulator shape. Drops all recorded data (streams are
+/// re-binned from scratch); do not call while a parallel region is live.
+void configure(const Config& config);
+Config config();
+
+/// Drop every stream (benches and tests call this between phases; do not
+/// call while a parallel region is live). Keeps the enabled flag and config.
+void reset();
+
+/// True once anything was recorded (or pq is currently enabled) — gates
+/// whether write_snapshot emits a "pq" section at all.
+bool has_data();
+
+// ---- stream labels ---------------------------------------------------------
+
+/// RAII stream label for the calling thread; record hooks attribute to the
+/// innermost open scope ("predict" when none). Labels nest like spans.
+class StreamScope {
+ public:
+  explicit StreamScope(std::string label);
+  ~StreamScope();
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// The calling thread's current stream label.
+const std::string& current_stream();
+
+// ---- record hooks (per-example scalars; see metrics/pq_feed.h) -------------
+
+/// One label-free prediction: `confidence` is the max aggregated-mean class
+/// probability (float, to replicate the batch metrics' arithmetic),
+/// `predictive_entropy` is H of the mean distribution and
+/// `aleatoric_entropy` the mean per-sample entropy; epistemic (mutual
+/// information) is derived as their difference at snapshot time.
+void record_prediction(float confidence, double predictive_entropy,
+                       double aleatoric_entropy);
+
+/// One labelled outcome. `confidence` and `correct` must follow the batch
+/// metrics' first-max argmax rule, `p_true` is the aggregated probability of
+/// the true class, and `brier` the per-example squared one-hot error — the
+/// accumulation replicates tx::metrics::{calibration_curve,nll,accuracy}
+/// bitwise.
+void record_outcome(float confidence, bool correct, float p_true,
+                    double brier);
+
+/// Posterior-sample-pool health for one predicted batch: the MC sample
+/// count behind it and the across-sample variance of the class
+/// probabilities, summed over the batch's `examples`.
+void record_sample_pool(std::int64_t mc_samples, double variance_sum,
+                        std::int64_t examples);
+
+/// Merge this thread's shard into the global table. tx::par calls this from
+/// every chunk before completion is signalled; readers flush the calling
+/// thread themselves. Cheap no-op when the shard is empty.
+void flush_thread_cache();
+
+// ---- aggregates ------------------------------------------------------------
+
+/// All streams (flushes the calling thread's shard first).
+std::map<std::string, StreamStats> stream_table();
+
+/// Derived one-stream scalars, replicating the batch metrics' final
+/// arithmetic so equality with tx::metrics is bitwise on the same data.
+/// Zero for an unknown or empty stream.
+std::int64_t examples(const std::string& stream);
+std::int64_t labeled(const std::string& stream);
+double streaming_ece(const std::string& stream);
+double streaming_nll(const std::string& stream);
+double streaming_accuracy(const std::string& stream);
+double streaming_brier(const std::string& stream);
+
+/// Binned Mann-Whitney AUROC of `pos_stream` scores over `neg_stream`
+/// scores (ties within a bin count half). Zero when either stream has no
+/// scores. A binned estimate — it approaches tx::metrics::auroc as
+/// score_bins grows but is not bitwise-comparable to it.
+double ood_auroc(const std::string& pos_stream, const std::string& neg_stream);
+
+/// The "pq" snapshot section (schema tx.pq.v1) as a pre-rendered JSON
+/// object, or "" when has_data() is false. `indent` is the prefix of nested
+/// lines when embedding into a larger document.
+std::string section_json(const std::string& indent = "  ");
+
+#else  // TX_OBS_DISABLED: every hook compiles to nothing.
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline void configure(const Config&) {}
+inline Config config() { return {}; }
+inline void reset() {}
+inline bool has_data() { return false; }
+class StreamScope {
+ public:
+  explicit StreamScope(const std::string&) {}
+};
+inline const std::string& current_stream() {
+  static const std::string kDefault = "predict";
+  return kDefault;
+}
+inline void record_prediction(float, double, double) {}
+inline void record_outcome(float, bool, float, double) {}
+inline void record_sample_pool(std::int64_t, double, std::int64_t) {}
+inline void flush_thread_cache() {}
+inline std::map<std::string, StreamStats> stream_table() { return {}; }
+inline std::int64_t examples(const std::string&) { return 0; }
+inline std::int64_t labeled(const std::string&) { return 0; }
+inline double streaming_ece(const std::string&) { return 0.0; }
+inline double streaming_nll(const std::string&) { return 0.0; }
+inline double streaming_accuracy(const std::string&) { return 0.0; }
+inline double streaming_brier(const std::string&) { return 0.0; }
+inline double ood_auroc(const std::string&, const std::string&) { return 0.0; }
+inline std::string section_json(const std::string& = "  ") { return ""; }
+
+#endif
+
+/// Mirror headline aggregates into `reg` as gauges: "pq.streams" plus
+/// per-stream "pq.examples.<s>" / "pq.ece.<s>" / "pq.nll.<s>" / ... and
+/// "pq.ood_auroc.<prefix>" per test/ood pair. The feeders call this at the
+/// end of every observed batch so live /metrics scrapes stay fresh;
+/// write_snapshot calls it when has_data().
+void publish(MetricsRegistry& reg);
+
+}  // namespace tx::obs::pq

@@ -10,6 +10,7 @@
 
 #include "obs/event_sink.h"
 #include "obs/manifest.h"
+#include "obs/pq.h"
 #include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
@@ -100,9 +101,11 @@ struct Job {
                                                 .to_json()
                                           : std::string());
           body(b, e);
-          // Merge this thread's churn shard before completion is counted:
-          // once the caller wakes from wait() the aggregates must be final.
+          // Merge this thread's churn and predictive-quality shards before
+          // completion is counted: once the caller wakes from wait() the
+          // aggregates must be final.
           obs::prof::flush_thread_cache();
+          obs::pq::flush_thread_cache();
         } catch (...) {
           bool expected = false;
           if (failed.compare_exchange_strong(expected, true,

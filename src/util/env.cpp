@@ -27,6 +27,8 @@ const std::vector<Var>& known_vars() {
       {"TYXE_OBS_HTTP", "",
        "live telemetry HTTP port (/metrics, /healthz, /snapshot, /manifest); "
        "off|0 disables, auto = ephemeral"},
+      {"TYXE_PQ", "0",
+       "enable streaming predictive-quality telemetry (tx::obs::pq)"},
       {"TYXE_PROF", "0",
        "enable the kernel roofline / allocator-churn profiler"},
       {"TYXE_SANITIZE", "",

@@ -107,6 +107,59 @@ TEST(Metrics, ValidationErrors) {
   EXPECT_THROW(nll(probs, bad_labels), Error);
 }
 
+TEST(Auroc, AllTiedScoresGiveHalf) {
+  // Every comparison is a tie -> U counts half per pair -> exactly 0.5.
+  EXPECT_EQ(auroc({0.3, 0.3, 0.3}, {0.3, 0.3}), 0.5);
+}
+
+TEST(Auroc, EmptySidesThrowEitherWay) {
+  EXPECT_THROW(auroc({1.0}, {}), Error);
+  EXPECT_THROW(auroc({}, {}), Error);
+}
+
+TEST(EmpiricalCdf, EmptyValuesThrow) {
+  EXPECT_THROW(empirical_cdf({}, {0.0, 1.0}), Error);
+}
+
+TEST(Calibration, SingleBinConcentration) {
+  // All four max-probs land in bin 7 of 10 ([0.7, 0.8)): one populated bin
+  // with confidence mean 0.75 and accuracy 0.5, so ECE = |0.5 - 0.75|.
+  Tensor probs(Shape{4, 2}, {0.72f, 0.28f, 0.74f, 0.26f, 0.76f, 0.24f, 0.78f,
+                             0.22f});
+  Tensor labels(Shape{4}, {1.0f, 0.0f, 0.0f, 1.0f});
+  const auto bins = calibration_curve(probs, labels, 10);
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    EXPECT_EQ(bins[b].count, b == 7 ? 4 : 0);
+  }
+  EXPECT_DOUBLE_EQ(bins[7].accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(bins[7].confidence, 0.75);
+  EXPECT_DOUBLE_EQ(expected_calibration_error(probs, labels, 10), 0.25);
+}
+
+TEST(Metrics, NllClampsZeroProbabilityTrueClass) {
+  // p(true class) == 0 is clamped to 1e-12, keeping the NLL finite.
+  Tensor probs(Shape{1, 2}, {1.0f, 0.0f});
+  Tensor labels(Shape{1}, {1.0f});
+  const double v = nll(probs, labels);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(v, -std::log(1e-12f));
+}
+
+TEST(Metrics, BrierScoreHandValue) {
+  // Example 0, label 0: (0.8-1)^2 + 0.2^2 = 0.08.
+  // Example 1, label 1: 0.7^2 + (0.3-1)^2 = 0.98. Mean = 0.53.
+  Tensor probs(Shape{2, 2}, {0.8f, 0.2f, 0.7f, 0.3f});
+  Tensor labels(Shape{2}, {0.0f, 1.0f});
+  EXPECT_NEAR(brier_score(probs, labels), 0.53, 1e-6);
+  // Perfect one-hot prediction scores 0; maximally wrong scores 2.
+  Tensor onehot(Shape{1, 2}, {1.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(brier_score(onehot, zeros({1})), 0.0);
+  Tensor wrong_label(Shape{1}, {1.0f});
+  EXPECT_DOUBLE_EQ(brier_score(onehot, wrong_label), 2.0);
+  Tensor bad_label(Shape{1}, {3.0f});
+  EXPECT_THROW(brier_score(onehot, bad_label), Error);
+}
+
 class EceProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(EceProperty, BoundedAndBinCountStable) {
