@@ -104,11 +104,26 @@ int main(int argc, char** argv) {
       checkpoint_path = argv[++i];
     }
   }
-  // Resilient runs opt into the TYXE_FAULT injection harness, so CI can
-  // exercise NaN-gradient rollback and failed-checkpoint-write handling on
-  // this exact workload (fault plans are inert without the env var).
-  if (checkpoint_every > 0 && tx::fault::install_from_env()) {
+  // Resilient and watchdog runs opt into the TYXE_FAULT injection harness,
+  // so CI can exercise NaN-gradient rollback, failed-checkpoint-write
+  // handling, and stall detection on this exact workload (fault plans are
+  // inert without the env var).
+  if ((checkpoint_every > 0 || obs_flags.watchdog) &&
+      tx::fault::install_from_env()) {
     std::printf("fault plan installed from TYXE_FAULT\n");
+  }
+
+  // --watchdog / TYXE_WATCHDOG: monitor the driver heartbeat for the whole
+  // run; a stall (TYXE_HEALTH_STALE_S) produces a tx.diag.forensic.v1 dump
+  // and flips /healthz to 503 until the heartbeat recovers. A short poll
+  // interval keeps the CI guard leg (sub-second thresholds) responsive.
+  tx::obs::Watchdog watchdog(
+      {tx::obs::live::default_staleness_seconds(),
+       /*poll_interval_seconds=*/0.1, /*escalate_cancel=*/false});
+  if (obs_flags.watchdog) {
+    watchdog.start();
+    std::printf("watchdog: monitoring heartbeat (stale after %.1fs)\n",
+                tx::obs::live::default_staleness_seconds());
   }
 
   // Diagnostics (per-site variational drift/KL, gradient SNR, per-site

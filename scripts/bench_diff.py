@@ -127,13 +127,34 @@ def classify(path):
     return "COUNT"
 
 
-def load(path):
+def load(path, role="current"):
+    """Parse one tx.obs.v1 snapshot. `role` ("baseline" or "current") shapes
+    the error message: a missing/corrupt committed baseline is an operator
+    problem with a known fix (refresh it), not a bench failure, and the exit
+    message must say so instead of a bare traceback-ish one-liner."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
+        if role == "baseline":
+            raise SystemExit(
+                f"bench_diff: baseline snapshot {path} is missing or "
+                f"unparseable ({e}).\n"
+                "  The baseline is the committed reference the perf gate "
+                "compares against; without it no comparison can run.\n"
+                "  Fix: regenerate and commit it with "
+                "scripts/refresh_baselines.sh, or pass the correct "
+                "baseline path as the first argument."
+            )
         raise SystemExit(f"bench_diff: {path}: unreadable or invalid JSON ({e})")
     if not isinstance(doc, dict) or doc.get("schema") != "tx.obs.v1":
+        if role == "baseline":
+            raise SystemExit(
+                f"bench_diff: baseline snapshot {path} is not a tx.obs.v1 "
+                "document.\n"
+                "  Fix: regenerate it with scripts/refresh_baselines.sh "
+                "(it may predate a schema change or point at the wrong file)."
+            )
         raise SystemExit(f"bench_diff: {path}: not a tx.obs.v1 snapshot")
     return doc
 
@@ -210,7 +231,7 @@ def main(argv):
                     help="print violations/warnings only, no per-metric OK lines")
     args = ap.parse_args(argv[1:])
 
-    base_doc = load(args.baseline)
+    base_doc = load(args.baseline, role="baseline")
     current_docs = [load(p) for p in args.current]
     base = flatten(base_doc)
     currents = [flatten(doc) for doc in current_docs]

@@ -6,6 +6,7 @@
 #   SKIP_ASAN=1 scripts/check.sh       # tier-1 only
 #   BUILD_DIR=out scripts/check.sh     # use a different build tree
 #   SANITIZE=thread scripts/check.sh   # TSan instead of ASan for the san pass
+#   REQUIRE_BENCH=1 scripts/check.sh   # zero BENCH_*.json snapshots = failure
 #
 # An existing CMake cache in ${BUILD_DIR} is reused as-is (no reconfigure),
 # so repeated runs — and CI with a restored cache — skip configure entirely.
@@ -33,7 +34,20 @@ if [[ "${#BENCH_JSON[@]}" -gt 0 ]]; then
   echo "check.sh: validating ${#BENCH_JSON[@]} BENCH snapshot(s)"
   python3 scripts/validate_bench.py "${BENCH_JSON[@]}"
 else
-  echo "check.sh: no BENCH_*.json under ${BUILD_DIR} (no benches ran); skipping"
+  # An empty find must never silently pass when snapshots were expected:
+  # either the caller demanded them (REQUIRE_BENCH=1, the CI bench legs) or
+  # bench event streams prove a bench ran but failed to write its snapshot.
+  mapfile -t BENCH_STREAMS < <(find "${BUILD_DIR}" -name 'BENCH_*.jsonl' -type f | sort)
+  if [[ "${REQUIRE_BENCH:-0}" == "1" || "${#BENCH_STREAMS[@]}" -gt 0 ]]; then
+    echo "check.sh: FAIL: zero BENCH_*.json under ${BUILD_DIR} to validate" >&2
+    if [[ "${#BENCH_STREAMS[@]}" -gt 0 ]]; then
+      echo "check.sh: ${#BENCH_STREAMS[@]} BENCH_*.jsonl event stream(s) exist (e.g. ${BENCH_STREAMS[0]}), so a bench ran without producing its snapshot" >&2
+    else
+      echo "check.sh: REQUIRE_BENCH=1 is set but no bench wrote a snapshot; run the bench targets first" >&2
+    fi
+    exit 1
+  fi
+  echo "check.sh: no BENCH_*.json under ${BUILD_DIR} (no benches ran); set REQUIRE_BENCH=1 to make this an error"
 fi
 
 # --- sanitizer pass: the obs registry/timer code and the tx::par pool are

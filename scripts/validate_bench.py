@@ -74,6 +74,7 @@ RESIL_COUNTERS = {
     "resil.svi.resumes",
     "resil.svi.rollbacks",
     "resil.svi.retries_exhausted",
+    "resil.svi.budget_stops",
     "resil.mcmc.resumes",
     "resil.mcmc.restarts",
     "resil.ckpt.snapshots",
@@ -485,6 +486,13 @@ def validate_pq_section(path, pq):
             v = s.get("across_sample_variance_mean")
             if not is_number(v) or v < 0:
                 err(f"stream '{name}' 'across_sample_variance_mean' invalid: {v!r}")
+
+        # Guard degradation marker: emitted only when at least one batch was
+        # budget-truncated, so a present key must be a positive integer.
+        if "degraded_batches" in s:
+            v = s["degraded_batches"]
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                err(f"stream '{name}' 'degraded_batches' is not a positive integer: {v!r}")
 
     ood = pq.get("ood")
     if not isinstance(ood, dict):

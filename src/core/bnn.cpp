@@ -6,6 +6,7 @@
 #include "obs/pq.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "resil/guard.h"
 
 namespace tyxe {
 
@@ -19,6 +20,65 @@ void touch_predict_heartbeat() {
   tx::obs::registry()
       .gauge("obs.heartbeat_seconds")
       .set(tx::obs::now_seconds());
+  if (tx::guard::watchdog_interested()) {
+    tx::guard::note_liveness(tx::obs::current_span_path());
+  }
+}
+
+/// Draw up to `num_predictions` posterior samples via `draw_fn`, degrading
+/// gracefully when the installed guard budget expires: the loop stops at the
+/// sample boundary (or when a mid-sample hook threw guard::Cancelled) and
+/// the prefix of completed draws is what gets aggregated. Sample 0 always
+/// runs — an empty prediction is not a degradation, so a budget that is
+/// already spent before the first draw only truncates to k = 1 (a hard
+/// cancel mid-sample-0 still propagates). Publishes the DegradedResult for
+/// the caller to pick up via guard::last_predict_status().
+template <typename DrawFn>
+std::vector<tx::Tensor> draw_guarded(int num_predictions, DrawFn&& draw_fn) {
+  std::vector<tx::Tensor> draws;
+  draws.reserve(static_cast<std::size_t>(num_predictions));
+  const bool guarded = tx::guard::active();
+  tx::guard::DegradedResult status;
+  status.requested = num_predictions;
+  for (int i = 0; i < num_predictions; ++i) {
+    if (guarded && tx::guard::begin_sample("predict.sample") && i > 0) {
+      status.degraded = true;
+      status.reason = tx::guard::current()->exhausted();
+      break;
+    }
+    try {
+      draws.push_back(draw_fn());
+    } catch (const tx::guard::Cancelled& c) {
+      if (draws.empty()) throw;
+      status.degraded = true;
+      status.reason = c.reason();
+      break;
+    }
+  }
+  if (guarded) {
+    status.completed = static_cast<int>(draws.size());
+    status.elapsed_seconds = tx::guard::current()->elapsed_seconds();
+    tx::guard::set_last_predict_status(status);
+    if (status.degraded && tx::obs::enabled()) {
+      auto& reg = tx::obs::registry();
+      reg.counter("guard.predict.degraded").add(1);
+      reg.counter("guard.predict.samples_dropped")
+          .add(status.requested - status.completed);
+    }
+  }
+  return draws;
+}
+
+/// pq degraded-batch tagging: quality streams must never silently mix a
+/// truncated batch into full-quality aggregates.
+void tag_degraded_pq_batch() {
+  // The active() gate keeps this inert without a budget AND prevents a stale
+  // thread-local status (from an earlier guarded predict) from tagging an
+  // unguarded batch; every guarded predict republishes its status first.
+  if (!tx::obs::pq::enabled() || !tx::guard::active()) return;
+  if (tx::guard::last_predict_status().degraded) {
+    tx::obs::pq::record_degraded_batch();
+  }
 }
 
 /// Owner module path of a parameter slot ("" for root-owned parameters).
@@ -178,6 +238,7 @@ std::pair<double, double> SupervisedBNN::evaluate(
   const double err = likelihood_->error(aggregated, targets).item();
   if (tx::obs::pq::enabled()) {
     likelihood_->record_predictive_quality(stacked, aggregated, &targets);
+    tag_degraded_pq_batch();
   }
   return {ll, err};
 }
@@ -280,18 +341,19 @@ Tensor VariationalBNN::predict(const std::vector<Tensor>& inputs,
                                int num_predictions, bool aggregate) {
   TX_CHECK(num_predictions >= 1, "predict: num_predictions must be >= 1");
   tx::NoGradGuard ng;
-  std::vector<Tensor> draws;
-  draws.reserve(static_cast<std::size_t>(num_predictions));
-  for (int i = 0; i < num_predictions; ++i) {
-    // The likelihood guide (if any) plays no role in the network forward.
-    draws.push_back(guided_forward(inputs).detach());
-  }
+  // Sequential draws: a budget-truncated run aggregates exactly the k draws
+  // an honest num_predictions=k run would make (same seed, same RNG stream
+  // prefix), which is the bitwise prefix-truncation contract guard_test
+  // pins down. The likelihood guide (if any) plays no role in the forward.
+  std::vector<Tensor> draws = draw_guarded(
+      num_predictions, [&] { return guided_forward(inputs).detach(); });
   Tensor stacked = tx::stack(draws, 0);
   touch_predict_heartbeat();
   if (aggregate) {
     Tensor aggregated = likelihood_->aggregate_predictions(stacked);
     if (tx::obs::pq::enabled()) {
       likelihood_->record_predictive_quality(stacked, aggregated, nullptr);
+      tag_degraded_pq_batch();
     }
     return aggregated;
   }
@@ -325,24 +387,28 @@ Tensor MCMC_BNN::predict(const std::vector<Tensor>& inputs,
                          int num_predictions, bool aggregate) {
   TX_CHECK(mcmc_ != nullptr, "MCMC_BNN::predict: call fit() first");
   tx::NoGradGuard ng;
-  std::vector<Tensor> draws;
   const std::size_t stored = mcmc_->num_samples();
-  // Spread the requested predictions across the stored chain.
-  for (int i = 0; i < num_predictions; ++i) {
-    const std::size_t idx =
-        (static_cast<std::size_t>(i) * stored) /
-        static_cast<std::size_t>(num_predictions);
+  // Spread the requested predictions across the stored chain. A budget
+  // truncation keeps the first k draws of *this* spread — deterministic,
+  // but (unlike VariationalBNN) not bitwise-equal to an honest k-run,
+  // because the chain indices depend on num_predictions (docs/robustness.md
+  // spells out the contract difference).
+  int i = 0;
+  std::vector<Tensor> draws = draw_guarded(num_predictions, [&] {
+    const std::size_t idx = (static_cast<std::size_t>(i++) * stored) /
+                            static_cast<std::size_t>(num_predictions);
     auto values = mcmc_->sample_at(idx);
     tx::ppl::ConditionMessenger cond(values);
     tx::ppl::HandlerScope scope(cond);
-    draws.push_back(sampled_forward(inputs).detach());
-  }
+    return sampled_forward(inputs).detach();
+  });
   Tensor stacked = tx::stack(draws, 0);
   touch_predict_heartbeat();
   if (aggregate) {
     Tensor aggregated = likelihood_->aggregate_predictions(stacked);
     if (tx::obs::pq::enabled()) {
       likelihood_->record_predictive_quality(stacked, aggregated, nullptr);
+      tag_degraded_pq_batch();
     }
     return aggregated;
   }
@@ -359,6 +425,7 @@ std::pair<double, double> MCMC_BNN::evaluate(const std::vector<Tensor>& inputs,
   const double err = likelihood_->error(aggregated, targets).item();
   if (tx::obs::pq::enabled()) {
     likelihood_->record_predictive_quality(stacked, aggregated, &targets);
+    tag_degraded_pq_batch();
   }
   return {ll, err};
 }

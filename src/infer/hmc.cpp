@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "resil/guard.h"
 #include "tensor/alloc.h"
 #include "util/textio.h"
 
@@ -309,6 +310,10 @@ void HMC::leapfrog(std::vector<double>& q, std::vector<double>& p,
                      : std::string());
   // grad holds dU/dq at the current q on entry and on exit.
   for (int s = 0; s < steps; ++s) {
+    // Per-leapfrog budget checkpoint: exhausted budgets abandon the
+    // trajectory here (the finest useful granularity — one step is one
+    // model gradient).
+    guard::check_expiry("hmc.leapfrog");
     for (std::size_t i = 0; i < p.size(); ++i) p[i] -= 0.5 * eps * grad[i];
     if (inv_mass_.empty()) {
       for (std::size_t i = 0; i < q.size(); ++i) q[i] += eps * p[i];

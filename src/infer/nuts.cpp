@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "resil/guard.h"
 
 namespace tx::infer {
 
@@ -34,7 +35,9 @@ NUTS::Tree NUTS::build_tree(const std::vector<double>& q,
                             int direction, int depth, double eps, double h0) {
   Generator& g = gen_ ? *gen_ : global_generator();
   if (depth == 0) {
-    // One leapfrog step in the chosen direction.
+    // One leapfrog step in the chosen direction; same per-leapfrog budget
+    // checkpoint as HMC::leapfrog.
+    guard::check_expiry("nuts.leapfrog");
     std::vector<double> q1 = q, p1 = p, grad1 = grad;
     const double step = direction * eps;
     for (std::size_t i = 0; i < p1.size(); ++i) p1[i] -= 0.5 * step * grad1[i];

@@ -7,6 +7,7 @@
 
 #include "obs/obs.h"
 #include "resil/fault.h"
+#include "resil/guard.h"
 #include "tensor/alloc.h"
 
 namespace tx::infer {
@@ -24,6 +25,13 @@ SVI::SVI(Program model, Program guide, std::shared_ptr<Optimizer> optimizer,
 }
 
 double SVI::step() {
+  // Budget checkpoint: an exhausted budget (deadline, step cap, cancel)
+  // throws guard::Cancelled before any state is touched, so a cancelled
+  // step is always a clean no-op. The stall site lets fault plans wedge the
+  // driver mid-run to exercise the watchdog.
+  fault::check_stall("svi.step");
+  guard::begin_step("svi.step");
+
   const bool instrument = obs::enabled() || callback_;
   const bool diag_on = obs::diag::enabled();
   const double t0 = instrument ? obs::now_seconds() : 0.0;
@@ -111,6 +119,11 @@ double SVI::step() {
       // the heartbeat feeds the live server's /healthz staleness check.
       reg.log_histogram("svi.step_seconds").record(info.seconds);
       reg.gauge("obs.heartbeat_seconds").set(obs::now_seconds());
+      if (guard::watchdog_interested()) {
+        // Record where liveness was last confirmed so a later stall can be
+        // blamed on the span that stopped pulsing.
+        guard::note_liveness(obs::current_span_path());
+      }
     }
     if (callback_) callback_(info);
   }

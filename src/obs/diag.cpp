@@ -114,8 +114,12 @@ void push_record(State& s, std::string json) {
 /// Write the forensic bundle: header + ring (oldest first) + offending
 /// values. Called with the state mutex held; failures never throw.
 void dump_bundle(State& s, const std::string& reason, const std::string& site,
-                 Event detail, const std::vector<double>& values) {
-  if (s.dumps >= static_cast<std::int64_t>(s.cfg.max_forensic_dumps)) return;
+                 Event detail, const std::vector<double>& values,
+                 bool force = false) {
+  if (!force &&
+      s.dumps >= static_cast<std::int64_t>(s.cfg.max_forensic_dumps)) {
+    return;
+  }
   // last_* describe the forensic bundle, so they freeze with the first dump
   // — the first failure is the one worth reading, and later cascade trips
   // (a NaN site usually drags loss and gradients down with it) only count.
@@ -446,6 +450,21 @@ std::string last_offending_site() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   return s.last_site;
+}
+
+bool force_forensic_dump(const std::string& reason,
+                         const std::string& blame_site) {
+  // No enabled() gate and force=true: an external failure detector's one
+  // trigger must produce a bundle even when the flight recorder never ran or
+  // an earlier NaN trip already spent max_forensic_dumps.
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::int64_t before = s.dumps;
+  Event detail;
+  detail.set("reason", reason).set("blame_site", blame_site).set("forced",
+                                                                 true);
+  dump_bundle(s, reason, blame_site, std::move(detail), {}, /*force=*/true);
+  return s.dumps == before + 1;
 }
 
 void publish(MetricsRegistry& reg) {

@@ -168,6 +168,16 @@ std::string last_forensic_reason();  // reason of the forensic bundle; ""
                                      // until the first dump
 std::string last_offending_site();   // "" when the dump had no site to blame
 
+/// Write a tx.diag.forensic.v1 bundle unconditionally: works while diag is
+/// disabled (the ring is just empty then) and bypasses max_forensic_dumps —
+/// callers are external failure detectors (the tx::obs watchdog), whose one
+/// trigger must never be swallowed because an earlier NaN already used the
+/// per-run dump budget. `blame_site` names what the caller holds responsible
+/// (the watchdog passes the last live span path). Returns false on I/O
+/// failure (counted in obs.sink_errors).
+bool force_forensic_dump(const std::string& reason,
+                         const std::string& blame_site);
+
 /// Mirror aggregate health gauges ("diag.*") into `reg` so tx.obs.v1
 /// snapshots carry them. write_snapshot() calls this on the global registry.
 void publish(MetricsRegistry& reg);
@@ -208,6 +218,9 @@ inline std::int64_t nan_trips() { return 0; }
 inline std::int64_t forensic_dumps() { return 0; }
 inline std::string last_forensic_reason() { return ""; }
 inline std::string last_offending_site() { return ""; }
+inline bool force_forensic_dump(const std::string&, const std::string&) {
+  return false;
+}
 inline void publish(MetricsRegistry&) {}
 inline bool write_snapshot(const std::string&, const std::string&) {
   return false;

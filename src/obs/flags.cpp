@@ -76,6 +76,10 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
       flags.pq = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--watchdog") == 0) {
+      flags.watchdog = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--obs-http") == 0) {
       flags.http_port = 0;  // bare flag: ephemeral port
       continue;
@@ -97,6 +101,11 @@ BenchFlags parse_bench_flags(int& argc, char** argv) {
   if (!flags.pq) {
     if (const char* v = std::getenv("TYXE_PQ")) {
       flags.pq = *v != '\0' && std::strcmp(v, "0") != 0;
+    }
+  }
+  if (!flags.watchdog) {
+    if (const char* v = std::getenv("TYXE_WATCHDOG")) {
+      flags.watchdog = *v != '\0' && std::strcmp(v, "0") != 0;
     }
   }
   if (flags.http_port < 0) {

@@ -11,6 +11,8 @@
 //                      BENCH_*.json
 //   --obs-http[=PORT]  serve live telemetry over HTTP (obs/live.h); bare
 //                      --obs-http binds an ephemeral port
+//   --watchdog         run the stall watchdog (obs/watchdog.h): forensic
+//                      dump + 503 /healthz when the heartbeat goes stale
 //
 // parse_bench_flags recognizes them in one place (replacing per-bench
 // copies), warns on a trailing path flag with no path instead of silently
@@ -39,6 +41,7 @@ struct BenchFlags {
   /// otherwise the literal TCP port. From --obs-http[=PORT] or TYXE_OBS_HTTP
   /// (""/"off"/"0" off, "auto" ephemeral, number = port).
   int http_port = -1;
+  bool watchdog = false;  ///< stall watchdog (--watchdog / TYXE_WATCHDOG=1)
 };
 
 /// Parse --trace/--diag/--prof out of argv (see file comment). Consumed

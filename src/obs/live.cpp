@@ -8,13 +8,34 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/event_sink.h"
 #include "obs/manifest.h"
 #include "obs/timer.h"
+#include "resil/guard.h"
 
 namespace tx::obs::live {
+
+double default_staleness_seconds() {
+  static const double value = [] {
+    const char* raw = std::getenv("TYXE_HEALTH_STALE_S");
+    if (raw != nullptr && *raw != '\0') {
+      char* end = nullptr;
+      const double parsed = std::strtod(raw, &end);
+      if (end != raw && *end == '\0' && std::isfinite(parsed) && parsed > 0.0) {
+        return parsed;
+      }
+      std::fprintf(stderr,
+                   "warning: ignoring TYXE_HEALTH_STALE_S=%s (want a positive "
+                   "number of seconds)\n",
+                   raw);
+    }
+    return 30.0;
+  }();
+  return value;
+}
 
 std::string prometheus_name(const std::string& name) {
   std::string out = "tx_";
@@ -74,6 +95,16 @@ std::string render_prometheus(MetricsRegistry& reg) {
 
 std::string render_healthz(double staleness_seconds, int& http_status,
                            MetricsRegistry& reg) {
+  // The watchdog's verdict wins outright: it carries a structured reason
+  // (what stalled, where) that a bare heartbeat-age comparison cannot, and
+  // it clears itself on recovery.
+  if (guard::health_overridden()) {
+    http_status = 503;
+    return "{\"status\": \"stalled\", \"reason\": \"" +
+           escape_json(guard::health_override()) +
+           "\", \"staleness_threshold_seconds\": " +
+           render_json_number(staleness_seconds) + "}\n";
+  }
   // gauges() (not gauge()) so probing health never creates the metric.
   const auto gauges = reg.gauges();
   const auto it = gauges.find("obs.heartbeat_seconds");

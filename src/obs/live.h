@@ -30,10 +30,17 @@
 
 namespace tx::obs::live {
 
+/// The /healthz staleness threshold: TYXE_HEALTH_STALE_S when set to a
+/// positive number (read once per process), else 30 seconds. The watchdog
+/// (obs/watchdog.h) defaults its stall threshold to the same knob so probe
+/// and watchdog agree on what "stalled" means.
+double default_staleness_seconds();
+
 struct Options {
   int port = 0;             ///< TCP port; 0 = kernel-assigned ephemeral
   std::string bench_name = "live";  ///< stamped into /snapshot documents
-  double health_staleness_seconds = 30.0;  ///< heartbeat age before "stale"
+  /// Heartbeat age before "stale" (defaults to TYXE_HEALTH_STALE_S / 30s).
+  double health_staleness_seconds = default_staleness_seconds();
 };
 
 class Server {

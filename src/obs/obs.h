@@ -19,3 +19,4 @@
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"

@@ -82,6 +82,7 @@ void merge_stats(StreamStats& dst, const StreamStats& src, const Config& cfg) {
   dst.mc_samples = std::max(dst.mc_samples, src.mc_samples);
   dst.variance_sum += src.variance_sum;
   dst.variance_examples += src.variance_examples;
+  dst.degraded_batches += src.degraded_batches;
 }
 
 /// Per-thread shard: uncontended accumulation between flushes.
@@ -243,6 +244,11 @@ void record_sample_pool(std::int64_t mc_samples, double variance_sum,
   s.variance_examples += examples;
 }
 
+void record_degraded_batch() {
+  if (!enabled()) return;
+  shard_stream().degraded_batches += 1;
+}
+
 void flush_thread_cache() { shard().flush(); }
 
 std::map<std::string, StreamStats> stream_table() {
@@ -363,6 +369,12 @@ std::string section_json(const std::string& indent) {
       out += in3 + "\"ece\": " + render_json_number(streaming_ece(label)) +
              ",\n";
     }
+    if (s.degraded_batches > 0) {
+      // Emitted only when non-zero so snapshots from guard-free runs keep
+      // their pre-guard schema byte-for-byte (golden baselines).
+      out += in3 + "\"degraded_batches\": " +
+             std::to_string(s.degraded_batches) + ",\n";
+    }
     if (s.sample_batches > 0) {
       out += in3 + "\"mc_samples\": " + std::to_string(s.mc_samples) + ",\n";
       out += in3 + "\"sample_batches\": " + std::to_string(s.sample_batches) +
@@ -445,6 +457,10 @@ void publish(MetricsRegistry& reg) {
     if (s.sample_batches > 0) {
       reg.gauge("pq.mc_samples." + label)
           .set(static_cast<double>(s.mc_samples));
+    }
+    if (s.degraded_batches > 0) {
+      reg.gauge("pq.degraded_batches." + label)
+          .set(static_cast<double>(s.degraded_batches));
     }
     const std::string prefix = test_prefix_of(label);
     if (!prefix.empty() && streams.count(prefix + "/ood") > 0) {

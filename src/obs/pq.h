@@ -98,6 +98,10 @@ struct StreamStats {
   std::int64_t mc_samples = 0;
   double variance_sum = 0.0;  // across-sample variance, summed per example
   std::int64_t variance_examples = 0;
+
+  // Batches whose MC sample stack was budget-truncated (guard degradation;
+  // record_degraded_batch). Merges by addition.
+  std::int64_t degraded_batches = 0;
 };
 
 #ifndef TX_OBS_DISABLED
@@ -162,6 +166,13 @@ void record_outcome(float confidence, bool correct, float p_true,
 void record_sample_pool(std::int64_t mc_samples, double variance_sum,
                         std::int64_t examples);
 
+/// One predicted batch whose posterior-sample stack was truncated by a
+/// guard budget (tx::guard degradation). Degraded batches feed the same
+/// quality accumulators as full ones — the draws are honest posterior
+/// samples, just fewer — but the count marks the stream so readers never
+/// mistake a truncated aggregate for full-quality numbers.
+void record_degraded_batch();
+
 /// Merge this thread's shard into the global table. tx::par calls this from
 /// every chunk before completion is signalled; readers flush the calling
 /// thread themselves. Cheap no-op when the shard is empty.
@@ -212,6 +223,7 @@ inline const std::string& current_stream() {
 inline void record_prediction(float, double, double) {}
 inline void record_outcome(float, bool, float, double) {}
 inline void record_sample_pool(std::int64_t, double, std::int64_t) {}
+inline void record_degraded_batch() {}
 inline void flush_thread_cache() {}
 inline std::map<std::string, StreamStats> stream_table() { return {}; }
 inline std::int64_t examples(const std::string&) { return 0; }

@@ -16,6 +16,7 @@
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "resil/fault.h"
+#include "resil/guard.h"
 #include "util/common.h"
 
 namespace tx::par {
@@ -44,6 +45,20 @@ const bool g_span_capture_registered = [] {
     return [path]() -> std::function<void()> {
       std::string prev = obs::detail::set_span_base(path);
       return [prev]() mutable { obs::detail::set_span_base(std::move(prev)); };
+    };
+  });
+  return true;
+}();
+
+// Propagate the submitter's guard budget into pool workers, so a deadline
+// installed around a fit or predict is polled inside every parallel chunk
+// of that work, whichever thread claims it.
+const bool g_guard_capture_registered = [] {
+  register_context_capture([]() -> ContextInstaller {
+    guard::Budget* budget = guard::current();
+    return [budget]() -> std::function<void()> {
+      guard::Budget* prev = guard::detail::install(budget);
+      return [prev] { guard::detail::install(prev); };
     };
   });
   return true;
@@ -92,6 +107,10 @@ struct Job {
       if (c >= chunks) return;
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          // Cooperative cancellation point: a hard-cancelled budget stops
+          // claiming work here; the Cancelled exception rides the existing
+          // failure path to the submitting caller.
+          guard::check("par.chunk");
           const auto [b, e] = chunk_bounds(range, chunks, c);
           obs::TraceSpan chunk_span(
               "par.chunk", obs::tracing() ? obs::Event()
@@ -302,7 +321,10 @@ void parallel_for(
   const int nthreads = t_in_worker ? 1 : num_threads();
   const std::int64_t chunks = chunk_count(range, grain, nthreads);
   if (nthreads == 1 || chunks == 1) {
-    // Exact legacy path: one inline call over the whole range.
+    // Exact legacy path: one inline call over the whole range. Same
+    // cancellation point as the pooled path so hard cancels behave
+    // identically at every thread count.
+    guard::check("par.chunk");
     body(begin, end);
     return;
   }

@@ -120,6 +120,11 @@ Plan parse(const std::string& text) {
       spec.kind = Kind::kStall;
       spec.target = head;
       TX_CHECK(ms > 0, "TYXE_FAULT: stall needs ,ms=<M> in '", clause, "'");
+    } else if (kind == "clock-skew") {
+      spec.kind = Kind::kClockSkew;
+      spec.target = head;
+      TX_CHECK(ms > 0, "TYXE_FAULT: clock-skew needs ,ms=<M> in '", clause,
+               "'");
     } else {
       TX_THROW("TYXE_FAULT: unknown fault kind '", kind, "'");
     }
@@ -230,6 +235,18 @@ void check_stall_slow(const char* where) {
   if (sleep_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
+}
+
+std::int64_t clock_skew_slow(const char* where) {
+  auto& rt = runtime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  std::int64_t total_ms = 0;
+  for (auto& ls : rt.specs) {
+    if (ls.spec.kind != Kind::kClockSkew) continue;
+    if (!matches(ls.spec.target, where)) continue;
+    if (count_and_check(ls)) total_ms += ls.spec.ms;
+  }
+  return total_ms;
 }
 
 }  // namespace detail

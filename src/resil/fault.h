@@ -29,6 +29,7 @@ enum class Kind {
   kWriteRename,  // "crash" between temp write and rename (temp left behind)
   kBadAlloc,     // throw std::bad_alloc from a matching kernel hook
   kStall,        // sleep inside a matching hook (pool workers)
+  kClockSkew,    // advance the tx::guard virtual clock at a matching hook
 };
 
 /// One fault clause. `target` is matched as a substring of the hook's
@@ -57,6 +58,7 @@ struct Plan {
 ///   write-rename=<K>[@<nth>]
 ///   bad-alloc=<substr>@<nth>[xN]
 ///   stall=<substr>@<nth>,ms=<M>
+///   clock-skew=<substr>@<nth>[xN],ms=<M>
 /// Throws tx::Error on bad syntax.
 Plan parse(const std::string& spec);
 
@@ -89,6 +91,7 @@ bool fail_write_open_slow(const std::string& path);
 bool fail_write_rename_slow(const std::string& path);
 void check_alloc_slow(const char* kernel);
 void check_stall_slow(const char* where);
+std::int64_t clock_skew_slow(const char* where);
 }  // namespace detail
 
 /// True while a plan is installed (one relaxed load).
@@ -120,6 +123,14 @@ inline void check_alloc(const char* kernel) {
 /// Pool workers / long loops: sleeps when a matching stall spec fires.
 inline void check_stall(const char* where) {
   if (armed()) detail::check_stall_slow(where);
+}
+
+/// Guard clock hooks (budget checkpoints): milliseconds to advance the
+/// tx::guard virtual clock by, 0 when no clock-skew spec fires. Firing is a
+/// pure function of the matching-call count, so a deadline crossed via skew
+/// replays at exactly the same checkpoint every run.
+inline std::int64_t clock_skew(const char* where) {
+  return armed() ? detail::clock_skew_slow(where) : 0;
 }
 
 }  // namespace tx::fault

@@ -15,6 +15,7 @@
 #include "infer/mcmc.h"
 #include "infer/svi.h"
 #include "resil/checkpoint.h"
+#include "resil/guard.h"
 
 namespace tx::resil {
 
@@ -39,6 +40,12 @@ struct RetryPolicy {
   /// Optional LR schedule: stepped after every SVI step and captured in the
   /// checkpoint so a resumed run continues the decay exactly.
   infer::StepLR* scheduler = nullptr;
+  /// Optional overall budget (non-owning): fit_svi installs it for the whole
+  /// run, so retries, backoff sleeps, and the steps themselves all respect
+  /// one deadline — backoff is clamped to the remaining budget and an
+  /// exhausted budget stops the fit at the next step boundary (FitReport
+  /// .cancelled). When null, an ambient guard::BudgetScope (if any) governs.
+  guard::Budget* budget = nullptr;
 };
 
 /// What SVI::fit actually did.
@@ -51,7 +58,12 @@ struct FitReport {
   std::int64_t rollbacks = 0;
   std::int64_t checkpoints = 0;          // rollback anchors committed
   std::int64_t checkpoint_failures = 0;  // failed disk writes (state kept)
-  std::string failure_reason;  // diag forensic reason when exhausted ("" else)
+  std::string failure_reason;  // diag forensic reason when exhausted, or the
+                               // guard reason when cancelled ("" otherwise)
+  /// The budget expired or was cancelled: the run stopped early at a step
+  /// boundary (or rolled back to the last good anchor if cancellation
+  /// landed mid-step), with failure_reason naming the guard reason.
+  bool cancelled = false;
 };
 
 /// Implementation behind infer::SVI::fit (lives here so tx_infer does not

@@ -1,10 +1,13 @@
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "obs/obs.h"
+#include "resil/guard.h"
 #include "resil/io.h"
 #include "resil/resil.h"
 #include "util/textio.h"
@@ -111,10 +114,36 @@ FitReport fit_svi(infer::SVI& svi, std::int64_t num_steps,
     ~CallbackRestore() { svi.set_step_callback(std::move(cb)); }
   } restore_cb{svi, user_cb};
 
+  // One budget governs the whole fit — steps, retries, and backoff sleeps.
+  // An explicit policy.budget is installed here; otherwise any ambient
+  // guard::BudgetScope the caller opened already covers the loop.
+  std::optional<guard::BudgetScope> budget_scope;
+  if (policy.budget != nullptr) budget_scope.emplace(*policy.budget);
+
   int consecutive_rollbacks = 0;
   while (svi.steps_taken() < num_steps) {
+    if (const guard::Reason stop = guard::poll("svi.fit");
+        stop != guard::Reason::kNone) {
+      // Graceful stop at a step boundary: state is the last completed step.
+      report.cancelled = true;
+      report.failure_reason = guard::reason_name(stop);
+      bump("resil.svi.budget_stops");
+      break;
+    }
     stat = StepStat{};
-    svi.step();
+    try {
+      svi.step();
+    } catch (const guard::Cancelled& c) {
+      // Cancellation landed mid-step (a par chunk or the step's own budget
+      // checkpoint): a half-applied step must not leak, so restore the last
+      // good anchor before reporting.
+      apply_svi_bundle(last_good, svi, policy);
+      svi.optimizer().set_lr(anchor_lr);
+      report.cancelled = true;
+      report.failure_reason = guard::reason_name(c.reason());
+      bump("resil.svi.budget_stops");
+      break;
+    }
     ++report.steps_run;
     if (policy.scheduler != nullptr) policy.scheduler->step();
 
@@ -147,11 +176,18 @@ FitReport fit_svi(infer::SVI& svi, std::int64_t num_steps,
       gauge("resil.svi.consecutive_rollbacks",
             static_cast<double>(consecutive_rollbacks));
       if (policy.backoff_seconds > 0.0) {
-        const double backoff = std::min(
+        double backoff = std::min(
             policy.backoff_seconds *
                 std::pow(2.0, static_cast<double>(consecutive_rollbacks - 1)),
             policy.max_backoff_seconds);
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        if (guard::active()) {
+          // Retries respect the overall deadline: never sleep past it. The
+          // loop-top poll then stops the fit instead of retrying.
+          backoff = std::min(backoff, guard::current()->remaining_seconds());
+        }
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
       }
       continue;
     }

@@ -22,6 +22,9 @@ const std::vector<Var>& known_vars() {
        "path for the tx.diag.v1 inference-health snapshot (enables diag)"},
       {"TYXE_FAULT", "",
        "deterministic fault-injection plan (resil harness; inert when unset)"},
+      {"TYXE_HEALTH_STALE_S", "30",
+       "heartbeat age in seconds before /healthz reports stale (also the "
+       "watchdog stall threshold)"},
       {"TYXE_NUM_THREADS", "hardware",
        "tx::par pool size; results are bitwise-identical at every count"},
       {"TYXE_OBS_HTTP", "",
@@ -38,6 +41,9 @@ const std::vector<Var>& known_vars() {
        "SIMD dispatch level override (off|scalar|avx2|neon|auto)"},
       {"TYXE_TRACE", "",
        "path for the tx.trace.v1 Chrome-trace timeline (enables tracing)"},
+      {"TYXE_WATCHDOG", "0",
+       "enable the stall watchdog (forensic dump + 503 /healthz on a stalled "
+       "heartbeat)"},
   };
   return vars;
 }

@@ -147,6 +147,40 @@ TEST(LogHistogramTest, MergeEqualsConcatenationBitwise) {
   EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
 }
 
+TEST(LogHistogramTest, MergeFromEmptyOperandIsIdentity) {
+  // An empty operand must leave the target untouched — including min/max,
+  // which start at +/-inf sentinels an unguarded merge would propagate.
+  LogHistogram target;
+  target.record(0.25);
+  target.record(4.0);
+  const HistogramSnapshot before = target.snapshot();
+
+  const LogHistogram empty;
+  target.merge_from(empty);
+
+  const HistogramSnapshot after = target.snapshot();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.sum, before.sum);
+  EXPECT_EQ(after.min, before.min);
+  EXPECT_EQ(after.max, before.max);
+  ASSERT_EQ(after.bucket_counts.size(), before.bucket_counts.size());
+  for (std::size_t i = 0; i < after.bucket_counts.size(); ++i) {
+    EXPECT_EQ(after.bucket_counts[i], before.bucket_counts[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(after.quantile(0.5), before.quantile(0.5));
+  EXPECT_EQ(after.quantile(0.99), before.quantile(0.99));
+
+  // Empty-into-empty stays a genuine empty histogram (count 0, no buckets),
+  // not one poisoned by the other's sentinels.
+  LogHistogram still_empty;
+  still_empty.merge_from(empty);
+  EXPECT_EQ(still_empty.count(), 0);
+  const HistogramSnapshot snap = still_empty.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_TRUE(snap.bucket_counts.empty());
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+}
+
 TEST(LogHistogramTest, SnapshotTrimsToNonEmptyRange) {
   LogHistogram h;
   h.record(0.001);

@@ -189,6 +189,27 @@ TEST(Bundle, RejectsTruncationAndBitFlips) {
   }
 }
 
+TEST(Bundle, FooterOneByteShortIsRejectedInMemoryAndOnDisk) {
+  // The nastiest truncation: everything up to the "@checksum <16 hex>\n"
+  // footer's last byte survives, so a parser that stops verifying at the
+  // last complete line would accept a silently shortened checkpoint.
+  const std::string wire = sample_bundle().serialize();
+  const std::size_t footer = wire.rfind("@checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  for (std::size_t cut = footer; cut < wire.size(); ++cut) {
+    EXPECT_THROW(resil::Bundle::deserialize(wire.substr(0, cut)), Error)
+        << "footer cut at byte " << cut << " of " << wire.size()
+        << " was accepted";
+  }
+
+  // Same contract at the file level: a checkpoint file exactly one byte
+  // short must throw from read_file, never yield a partial Bundle.
+  const std::string path = tmp_path("bundle_footer_short.ckpt");
+  ASSERT_TRUE(resil::atomic_write_file(path, wire.substr(0, wire.size() - 1)));
+  EXPECT_THROW(resil::Bundle::read_file(path), Error);
+  std::remove(path.c_str());
+}
+
 TEST(Bundle, InterruptedRewriteAlwaysLeavesLoadableFile) {
   const std::string path = tmp_path("bundle_interrupt.ckpt");
   std::remove(path.c_str());
